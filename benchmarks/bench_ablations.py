@@ -1,0 +1,165 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* guardian on/off under tight deadlines (deadline-miss safety);
+* EHVI vs random phase-2 suggestions (acquisition value);
+* tau sensitivity (measurement-duration trade-off);
+* ILP mixture vs single-configuration exploitation.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+PAYLOAD = {}
+
+
+def _memo(key, fn, **kwargs):
+    if key not in PAYLOAD:
+        PAYLOAD[key] = fn(**kwargs)
+    return PAYLOAD[key]
+
+
+def test_abl_guardian(benchmark, publish):
+    payload = _memo("guardian", ablations.run_guardian, ratio=1.3, rounds=30, seed=0)
+    publish("abl_guardian", ablations.render_guardian(payload))
+    benchmark(ablations.render_guardian, payload)
+
+    on = payload["variants"]["guardian_on"]
+    off = payload["variants"]["guardian_off"]
+    # The safe exploration algorithm is what makes deadlines safe: with it,
+    # zero misses; without it, random exploration blows deadlines.
+    assert on["missed_rounds"] == 0
+    assert off["missed_rounds"] > 0
+
+
+def test_abl_acquisition(benchmark, publish):
+    payload = _memo(
+        "acquisition", ablations.run_acquisition, ratio=2.0, rounds=40, seed=0
+    )
+    publish("abl_acquisition", ablations.render_acquisition(payload))
+    benchmark(ablations.render_acquisition, payload)
+
+    ehvi = payload["variants"]["ehvi"]
+    random = payload["variants"]["random"]
+    # EHVI reaches a front at least as good as random search while never
+    # being substantially worse on end-to-end energy.
+    assert ehvi["hv_ratio"] >= random["hv_ratio"] - 0.02
+    assert ehvi["improvement"] >= random["improvement"] - 0.02
+    assert ehvi["hv_ratio"] > 0.95
+
+
+def test_abl_tau(benchmark, publish):
+    payload = _memo("tau", ablations.run_tau, ratio=2.0, rounds=40, seed=0)
+    publish("abl_tau", ablations.render_tau(payload))
+    benchmark(ablations.render_tau, payload)
+
+    variants = payload["variants"]
+    # No tau choice may break deadline safety.
+    assert all(v["missed"] == 0 for v in variants.values())
+    # Longer tau -> fewer configurations fit into the exploration budget.
+    taus = sorted(variants)
+    assert variants[taus[-1]]["explored"] <= variants[taus[0]]["explored"]
+    # The paper's default (5 s) must deliver solid savings.
+    assert variants[5.0]["improvement"] > 0.15
+
+
+def test_abl_exploit(benchmark, publish):
+    payload = _memo("exploit", ablations.run_exploit, ratio=2.0, rounds=40, seed=0)
+    publish("abl_exploit", ablations.render_exploit(payload))
+    benchmark(ablations.render_exploit, payload)
+
+    mixture = payload["variants"]["ilp_mixture"]
+    single = payload["variants"]["single_config"]
+    assert mixture["missed"] == 0 and single["missed"] == 0
+    # The ILP mixture never loses to single-configuration exploitation and
+    # typically saves energy by pairing a fast and a cheap configuration.
+    assert mixture["energy"] <= single["energy"] * 1.005
+
+
+def test_abl_parego(benchmark, publish):
+    payload = _memo("parego", ablations.run_parego, batches=4, batch_size=10, seed=0)
+    publish("abl_parego", ablations.render_parego(payload))
+    benchmark(ablations.render_parego, payload)
+
+    variants = payload["variants"]
+    # EHVI is the most sample-efficient front builder at this budget; the
+    # scalarized alternatives trail it but still find most of the front.
+    assert variants["ehvi"]["hv_ratio"] >= variants["parego"]["hv_ratio"] - 0.01
+    assert variants["ehvi"]["hv_ratio"] >= variants["random"]["hv_ratio"] - 0.01
+    assert all(v["hv_ratio"] > 0.80 for v in variants.values())
+    budgets = {v["evaluations"] for v in variants.values()}
+    assert len(budgets) == 1  # strictly equal budgets
+
+
+def test_abl_thermal(benchmark, publish):
+    payload = _memo("thermal", ablations.run_thermal, rounds=30, seed=0)
+    publish("abl_thermal", ablations.render_thermal(payload))
+    benchmark(ablations.render_thermal, payload)
+
+    static = payload["variants"]["static"]
+    adaptive = payload["variants"]["adaptive"]
+    # Throttling silently invalidates the static controller's plans ...
+    assert static["restarts"] == 0
+    assert static["drift_ewma"] > 0.08
+    assert static["exploit_sprints"] >= 1
+    # ... while the adaptive extension re-explores and stays accurate.
+    assert adaptive["restarts"] >= 1
+    assert adaptive["drift_ewma"] < 0.08
+    assert adaptive["exploit_sprints"] <= static["exploit_sprints"]
+    # Deadline safety holds either way (the guardian adapts regardless).
+    assert static["missed"] == 0 and adaptive["missed"] == 0
+
+
+def test_ext_accuracy_parity(benchmark, publish):
+    from repro.experiments import ext_accuracy
+
+    payload = _memo("accuracy", ext_accuracy.run, rounds=8, seed=0)
+    publish("ext_accuracy", ext_accuracy.render(payload))
+    benchmark(ext_accuracy.render, payload)
+
+    performant = payload["results"]["performant"]
+    bofl = payload["results"]["bofl"]
+    # Pace control changes WHEN jobs run, never WHICH jobs run: the global
+    # model's accuracy trajectory must be bit-identical.
+    assert bofl["accuracy"] == performant["accuracy"]
+    assert bofl["stragglers"] == 0
+    # ... while spending measurably less energy.
+    assert bofl["energy"] < 0.95 * performant["energy"]
+
+
+def test_ext_fleet_energy(benchmark, publish):
+    from repro.experiments import ext_fleet
+
+    payload = _memo("fleet", ext_fleet.run, rounds=25, seed=0)
+    publish("ext_fleet", ext_fleet.render(payload))
+    benchmark(ext_fleet.render, payload)
+
+    results = payload["results"]
+    # Every client in the heterogeneous fleet saves energy ...
+    for client_id, performant_energy in results["performant"]["per_client"].items():
+        bofl_energy = results["bofl"]["per_client"][client_id]
+        assert bofl_energy < performant_energy, client_id
+    # ... no client ever misses its deadline under either pacing ...
+    assert results["performant"]["stragglers"] == 0
+    assert results["bofl"]["stragglers"] == 0
+    # ... and the fleet-level saving is substantial.
+    assert payload["fleet_saving"] > 0.12
+
+
+def test_ext_controller_scoreboard(benchmark, publish):
+    from repro.experiments import ext_controllers
+
+    payload = _memo("scoreboard", ext_controllers.run, rounds=40, seed=0)
+    publish("ext_controllers", ext_controllers.render(payload))
+    benchmark(ext_controllers.render, payload)
+
+    results = payload["results"]
+    # Expected ordering of the field.
+    assert results["oracle"]["energy"] <= results["bofl"]["energy"] * 1.02
+    assert results["bofl"]["energy"] < results["performant"]["energy"]
+    assert results["bofl"]["energy"] <= results["random_search"]["energy"] * 1.02
+    assert results["bofl"]["energy"] <= results["linear_pace"]["energy"] * 1.02
+    # Only the deadline-blind governor may miss rounds.
+    for name, stats in results.items():
+        if name != "ondemand":
+            assert stats["missed"] == 0, name

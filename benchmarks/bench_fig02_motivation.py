@@ -1,0 +1,26 @@
+"""Fig. 2 — motivation: DVFS spreads ('8x faster, 4x less energy').
+
+Regenerates the whole-space latency/energy spreads per workload and
+benchmarks the full-space profiling kernel (the Oracle's offline pass).
+"""
+
+from repro.experiments import fig2_spread
+from repro.hardware.devices import jetson_agx
+from repro.workloads.zoo import vit
+
+
+def test_fig2_motivation_spreads(benchmark, publish):
+    payload = fig2_spread.run(device="agx")
+    publish("fig2", fig2_spread.render(payload))
+
+    for row in payload["rows"]:
+        # Paper's claim: ~8x speed spread, ~4x energy spread.  The shape
+        # requirement: both spreads are large and speed > energy spread.
+        assert row["latency_spread"] > 5.0
+        assert row["energy_spread"] > 2.5
+        assert row["latency_spread"] > row["energy_spread"]
+
+    # Benchmark the underlying kernel: exhaustive 2100-point profiling.
+    model = vit().performance_model(jetson_agx())
+    latencies, energies = benchmark(model.profile_space)
+    assert latencies.shape == (2100,) and energies.shape == (2100,)

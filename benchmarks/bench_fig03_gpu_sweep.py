@@ -1,0 +1,39 @@
+"""Fig. 3 — ViT latency/energy vs GPU frequency at two CPU clocks."""
+
+import numpy as np
+
+from repro.experiments import fig3_gpu_sweep
+
+
+def test_fig3_gpu_frequency_sweep(benchmark, publish):
+    payload = benchmark(fig3_gpu_sweep.run)
+    publish("fig3", fig3_gpu_sweep.render(payload))
+
+    slow_cpu, fast_cpu = payload["sweeps"]
+    assert slow_cpu["cpu"] < fast_cpu["cpu"]
+
+    gpu = np.array([p["gpu"] for p in slow_cpu["points"]])
+    # The paper's Fig. 3 plots the upper GPU range (~0.9-1.3 GHz); restrict
+    # the shape assertions to clocks >= 0.7 GHz accordingly.
+    plotted = gpu >= 0.7
+    slow_lat = np.array([p["latency"] for p in slow_cpu["points"]])[plotted]
+    fast_lat = np.array([p["latency"] for p in fast_cpu["points"]])[plotted]
+    slow_en = np.array([p["energy"] for p in slow_cpu["points"]])[plotted]
+    fast_en = np.array([p["energy"] for p in fast_cpu["points"]])[plotted]
+
+    # (a) diminishing GPU returns under the slow CPU, strong under the fast.
+    assert slow_lat[0] / slow_lat[-1] < 1.5
+    assert fast_lat[0] / fast_lat[-1] > 1.6
+    # latency never increases with GPU frequency
+    assert np.all(np.diff(slow_lat) <= 1e-12)
+    assert np.all(np.diff(fast_lat) <= 1e-12)
+
+    # (b) energy is non-monotone and the slow-CPU advantage shrinks with
+    # GPU clock — the crossover structure of Fig. 3b.
+    low, high = 0, slow_en.size - 1
+    advantage_low = fast_en[low] - slow_en[low]
+    advantage_high = fast_en[high] - slow_en[high]
+    assert advantage_low > 0.3
+    assert advantage_high < advantage_low / 2
+    diffs = np.diff(fast_en)
+    assert np.any(diffs < 0) and np.any(diffs > 0)  # non-monotone

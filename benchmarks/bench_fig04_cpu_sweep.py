@@ -1,0 +1,34 @@
+"""Fig. 4 — three models' training performance vs CPU frequency."""
+
+import numpy as np
+
+from repro.experiments import fig4_cpu_sweep
+
+
+def series_of(payload, name):
+    data = next(s for s in payload["series"] if s["workload"] == name)
+    lat = np.array([p["latency"] for p in data["points"]])
+    en = np.array([p["energy"] for p in data["points"]])
+    return lat, en
+
+
+def test_fig4_cpu_frequency_sweep(benchmark, publish):
+    payload = benchmark(fig4_cpu_sweep.run)
+    publish("fig4", fig4_cpu_sweep.render(payload))
+
+    vit_lat, vit_en = series_of(payload, "vit")
+    resnet_lat, resnet_en = series_of(payload, "resnet50")
+    lstm_lat, lstm_en = series_of(payload, "lstm")
+
+    # (a) ViT and ResNet50 latencies "almost remain the same"; the LSTM
+    # roughly halves over the plotted range.
+    assert vit_lat[0] / vit_lat[-1] < 1.3
+    assert resnet_lat[0] / resnet_lat[-1] < 1.2
+    assert lstm_lat[0] / lstm_lat[-1] > 1.8
+
+    # (b) ResNet50's energy rises with CPU clock; the LSTM's falls.
+    assert resnet_en[-1] > resnet_en[0]
+    assert lstm_en[-1] < lstm_en[0]
+    # NN-model dependence: the three energy trends are not all the same sign.
+    trends = [vit_en[-1] - vit_en[0], resnet_en[-1] - resnet_en[0], lstm_en[-1] - lstm_en[0]]
+    assert max(trends) > 0 > min(trends)

@@ -1,0 +1,54 @@
+"""Fig. 9 — per-round energy over the first 40 rounds at T_max/T_min = 2.
+
+The campaign trio (BoFL / Performant / Oracle) per task is computed once
+(memoized for fig11/tab3); the benchmark times the analysis step.
+"""
+
+import pytest
+
+from repro.experiments import fig9_energy
+
+PAYLOAD = {}
+
+
+@pytest.fixture(scope="module")
+def payload():
+    if "fig9" not in PAYLOAD:
+        PAYLOAD["fig9"] = fig9_energy.run(ratio=2.0, rounds=40, seed=0)
+    return PAYLOAD["fig9"]
+
+
+def test_fig9_energy_curves(benchmark, publish, payload):
+    publish("fig9", fig9_energy.render(payload))
+    benchmark(fig9_energy.render, payload)
+
+    for task, data in payload["tasks"].items():
+        # Deadline safety: BoFL never misses.
+        assert data["missed"] == 0, task
+        # BoFL saves substantially vs Performant and stays near Oracle.
+        assert 0.10 < data["improvement"] < 0.40, (task, data["improvement"])
+        assert data["regret"] < 0.10, (task, data["regret"])
+        # Phase structure exists and exploitation dominates the campaign.
+        assert set(data["phases"]) == {
+            "random_exploration", "pareto_construction", "exploitation",
+        }
+        exploit_lo, exploit_hi = data["phases"]["exploitation"]
+        assert exploit_hi - exploit_lo + 1 >= 25  # > 60% of 40 rounds
+
+
+def test_fig9_bofl_tracks_oracle_in_exploitation(benchmark, payload):
+    benchmark(lambda: [sum(d["bofl"]) for d in payload["tasks"].values()])
+    for task, data in payload["tasks"].items():
+        exploit_lo, _ = data["phases"]["exploitation"]
+        bofl_tail = sum(data["bofl"][exploit_lo:])
+        oracle_tail = sum(data["oracle"][exploit_lo:])
+        assert bofl_tail / oracle_tail - 1 < 0.06, task
+
+
+def test_fig9_performant_is_flat(benchmark, payload):
+    # Performant's per-round energy barely varies (always x_max).
+    benchmark(lambda: [max(d["performant"]) for d in payload["tasks"].values()])
+    for task, data in payload["tasks"].items():
+        series = data["performant"]
+        spread = (max(series) - min(series)) / (sum(series) / len(series))
+        assert spread < 0.05, task

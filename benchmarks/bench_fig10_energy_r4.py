@@ -1,0 +1,52 @@
+"""Fig. 10 — per-round energy over the first 40 rounds at T_max/T_min = 4.
+
+Longer deadlines: fewer exploration rounds (more configurations fit per
+round), lower exploitation energy than Fig. 9.
+"""
+
+import pytest
+
+from repro.experiments import fig9_energy
+
+PAYLOAD = {}
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    if not PAYLOAD:
+        PAYLOAD["r4"] = fig9_energy.run(ratio=4.0, rounds=40, seed=0)
+        PAYLOAD["r2"] = fig9_energy.run(ratio=2.0, rounds=40, seed=0)
+    return PAYLOAD
+
+
+def test_fig10_energy_curves(benchmark, publish, payloads):
+    payload = payloads["r4"]
+    publish("fig10", fig9_energy.render(payload))
+    benchmark(fig9_energy.render, payload)
+
+    for task, data in payload["tasks"].items():
+        assert data["missed"] == 0, task
+        assert 0.12 < data["improvement"] < 0.45, (task, data["improvement"])
+        assert data["regret"] < 0.08, (task, data["regret"])
+
+
+def test_fig10_longer_deadlines_explore_in_fewer_rounds(benchmark, payloads):
+    benchmark(lambda: [d["phases"] for d in payloads["r4"]["tasks"].values()])
+    # §6.4: "BoFL explores 10 rounds before exploitation when r=2, while
+    # only explores 6 rounds when r=4".
+    for task in payloads["r4"]["tasks"]:
+        def exploration_rounds(payload):
+            lo, hi = payload["tasks"][task]["phases"]["exploitation"][0], None
+            return lo  # exploitation starts after the exploration rounds
+        assert exploration_rounds(payloads["r4"]) <= exploration_rounds(
+            payloads["r2"]
+        ), task
+
+
+def test_fig10_improvement_exceeds_fig9(benchmark, payloads):
+    benchmark(lambda: [d["improvement"] for d in payloads["r4"]["tasks"].values()])
+    for task in payloads["r4"]["tasks"]:
+        assert (
+            payloads["r4"]["tasks"][task]["improvement"]
+            > payloads["r2"]["tasks"][task]["improvement"]
+        ), task

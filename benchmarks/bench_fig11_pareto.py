@@ -1,0 +1,61 @@
+"""Fig. 11 — BoFL's searched Pareto front vs the actual front.
+
+Reuses the Fig. 9 campaigns (same ratio/rounds/seed, memoized).  Also
+benchmarks the exact 2-D EHVI kernel over the full AGX candidate space —
+the computation BoFL runs between rounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.acquisition import expected_hypervolume_improvement
+from repro.experiments import fig11_pareto
+
+PAYLOAD = {}
+
+
+@pytest.fixture(scope="module")
+def payload():
+    if "fig11" not in PAYLOAD:
+        PAYLOAD["fig11"] = fig11_pareto.run(ratio=2.0, rounds=40, seed=0)
+    return PAYLOAD["fig11"]
+
+
+def test_fig11_front_quality(benchmark, publish, payload):
+    publish("fig11", fig11_pareto.render(payload))
+    benchmark(fig11_pareto.render, payload)
+    for task, data in payload["tasks"].items():
+        # "BoFL can successfully find a close approximation to the actual
+        # Pareto front over all three tasks."
+        assert data["hv_ratio"] > 0.95, (task, data["hv_ratio"])
+        assert data["coverage"] > 0.5, (task, data["coverage"])
+        # "the Pareto front can be efficiently constructed after exploring
+        # just 3% of the whole configuration space" — allow up to 6%.
+        assert data["explored_fraction"] < 0.06, (task, data["explored_fraction"])
+        # a searched front of reasonable size, as in the paper's Table 3
+        # (13-20 points over the three tasks).
+        assert 8 <= data["found_points"] <= 40, task
+
+
+def test_fig11_fronts_are_valid(benchmark, payload):
+    benchmark(lambda: [np.array(d["found_front"]) for d in payload["tasks"].values()])
+    for task, data in payload["tasks"].items():
+        front = np.array(sorted(data["found_front"]))
+        # staircase structure: latency ascending implies energy descending
+        assert np.all(np.diff(front[:, 0]) >= 0)
+        assert np.all(np.diff(front[:, 1]) <= 1e-9)
+
+
+def test_fig11_ehvi_kernel_speed(benchmark):
+    """Time EHVI over a 2100-point candidate set with a 20-point front."""
+    rng = np.random.default_rng(0)
+    mean = rng.uniform(0.2, 0.5, size=(2100, 2))
+    var = rng.uniform(1e-4, 1e-2, size=(2100, 2))
+    front = np.sort(rng.uniform(0.2, 0.4, size=(20, 2)), axis=0)
+    front[:, 1] = front[::-1, 1]
+    reference = np.array([0.6, 0.6])
+    values = benchmark(
+        expected_hypervolume_improvement, mean, var, front, reference
+    )
+    assert values.shape == (2100,)
+    assert np.all(values >= 0)

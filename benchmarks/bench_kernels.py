@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the computational kernels behind the controller.
+
+These are the operations whose cost the paper's Fig. 13 measures on real
+boards: GP refits, batched EHVI suggestion, and the exploitation-phase
+ILP.  The paper reports <20 ms per ILP solve on Gurobi; our from-scratch
+branch-and-bound must stay in that class.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.optimizer import MultiObjectiveBayesianOptimizer
+from repro.bayesopt.pareto import pareto_mask
+from repro.bayesopt.sampling import sobol_configurations
+from repro.hardware.devices import jetson_agx
+from repro.ilp.schedule import ScheduleProblem, solve_schedule
+from repro.workloads.zoo import vit
+
+
+@pytest.fixture(scope="module")
+def agx_observations():
+    spec = jetson_agx()
+    model = vit().performance_model(spec)
+    configs = sobol_configurations(spec.space, 60, seed=0)
+    x = spec.space.normalize_many(configs)
+    y = np.array([model.objectives(c) for c in configs])
+    return spec, model, configs, x, y
+
+
+def test_gp_fit_60_observations(benchmark, agx_observations):
+    _, _, _, x, y = agx_observations
+
+    def fit():
+        gp = GaussianProcess()
+        gp.fit(x, y[:, 0])
+        return gp.log_marginal_likelihood()
+
+    lml = benchmark(fit)
+    assert np.isfinite(lml)
+
+
+def test_gp_hyperparameter_optimization(benchmark, agx_observations):
+    _, _, _, x, y = agx_observations
+
+    def fit_and_tune():
+        gp = GaussianProcess()
+        gp.fit(x, y[:, 0])
+        return gp.optimize_hyperparameters(np.random.default_rng(0), n_restarts=1)
+
+    lml = benchmark.pedantic(fit_and_tune, rounds=3, iterations=1)
+    assert np.isfinite(lml)
+
+
+def test_mbo_suggestion_batch(benchmark, agx_observations):
+    spec, model, configs, _, _ = agx_observations
+
+    optimizer = MultiObjectiveBayesianOptimizer(spec.space, seed=0, fit_restarts=0)
+    for config in configs:
+        optimizer.add_observation(config, *model.objectives(config))
+    optimizer.fit(optimize_hyperparameters=False)
+
+    picks = benchmark.pedantic(
+        lambda: optimizer.suggest(10), rounds=3, iterations=1
+    )
+    assert len(picks) == 10
+
+
+def test_exploitation_ilp_under_20ms(benchmark, agx_observations):
+    """The paper's Gurobi solves Eqn. 1 'within 20ms'; so must we."""
+    _, model, _, _, _ = agx_observations
+    latencies, energies = model.profile_space()
+    mask = pareto_mask(np.stack([latencies, energies], axis=1))
+    problem = ScheduleProblem(
+        latencies[mask], energies[mask], jobs=200, deadline=float(latencies.min() * 200 * 1.5)
+    )
+    counts = benchmark(solve_schedule, problem)
+    assert counts.sum() == 200
+    assert benchmark.stats["mean"] < 0.020  # the paper's 20 ms bar
+
+
+def test_full_space_profiling(benchmark, agx_observations):
+    _, model, _, _, _ = agx_observations
+    latencies, energies = benchmark(model.profile_space)
+    assert latencies.size == 2100 and energies.size == 2100

@@ -1,0 +1,15 @@
+"""Table 1 — testbed hardware specifications."""
+
+from repro.experiments import tab1_specs
+
+
+def test_tab1_hardware_specs(benchmark, publish):
+    payload = benchmark(tab1_specs.run)
+    publish("tab1", tab1_specs.render(payload))
+
+    assert payload["devices"]["agx"]["configurations"] == 2100
+    assert payload["devices"]["tx2"]["configurations"] == 936
+    agx_rows = dict(payload["devices"]["agx"]["rows"])
+    assert "25 steps" in agx_rows["CPU frequencies"]
+    assert "14 steps" in agx_rows["GPU frequencies"]
+    assert "6 steps" in agx_rows["Memory frequencies"]

@@ -1,0 +1,20 @@
+"""Table 2 — FL task specifications with measured T_min."""
+
+import pytest
+
+from repro.experiments import tab2_tasks
+
+
+def test_tab2_task_specifications(benchmark, publish):
+    payload = benchmark(tab2_tasks.run)
+    publish("tab2", tab2_tasks.render(payload))
+
+    for row in payload["rows"]:
+        for device_name in ("agx", "tx2"):
+            measured = row["t_min"][device_name]
+            paper = row["paper_t_min"][device_name]
+            # measured rounds at x_max land within 2% of the paper's T_min
+            assert measured == pytest.approx(paper, rel=0.02), (
+                row["task"], device_name,
+            )
+    assert payload["deadline_ratios"] == (2.0, 2.5, 3.0, 3.5, 4.0)

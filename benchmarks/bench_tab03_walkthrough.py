@@ -1,0 +1,53 @@
+"""Table 3 — explorations and searched Pareto points per round.
+
+Reuses the Fig. 9 campaigns.  The paper's walkthrough: ~21 random starting
+points (1% of the space), batches of up to 10 MBO suggestions per phase-2
+round, ~66-70 total explorations, and most front points found by the MBO.
+"""
+
+import pytest
+
+from repro.experiments import tab3_walkthrough
+
+PAYLOAD = {}
+
+
+@pytest.fixture(scope="module")
+def payload():
+    if "tab3" not in PAYLOAD:
+        PAYLOAD["tab3"] = tab3_walkthrough.run(ratio=2.0, rounds=40, seed=0)
+    return PAYLOAD["tab3"]
+
+
+def test_tab3_walkthrough(benchmark, publish, payload):
+    publish("tab3", tab3_walkthrough.render(payload))
+    benchmark(tab3_walkthrough.render, payload)
+
+    for task, data in payload["tasks"].items():
+        random_explored = sum(
+            r["explored"] for r in data["rows"] if r["phase"] == "random_exploration"
+        )
+        # phase 1 explores x_max + the 1% Sobol sample = 22 configurations.
+        assert random_explored == 22, task
+        # total explorations in the paper's ballpark (66-70).
+        assert 50 <= data["total_explored"] <= 95, (task, data["total_explored"])
+        # per-round batches never exceed the MBO cap.
+        assert all(
+            r["explored"] <= 10
+            for r in data["rows"]
+            if r["phase"] == "pareto_construction"
+        ), task
+
+
+def test_tab3_mbo_finds_most_front_points(benchmark, payload):
+    benchmark(lambda: [d["rows"] for d in payload["tasks"].values()])
+    # Table 3's key observation: "most of Pareto front points ... are
+    # searched in the second phase" (e.g. ViT: 18 of 20).
+    for task, data in payload["tasks"].items():
+        mbo_pareto = sum(
+            r["pareto"] for r in data["rows"] if r["phase"] == "pareto_construction"
+        )
+        assert data["total_pareto"] >= 8, task
+        assert mbo_pareto / data["total_pareto"] > 0.5, (
+            task, mbo_pareto, data["total_pareto"],
+        )

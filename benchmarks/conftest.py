@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper artifact: it runs the experiment
+driver (campaign results are memoized process-wide, so artifacts sharing
+campaigns — fig9/fig11/tab3, fig12/fig13 — pay for them once), prints the
+paper-style rows, asserts the qualitative "shape" claims, and times a
+representative computational kernel via the ``benchmark`` fixture.
+
+Rendered outputs are also written to ``benchmarks/out/<id>.txt`` so
+EXPERIMENTS.md can reference the exact regenerated rows.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture()
+def publish(report_dir, capsys):
+    """Print a rendered artifact through capture and persist it to disk."""
+
+    def _publish(experiment_id: str, text: str) -> None:
+        (report_dir / f"{experiment_id}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+    return _publish

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""End-to-end federated learning with real gradients and energy accounting.
+
+Builds a small federation — two simulated Jetson AGX and two Jetson TX2
+clients, each holding a non-IID shard of a synthetic CIFAR10-like dataset —
+and trains a shared numpy MLP with FedAvg.  Each client paces its local
+training with a BoFL controller, so every minibatch job both updates the
+real model *and* consumes simulated time/energy on its board.
+
+Run:  python examples/federated_training.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.core import BoFLConfig, BoFLController
+from repro.federated import (
+    FederatedClient,
+    FederatedServer,
+    UniformDeadlines,
+    cifar10_vit,
+)
+from repro.hardware import SimulatedDevice, get_device
+from repro.ml import MLPClassifier, make_blobs_classification, partition_dirichlet
+from repro.sim import MBOCostModel
+
+ROUNDS = 12
+N_FEATURES = 32
+N_CLASSES = 10
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    # Synthetic CIFAR10-shaped data: one generation pass (so train and eval
+    # share class structure), split into 4 client shards + a held-out
+    # evaluation set for the server.
+    full = make_blobs_classification(3400, N_FEATURES, N_CLASSES, class_separation=0.85, seed=1)
+    order = rng.permutation(len(full))
+    train, eval_set = full.subset(order[:2400]), full.subset(order[2400:])
+    shards = partition_dirichlet(train, n_clients=4, alpha=1.0, rng=rng)
+
+    task = cifar10_vit()
+    global_model = MLPClassifier(N_FEATURES, [64, 32], N_CLASSES, seed=0)
+
+    clients = []
+    for i, device_name in enumerate(("agx", "agx", "tx2", "tx2")):
+        spec = get_device(device_name)
+        device = SimulatedDevice(spec, task.workload, seed=100 + i)
+        controller = BoFLController(
+            device, BoFLConfig(seed=i), mbo_cost=MBOCostModel(spec)
+        )
+        clients.append(
+            FederatedClient(
+                client_id=f"client-{i}-{device_name}",
+                controller=controller,
+                task=task,
+                model=global_model.clone_architecture(seed=i),
+                data=shards[i],
+                seed=i,
+            )
+        )
+
+    server = FederatedServer(
+        clients,
+        global_model=global_model,
+        deadline_schedule=UniformDeadlines(2.5),
+        eval_data=eval_set,
+        seed=3,
+    )
+
+    print(f"Training {ROUNDS} federated rounds with 4 BoFL-paced clients...")
+    rows = []
+    for i in range(ROUNDS):
+        record = server.run_round(i, ROUNDS)
+        rows.append(
+            (
+                i + 1,
+                f"{record.global_accuracy * 100:.1f}%" if record.global_accuracy else "-",
+                f"{record.total_energy:.0f}",
+                len(record.stragglers),
+            )
+        )
+    print(
+        ascii_table(
+            ["round", "global accuracy", "energy (J, all clients)", "stragglers"],
+            rows,
+        )
+    )
+
+    print()
+    per_client = [
+        (
+            c.client_id,
+            c.device.spec.name,
+            f"{c.device.energy_consumed:.0f} J",
+            c.controller.phase.value,
+            c.controller.explored_count,
+        )
+        for c in clients
+    ]
+    print(
+        ascii_table(
+            ["client", "device", "training energy", "BoFL phase", "explored"],
+            per_client,
+        )
+    )
+    final_acc = server.accuracy_series()[-1]
+    assert final_acc is not None and final_acc > 0.5, "FedAvg failed to learn"
+    print(f"\nFinal global accuracy: {final_acc * 100:.1f}% "
+          f"(random guessing would be {100 / N_CLASSES:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

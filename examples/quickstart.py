@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: BoFL vs Performant vs Oracle on one device.
+
+Runs the paper's CIFAR10-ViT task on a simulated Jetson AGX for 25 FL
+rounds under each pace controller and prints the per-round energy plus the
+headline comparison (energy improvement over Performant, regret vs the
+offline-profiled Oracle).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import ascii_table, improvement_vs_performant, regret_vs_oracle
+from repro.sim import run_campaign
+
+ROUNDS = 25
+RATIO = 2.0  # deadlines sampled uniformly from [T_min, 2 * T_min]
+
+
+def main() -> None:
+    print(f"Running {ROUNDS} FL rounds of CIFAR10-ViT on a simulated Jetson AGX...")
+    campaigns = {
+        name: run_campaign("agx", "vit", name, RATIO, rounds=ROUNDS, seed=0)
+        for name in ("performant", "oracle", "bofl")
+    }
+
+    rows = []
+    for i in range(ROUNDS):
+        bofl_record = campaigns["bofl"].records[i]
+        rows.append(
+            (
+                i + 1,
+                bofl_record.phase,
+                f"{bofl_record.deadline:.1f}",
+                f"{campaigns['performant'].records[i].energy:.0f}",
+                f"{campaigns['oracle'].records[i].energy:.0f}",
+                f"{bofl_record.energy:.0f}",
+                "MISS" if bofl_record.missed else "ok",
+            )
+        )
+    print(
+        ascii_table(
+            ["round", "BoFL phase", "deadline (s)", "Performant (J)", "Oracle (J)", "BoFL (J)", "ddl"],
+            rows,
+        )
+    )
+
+    bofl = campaigns["bofl"]
+    improvement = improvement_vs_performant(bofl, campaigns["performant"])
+    regret = regret_vs_oracle(bofl, campaigns["oracle"])
+    print()
+    print(f"configurations explored : {bofl.explored_total} of 2100")
+    print(f"energy improvement      : {improvement * 100:.1f}% vs Performant")
+    print(f"energy regret           : {regret * 100:.2f}% vs Oracle")
+    print(f"MBO overhead            : {bofl.mbo_energy:.0f} J "
+          f"({bofl.mbo_energy / bofl.total_energy * 100:.2f}% of total)")
+    print(f"deadline misses         : {bofl.missed_rounds}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Thermal throttling and drift re-exploration (extension demo).
+
+Sustained training heats an edge board until it throttles — at which point
+every latency/energy measurement BoFL collected cold is wrong.  This
+example runs the CIFAR10-ViT task on a simulated AGX with a thermal model
+attached, once with the stock controller and once with the drift
+re-exploration extension (``BoFLConfig(drift_reexploration=True)``), and
+shows how the extension notices the stale model and re-runs its
+exploration phases.
+
+Run:  python examples/thermal_adaptation.py
+"""
+
+from repro.analysis import ascii_table
+from repro.core import BoFLConfig, BoFLController
+from repro.federated import UniformDeadlines
+from repro.hardware import SimulatedDevice, ThermalModel, jetson_agx
+from repro.workloads import vit
+
+ROUNDS = 25
+JOBS = 200  # CIFAR10-ViT on the AGX
+
+
+def build_hot_board() -> SimulatedDevice:
+    """An AGX whose cooling is poor enough to throttle under load."""
+    thermal = ThermalModel(
+        r_th=2.3,          # degrees C per watt: ~23 W sustained -> ~78 C
+        tau_th=90.0,       # warms over a couple of rounds
+        t_ambient=25.0,
+        throttle_start=42.0,
+        throttle_full=58.0,
+        max_slowdown=1.3,  # fully throttled jobs run 30% slower
+    )
+    return SimulatedDevice(jetson_agx(), vit(), seed=0, thermal=thermal)
+
+
+def run_variant(drift_reexploration: bool):
+    device = build_hot_board()
+    controller = BoFLController(
+        device,
+        BoFLConfig(
+            seed=0,
+            drift_reexploration=drift_reexploration,
+            drift_threshold=0.08,
+        ),
+    )
+    t_min_cold = device.model.latency(device.space.max_configuration()) * JOBS
+    deadlines = UniformDeadlines(3.2, floor=1.8).generate(t_min_cold, ROUNDS, seed=5)
+    records = [controller.run_round(JOBS, d) for d in deadlines]
+    return controller, device, records
+
+
+def main() -> None:
+    print(f"Running {ROUNDS} rounds of CIFAR10-ViT on a poorly-cooled AGX...")
+    rows = []
+    for drift in (False, True):
+        controller, device, records = run_variant(drift)
+        rows.append(
+            (
+                "adaptive (drift re-exploration)" if drift else "static BoFL",
+                controller.restarts,
+                f"{controller._drift_ewma:.3f}",
+                sum(r.guardian_triggered for r in records if r.phase == "exploitation"),
+                sum(r.missed for r in records),
+                f"{sum(r.energy for r in records):.0f}",
+                f"{device.thermal.temperature:.1f}C",
+            )
+        )
+    print(
+        ascii_table(
+            [
+                "controller",
+                "restarts",
+                "plan error (EWMA)",
+                "exploitation sprints",
+                "missed",
+                "energy (J)",
+                "final temp",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe static controller's exploitation plans drift as the board heats\n"
+        "(large plan error, guardian sprints); the adaptive variant re-explores\n"
+        "once the drift detector fires, keeping its model accurate."
+    )
+
+
+if __name__ == "__main__":
+    main()

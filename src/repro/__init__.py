@@ -1,0 +1,72 @@
+"""BoFL reproduction: Bayesian-optimized local training pace control for
+energy-efficient federated learning (Guo et al., ACM/IFIP Middleware 2022).
+
+The package is organized bottom-up:
+
+* :mod:`repro.hardware` — simulated DVFS-capable edge boards (Jetson
+  AGX/TX2) with calibrated latency/energy surfaces, sensors and actuators;
+* :mod:`repro.workloads` — the paper's three NN training workloads (ViT,
+  ResNet50, LSTM) plus extensions;
+* :mod:`repro.bayesopt` — from-scratch multi-objective Bayesian
+  optimization (Matérn-5/2 GPs, exact 2-D EHVI, Kriging-believer batches);
+* :mod:`repro.ilp` — from-scratch simplex + branch-and-bound and the
+  Eqn. 1 schedule solver;
+* :mod:`repro.ml` / :mod:`repro.federated` — a numpy training stack and
+  the FL server/client workflow;
+* :mod:`repro.core` — the BoFL three-phase controller itself;
+* :mod:`repro.baselines`, :mod:`repro.sim`, :mod:`repro.analysis`,
+  :mod:`repro.experiments` — comparison targets, the campaign harness,
+  metrics, and one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import quick_campaign
+    result = quick_campaign(task="vit", controller="bofl", deadline_ratio=2.0)
+    print(result.training_energy)
+"""
+
+from repro._version import __version__
+from repro.clock import SimulationClock
+from repro.core import BoFLConfig, BoFLController
+from repro.core.records import CampaignResult, RoundRecord
+from repro.hardware import SimulatedDevice, get_device, jetson_agx, jetson_tx2
+from repro.sim import run_campaign
+from repro.types import DvfsConfiguration, PerformanceSample
+from repro.workloads import get_workload
+
+
+def quick_campaign(
+    task: str = "vit",
+    controller: str = "bofl",
+    device: str = "agx",
+    deadline_ratio: float = 2.0,
+    rounds: int = 40,
+    seed: int = 0,
+) -> CampaignResult:
+    """Run one controller campaign with sensible defaults.
+
+    A convenience wrapper over :func:`repro.sim.run_campaign` for
+    notebooks and the quickstart example.
+    """
+    return run_campaign(
+        device, task, controller, deadline_ratio, rounds=rounds, seed=seed
+    )
+
+
+__all__ = [
+    "BoFLConfig",
+    "BoFLController",
+    "CampaignResult",
+    "DvfsConfiguration",
+    "PerformanceSample",
+    "RoundRecord",
+    "SimulatedDevice",
+    "SimulationClock",
+    "__version__",
+    "get_device",
+    "get_workload",
+    "jetson_agx",
+    "jetson_tx2",
+    "quick_campaign",
+    "run_campaign",
+]

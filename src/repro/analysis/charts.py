@@ -1,0 +1,88 @@
+"""Terminal line charts — matplotlib-free rendering of figure series.
+
+The paper's evaluation figures are line plots; these helpers render the
+same series as Unicode block charts so a terminal-only reproduction can
+still *show* the curves (e.g. the Fig. 9 energy traces), not just list
+numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Glyphs from low to high for sub-row resolution.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line miniature chart (eight vertical levels)."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ConfigurationError("cannot chart an empty series")
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[4] * len(values)
+    cells = []
+    for value in values:
+        level = int(round((value - lo) / span * (len(_BLOCKS) - 2))) + 1
+        cells.append(_BLOCKS[level])
+    return "".join(cells)
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    *,
+    height: int = 10,
+    y_label: str = "",
+    markers: str = "*+ox#@",
+) -> str:
+    """A multi-series ASCII line chart with a shared y-axis.
+
+    Each series gets one marker character; collisions show the later
+    series' marker.  The x-axis is the sample index.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if height < 3:
+        raise ConfigurationError(f"height must be >= 3, got {height}")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError(f"series lengths differ: {sorted(lengths)}")
+    (width,) = lengths
+    if width == 0:
+        raise ConfigurationError("cannot chart empty series")
+
+    all_values = [float(v) for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    span = hi - lo if hi > lo else 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for marker, (name, values) in zip(markers, series.items()):
+        for x, value in enumerate(values):
+            row = int(round((float(value) - lo) / span * (height - 1)))
+            grid[height - 1 - row][x] = marker
+
+    axis_labels = [f"{hi:.0f}", f"{(hi + lo) / 2:.0f}", f"{lo:.0f}"]
+    label_width = max(len(label) for label in axis_labels)
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = axis_labels[0]
+        elif row_index == height // 2:
+            label = axis_labels[1]
+        elif row_index == height - 1:
+            label = axis_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |" + "".join(row))
+    lines.append(" " * label_width + "-+" + "-" * width)
+    legend = "   ".join(
+        f"{marker} {name}" for marker, name in zip(markers, series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Evaluation metrics, defined exactly as the paper does (§6.4).
+
+* Improvement vs Performant: ``1 - E_BoFL / E_Performant``.
+* Regret vs Oracle: ``E_BoFL / E_Oracle - 1``.
+
+Energy totals include the MBO overhead energy — BoFL must pay for its own
+intelligence.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.bayesopt.hypervolume import hypervolume_2d
+from repro.bayesopt.pareto import pareto_front
+from repro.core.records import CampaignResult
+from repro.errors import ConfigurationError
+from repro.hardware.perfmodel import AnalyticPerformanceModel
+
+
+def improvement_vs_performant(
+    bofl: CampaignResult, performant: CampaignResult
+) -> float:
+    """Fractional energy reduction of ``bofl`` relative to ``performant``."""
+    _check_comparable(bofl, performant)
+    return 1.0 - bofl.total_energy / performant.total_energy
+
+
+def regret_vs_oracle(bofl: CampaignResult, oracle: CampaignResult) -> float:
+    """Fractional energy overhead of ``bofl`` relative to ``oracle``."""
+    _check_comparable(bofl, oracle)
+    return bofl.total_energy / oracle.total_energy - 1.0
+
+
+def _check_comparable(a: CampaignResult, b: CampaignResult) -> None:
+    same = (
+        a.device == b.device
+        and a.task == b.task
+        and a.deadline_ratio == b.deadline_ratio
+        and a.rounds == b.rounds
+    )
+    if not same:
+        raise ConfigurationError(
+            f"campaigns are not comparable: ({a.device},{a.task},{a.deadline_ratio},"
+            f"{a.rounds} rounds) vs ({b.device},{b.task},{b.deadline_ratio},{b.rounds})"
+        )
+
+
+def latency_spread(model: AnalyticPerformanceModel) -> float:
+    """Max/min per-job latency over the whole space (Fig. 2's '8x')."""
+    latencies, _ = model.profile_space()
+    return float(latencies.max() / latencies.min())
+
+
+def energy_spread(model: AnalyticPerformanceModel) -> float:
+    """Max/min per-job energy over the whole space (Fig. 2's '4x')."""
+    _, energies = model.profile_space()
+    return float(energies.max() / energies.min())
+
+
+def hypervolume_ratio(
+    found_front: np.ndarray, true_front: np.ndarray, reference: np.ndarray
+) -> float:
+    """HV(found) / HV(true) — how much of the ideal front was captured."""
+    true_hv = hypervolume_2d(true_front, reference)
+    if true_hv <= 0:
+        raise ConfigurationError("true front has zero hypervolume at this reference")
+    return hypervolume_2d(found_front, reference) / true_hv
+
+
+def front_coverage(
+    found_front: np.ndarray, true_front: np.ndarray, tolerance: float = 0.02
+) -> float:
+    """Fraction of true-front points approached within relative ``tolerance``.
+
+    A true point counts as covered if some found point is within
+    ``tolerance`` (relative, per objective) of it or dominates it.
+    """
+    found = pareto_front(np.asarray(found_front, dtype=float))
+    true = pareto_front(np.asarray(true_front, dtype=float))
+    if true.shape[0] == 0:
+        raise ConfigurationError("true front is empty")
+    if found.shape[0] == 0:
+        return 0.0
+    covered = 0
+    for point in true:
+        slack = point * (1.0 + tolerance)
+        if np.any(np.all(found <= slack[None, :], axis=1)):
+            covered += 1
+    return covered / true.shape[0]
+
+
+def exploration_summary(result: CampaignResult) -> Tuple[int, int, int]:
+    """(exploration rounds, configs explored, exploitation rounds)."""
+    explore_rounds = sum(
+        1
+        for r in result.records
+        if r.phase in ("random_exploration", "pareto_construction")
+    )
+    return (
+        explore_rounds,
+        result.explored_total,
+        result.rounds - explore_rounds,
+    )

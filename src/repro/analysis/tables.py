@@ -1,0 +1,71 @@
+"""Plain-text rendering of tables and series.
+
+The paper's figures are line plots; a terminal reproduction renders the
+same data as aligned tables and compact numeric series so the rows can be
+compared against the published curves directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:.1f}"
+    return str(cell)
+
+
+def format_series(values: Sequence[float], per_line: int = 10, precision: int = 1) -> str:
+    """Render a numeric series as wrapped, aligned text (figure data dumps)."""
+    if per_line < 1:
+        raise ConfigurationError(f"per_line must be >= 1, got {per_line}")
+    cells = [f"{v:.{precision}f}" for v in values]
+    width = max((len(c) for c in cells), default=1)
+    lines = []
+    for start in range(0, len(cells), per_line):
+        chunk = cells[start : start + per_line]
+        lines.append(
+            f"  [{start:3d}] " + " ".join(c.rjust(width) for c in chunk)
+        )
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[Tuple[str, object]], title: str = "") -> str:
+    """Render key/value pairs as aligned lines."""
+    if not pairs:
+        raise ConfigurationError("render_kv needs at least one pair")
+    width = max(len(k) for k, _ in pairs)
+    lines = [title] if title else []
+    for key, value in pairs:
+        lines.append(f"  {key.ljust(width)} : {_fmt(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""An ``ondemand``-style OS DVFS governor baseline (extension).
+
+Linux's default frequency governors (``ondemand`` / ``schedutil``) scale
+each unit's clock from its *utilization*: step up when the unit is nearly
+saturated, step down when it idles.  They know nothing about deadlines or
+energy-per-job — which is exactly why the paper's clients pin clocks to
+``x_max`` (the Performant design) instead of trusting the governor.
+
+This baseline quantifies that gap: utilization-driven scaling converges to
+a balanced-but-deadline-blind operating point, so under tight deadlines it
+misses rounds that every deadline-aware controller meets, and under loose
+deadlines it cannot exploit the slack the way BoFL's energy-optimal
+schedules do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import JobCallback, PaceController
+from repro.core.records import RoundRecord
+from repro.errors import ConfigurationError
+from repro.hardware.device import SimulatedDevice
+from repro.types import DvfsConfiguration, RoundBudget, Seconds
+
+
+class OndemandGovernorController(PaceController):
+    """Per-unit utilization-threshold frequency scaling."""
+
+    name = "ondemand"
+
+    def __init__(
+        self,
+        device: SimulatedDevice,
+        up_threshold: float = 0.85,
+        down_threshold: float = 0.45,
+        *,
+        start_at_max: bool = True,
+    ):
+        super().__init__(device)
+        if not 0.0 < down_threshold < up_threshold <= 1.0:
+            raise ConfigurationError(
+                f"need 0 < down_threshold < up_threshold <= 1, got "
+                f"{down_threshold}, {up_threshold}"
+            )
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        space = device.space
+        start = space.max_configuration() if start_at_max else space.min_configuration()
+        self._indices = list(space.indices_of(start))
+
+    def _current_configuration(self) -> DvfsConfiguration:
+        return self.device.space.at(*self._indices)
+
+    def _step(self, axis: int, direction: int) -> None:
+        table = self.device.space.tables[axis]
+        self._indices[axis] = min(max(self._indices[axis] + direction, 0), len(table) - 1)
+
+    def _react_to_utilization(self) -> None:
+        """The governor tick: adjust each axis from the last job's load."""
+        utilization = self.device.last_utilization()
+        for axis, load in enumerate(utilization):
+            if load > self.up_threshold:
+                self._step(axis, +1)
+            elif load < self.down_threshold:
+                self._step(axis, -1)
+
+    def _execute_round(
+        self,
+        round_index: int,
+        jobs: int,
+        deadline: Seconds,
+        on_job: Optional[JobCallback],
+    ) -> RoundRecord:
+        budget = RoundBudget(total_jobs=jobs, deadline=deadline)
+        energy_start = self.device.energy_consumed
+        while not budget.finished:
+            self.device.set_configuration(self._current_configuration())
+            self._run_one_job(budget, on_job)
+            self._react_to_utilization()
+        return RoundRecord(
+            round_index=round_index,
+            phase="ondemand",
+            deadline=deadline,
+            jobs=jobs,
+            elapsed=budget.elapsed,
+            energy=self.device.energy_consumed - energy_start,
+            missed=budget.elapsed > deadline + 1e-9,
+            exploited_jobs=jobs,
+        )

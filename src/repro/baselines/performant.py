@@ -1,0 +1,44 @@
+"""The Performant baseline: maximum clocks, always.
+
+"The Performant design is the default DVFS configuration for real-time
+tasks.  It turns all the hardware units into maximum operational
+frequencies, i.e., x_max, to maintain stable performance, and make sure
+the deadlines will not miss." (§6.1)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import JobCallback, PaceController
+from repro.core.records import RoundRecord
+from repro.types import RoundBudget, Seconds
+
+
+class PerformantController(PaceController):
+    """Every job runs at ``x_max``."""
+
+    name = "performant"
+
+    def _execute_round(
+        self,
+        round_index: int,
+        jobs: int,
+        deadline: Seconds,
+        on_job: Optional[JobCallback],
+    ) -> RoundRecord:
+        budget = RoundBudget(total_jobs=jobs, deadline=deadline)
+        energy_start = self.device.energy_consumed
+        self.device.set_configuration(self.device.space.max_configuration())
+        while not budget.finished:
+            self._run_one_job(budget, on_job)
+        return RoundRecord(
+            round_index=round_index,
+            phase="performant",
+            deadline=deadline,
+            jobs=jobs,
+            elapsed=budget.elapsed,
+            energy=self.device.energy_consumed - energy_start,
+            missed=budget.elapsed > deadline + 1e-9,
+            exploited_jobs=jobs,
+        )

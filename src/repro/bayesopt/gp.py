@@ -1,0 +1,244 @@
+"""Exact Gaussian-process regression with marginal-likelihood fitting.
+
+A standard zero-mean GP: given observations ``(X, y)`` and a kernel ``k``,
+
+    ``posterior mean   m(x*) = k(x*, X) K^-1 y``
+    ``posterior var  v(x*) = k(x*, x*) - k(x*, X) K^-1 k(X, x*)``
+
+with ``K = k(X, X) + noise * I`` factorized once by Cholesky.  Targets are
+standardized internally so kernel hyperparameter priors are scale-free.
+Hyperparameters (ARD lengthscales, signal variance, noise variance) are
+fitted by multi-restart L-BFGS-B on the log marginal likelihood.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import linalg, optimize
+
+from repro.bayesopt.kernels import Kernel, Matern52
+from repro.errors import NotFittedError, OptimizationError
+
+
+class GaussianProcess:
+    """Exact GP regression for one scalar objective.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance function; defaults to Matérn-5/2 with unit lengthscales.
+    noise_variance:
+        Initial observation-noise variance (on standardized targets).
+    normalize_y:
+        Standardize targets to zero mean / unit variance internally.
+    jitter:
+        Diagonal stabilizer added to the kernel matrix.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        *,
+        input_dim: int = 3,
+        noise_variance: float = 1e-4,
+        normalize_y: bool = True,
+        jitter: float = 1e-8,
+    ):
+        self.kernel = kernel if kernel is not None else Matern52(np.ones(input_dim))
+        if noise_variance <= 0:
+            raise OptimizationError("noise_variance must be positive")
+        self.noise_variance = float(noise_variance)
+        self.normalize_y = normalize_y
+        self.jitter = float(jitter)
+        self._x: Optional[np.ndarray] = None
+        self._y_raw: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._chol: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+
+    # -- fitting ---------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._chol is not None
+
+    @property
+    def n_observations(self) -> int:
+        return 0 if self._x is None else self._x.shape[0]
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Condition the GP on data (keeping current hyperparameters)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.size:
+            raise OptimizationError(f"X has {x.shape[0]} rows but y has {y.size} entries")
+        if x.shape[0] == 0:
+            raise OptimizationError("cannot fit a GP on zero observations")
+        if x.shape[1] != self.kernel.input_dim:
+            raise OptimizationError(
+                f"X has {x.shape[1]} columns but the kernel expects {self.kernel.input_dim}"
+            )
+        self._x = x
+        self._y_raw = y
+        if self.normalize_y:
+            self._y_mean = float(y.mean())
+            std = float(y.std())
+            self._y_std = std if std > 1e-12 else 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        self._y = (y - self._y_mean) / self._y_std
+        self._refactorize()
+        return self
+
+    def _refactorize(self) -> None:
+        """(Re)compute the Cholesky factorization for current parameters."""
+        assert self._x is not None and self._y is not None
+        n = self._x.shape[0]
+        cov = self.kernel(self._x, self._x)
+        cov[np.diag_indices(n)] += self.noise_variance + self.jitter
+        try:
+            self._chol = linalg.cholesky(cov, lower=True)
+        except linalg.LinAlgError:
+            # escalate the jitter; performance surfaces can be nearly flat.
+            cov[np.diag_indices(n)] += 1e-4
+            self._chol = linalg.cholesky(cov, lower=True)
+        self._alpha = linalg.cho_solve((self._chol, True), self._y)
+
+    def optimize_hyperparameters(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        n_restarts: int = 2,
+        lengthscale_bounds: Tuple[float, float] = (0.05, 10.0),
+        variance_bounds: Tuple[float, float] = (1e-3, 1e3),
+        noise_bounds: Tuple[float, float] = (1e-6, 1e-1),
+    ) -> float:
+        """Fit hyperparameters by maximizing the log marginal likelihood.
+
+        Runs L-BFGS-B from the current parameters plus ``n_restarts`` random
+        initializations; keeps the best.  Returns the best log marginal
+        likelihood found.
+        """
+        if self._x is None:
+            raise NotFittedError("fit() must be called before optimizing hyperparameters")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        log_bounds = (
+            [np.log(lengthscale_bounds)] * self.kernel.input_dim
+            + [np.log(variance_bounds)]
+            + [np.log(noise_bounds)]
+        )
+
+        def objective(theta: np.ndarray) -> float:
+            return -self._log_marginal_likelihood(theta)
+
+        starts = [np.concatenate([self.kernel.get_log_params(), [np.log(self.noise_variance)]])]
+        for _ in range(n_restarts):
+            starts.append(np.array([rng.uniform(lo, hi) for lo, hi in log_bounds]))
+
+        best_theta, best_value = None, np.inf
+        for theta0 in starts:
+            theta0 = np.clip(theta0, [lo for lo, _ in log_bounds], [hi for _, hi in log_bounds])
+            result = optimize.minimize(
+                objective, theta0, method="L-BFGS-B", bounds=log_bounds
+            )
+            if np.isfinite(result.fun) and result.fun < best_value:
+                best_value, best_theta = float(result.fun), result.x
+        if best_theta is None:
+            raise OptimizationError("hyperparameter optimization failed from every start")
+        self._apply_theta(best_theta)
+        self._refactorize()
+        return -best_value
+
+    def _apply_theta(self, theta: np.ndarray) -> None:
+        self.kernel.set_log_params(theta[:-1])
+        self.noise_variance = float(np.exp(theta[-1]))
+
+    def _log_marginal_likelihood(self, theta: np.ndarray) -> float:
+        """LML of the standardized data under hyperparameters ``theta``."""
+        assert self._x is not None and self._y is not None
+        saved_kernel = self.kernel.get_log_params()
+        saved_noise = self.noise_variance
+        try:
+            self._apply_theta(theta)
+            n = self._x.shape[0]
+            cov = self.kernel(self._x, self._x)
+            cov[np.diag_indices(n)] += self.noise_variance + self.jitter
+            try:
+                chol = linalg.cholesky(cov, lower=True)
+            except linalg.LinAlgError:
+                return -np.inf
+            alpha = linalg.cho_solve((chol, True), self._y)
+            lml = (
+                -0.5 * float(self._y @ alpha)
+                - float(np.sum(np.log(np.diag(chol))))
+                - 0.5 * n * np.log(2.0 * np.pi)
+            )
+            return lml
+        finally:
+            self.kernel.set_log_params(saved_kernel)
+            self.noise_variance = saved_noise
+
+    def log_marginal_likelihood(self) -> float:
+        """LML at the current hyperparameters."""
+        if self._chol is None:
+            raise NotFittedError("GP is not fitted")
+        assert self._y is not None and self._alpha is not None
+        n = self._y.size
+        return (
+            -0.5 * float(self._y @ self._alpha)
+            - float(np.sum(np.log(np.diag(self._chol))))
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict(self, x_star: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance (in raw target units) at ``x_star``."""
+        if self._chol is None or self._x is None or self._alpha is None:
+            raise NotFittedError("GP is not fitted")
+        x_star = np.atleast_2d(np.asarray(x_star, dtype=float))
+        k_star = self.kernel(self._x, x_star)  # (n, m)
+        mean_std = k_star.T @ self._alpha
+        v = linalg.solve_triangular(self._chol, k_star, lower=True)
+        var_std = self.kernel.diag(x_star) - np.sum(v**2, axis=0)
+        var_std = np.maximum(var_std, 1e-12)
+        mean = mean_std * self._y_std + self._y_mean
+        var = var_std * self._y_std**2
+        return mean, var
+
+    def posterior_samples(
+        self, x_star: np.ndarray, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw joint posterior samples at ``x_star``; shape (n_samples, m)."""
+        if self._chol is None or self._x is None or self._alpha is None:
+            raise NotFittedError("GP is not fitted")
+        x_star = np.atleast_2d(np.asarray(x_star, dtype=float))
+        k_star = self.kernel(self._x, x_star)
+        mean_std = k_star.T @ self._alpha
+        v = linalg.solve_triangular(self._chol, k_star, lower=True)
+        cov = self.kernel(x_star, x_star) - v.T @ v
+        cov[np.diag_indices(cov.shape[0])] += 1e-10
+        draws = rng.multivariate_normal(mean_std, cov, size=n_samples, method="cholesky")
+        return draws * self._y_std + self._y_mean
+
+    def conditioned_on(self, x_new: np.ndarray, y_new: np.ndarray) -> "GaussianProcess":
+        """A new GP with (x_new, y_new) appended — for Kriging-believer batching.
+
+        Hyperparameters are copied, not re-optimized (fantasy updates must
+        be cheap; see §4.3, "Batch Selection Strategy").
+        """
+        if self._x is None or self._y_raw is None:
+            raise NotFittedError("GP is not fitted")
+        clone = GaussianProcess(
+            self.kernel.clone(),
+            noise_variance=self.noise_variance,
+            normalize_y=self.normalize_y,
+            jitter=self.jitter,
+        )
+        x_all = np.vstack([self._x, np.atleast_2d(np.asarray(x_new, dtype=float))])
+        y_all = np.concatenate([self._y_raw, np.ravel(np.asarray(y_new, dtype=float))])
+        clone.fit(x_all, y_all)
+        return clone

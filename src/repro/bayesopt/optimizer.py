@@ -1,0 +1,232 @@
+"""The multi-objective Bayesian optimizer facade used by BoFL's MBO engine.
+
+Owns the two per-objective GPs (latency and energy, modelled independently
+per §4.3), the observation set, and the suggestion logic:
+
+1. fit/refit both GPs on all observations (inputs normalized to the unit
+   cube, targets standardized);
+2. score every unobserved configuration with exact 2-D EHVI against the
+   current observed front and reference point;
+3. pick greedily, fantasize the pick at its posterior mean
+   (Kriging believer), update the GPs cheaply, and repeat until the batch
+   is full.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayesopt.acquisition import expected_hypervolume_improvement
+from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.hypervolume import hypervolume_2d, reference_from_observations
+from repro.bayesopt.kernels import Matern52
+from repro.bayesopt.pareto import pareto_mask
+from repro.errors import NotFittedError, OptimizationError
+from repro.hardware.frequency import ConfigurationSpace
+from repro.types import DvfsConfiguration
+
+
+class MultiObjectiveBayesianOptimizer:
+    """Searches the DVFS space for the latency/energy Pareto set.
+
+    Parameters
+    ----------
+    space:
+        The discrete configuration space to optimize over.
+    seed:
+        Seed for hyperparameter-fit restarts.
+    fit_restarts:
+        Random restarts per GP hyperparameter fit.
+    reference_margin:
+        Relative margin added to the observed-worst reference point so that
+        boundary points keep positive hypervolume contribution.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        *,
+        seed: int = 0,
+        fit_restarts: int = 2,
+        reference_margin: float = 0.05,
+    ):
+        self.space = space
+        self._rng = np.random.default_rng(seed)
+        self.fit_restarts = fit_restarts
+        self.reference_margin = reference_margin
+        self._observations: Dict[DvfsConfiguration, Tuple[float, float]] = {}
+        self._gp_latency: Optional[GaussianProcess] = None
+        self._gp_energy: Optional[GaussianProcess] = None
+        self._reference: Optional[np.ndarray] = None
+        self._fit_count = 0
+        self._last_max_ehvi: Optional[float] = None
+
+    # -- observations -----------------------------------------------------
+
+    def add_observation(
+        self, config: DvfsConfiguration, latency: float, energy: float
+    ) -> None:
+        """Record (or overwrite with fresher data) one measured configuration."""
+        if config not in self.space:
+            raise OptimizationError(f"{config} is outside the optimizer's space")
+        if latency <= 0 or energy <= 0:
+            raise OptimizationError("objective values must be positive")
+        self._observations[config] = (float(latency), float(energy))
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._observations)
+
+    @property
+    def observed_configurations(self) -> List[DvfsConfiguration]:
+        return list(self._observations)
+
+    @property
+    def fit_count(self) -> int:
+        """How many GP refits have run (drives the MBO overhead model)."""
+        return self._fit_count
+
+    def objectives_matrix(self) -> Tuple[List[DvfsConfiguration], np.ndarray]:
+        """All observations as ``(configs, (n, 2) [latency, energy])``."""
+        configs = list(self._observations)
+        if not configs:
+            return configs, np.zeros((0, 2))
+        values = np.array([self._observations[c] for c in configs])
+        return configs, values
+
+    # -- front / hypervolume ------------------------------------------------
+
+    def reference_point(self) -> np.ndarray:
+        """The fixed reference point (set on first use from observations)."""
+        if self._reference is None:
+            _, values = self.objectives_matrix()
+            self._reference = reference_from_observations(
+                values, margin=self.reference_margin
+            )
+        return self._reference
+
+    def freeze_reference(self) -> np.ndarray:
+        """Pin the reference point to the current observed worsts.
+
+        The paper fixes the reference at the end of phase 1 ("the
+        combination of the worst performances ... we observed in phase 1")
+        so hypervolume numbers are comparable across rounds.
+        """
+        _, values = self.objectives_matrix()
+        self._reference = reference_from_observations(values, margin=self.reference_margin)
+        return self._reference
+
+    def pareto_set(self) -> Tuple[List[DvfsConfiguration], np.ndarray]:
+        """The non-dominated observed configurations and their objectives."""
+        configs, values = self.objectives_matrix()
+        if not configs:
+            return [], values
+        mask = pareto_mask(values)
+        front_configs = [c for c, keep in zip(configs, mask) if keep]
+        return front_configs, values[mask]
+
+    def hypervolume(self) -> float:
+        """Hypervolume of the observed front w.r.t. the frozen reference."""
+        _, values = self.objectives_matrix()
+        if values.shape[0] == 0:
+            return 0.0
+        return hypervolume_2d(values, self.reference_point())
+
+    # -- fitting ----------------------------------------------------------
+
+    def fit(self, optimize_hyperparameters: bool = True) -> None:
+        """(Re)fit both objective GPs on all observations."""
+        configs, values = self.objectives_matrix()
+        if len(configs) < 2:
+            raise OptimizationError(
+                f"need at least 2 observations to fit the surrogates, have {len(configs)}"
+            )
+        x = self.space.normalize_many(configs)
+        self._gp_latency = GaussianProcess(Matern52(np.full(3, 0.5)))
+        self._gp_energy = GaussianProcess(Matern52(np.full(3, 0.5)))
+        self._gp_latency.fit(x, values[:, 0])
+        self._gp_energy.fit(x, values[:, 1])
+        if optimize_hyperparameters:
+            self._gp_latency.optimize_hyperparameters(self._rng, n_restarts=self.fit_restarts)
+            self._gp_energy.optimize_hyperparameters(self._rng, n_restarts=self.fit_restarts)
+        self._fit_count += 1
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._gp_latency is not None and self._gp_energy is not None
+
+    def predict(self, configs: Sequence[DvfsConfiguration]) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior ``(mean, var)`` as ``(m, 2)`` arrays over ``configs``."""
+        if self._gp_latency is None or self._gp_energy is None:
+            raise NotFittedError("call fit() before predict()")
+        x = self.space.normalize_many(configs)
+        mean_l, var_l = self._gp_latency.predict(x)
+        mean_e, var_e = self._gp_energy.predict(x)
+        return np.stack([mean_l, mean_e], axis=1), np.stack([var_l, var_e], axis=1)
+
+    # -- suggestion -----------------------------------------------------------
+
+    def suggest(
+        self,
+        batch_size: int,
+        exclude: Optional[Sequence[DvfsConfiguration]] = None,
+    ) -> List[DvfsConfiguration]:
+        """Propose up to ``batch_size`` configurations to explore next.
+
+        Sequential greedy EHVI with Kriging-believer fantasies (§4.3).
+        Already-observed configurations and ``exclude`` are never proposed.
+        Returns fewer than ``batch_size`` picks only when the space is
+        nearly exhausted.
+        """
+        if batch_size < 1:
+            raise OptimizationError(f"batch_size must be >= 1, got {batch_size}")
+        if self._gp_latency is None or self._gp_energy is None:
+            raise NotFittedError("call fit() before suggest()")
+        skip = set(self._observations)
+        if exclude:
+            skip.update(exclude)
+        candidates = [c for c in self.space.all_configurations() if c not in skip]
+        if not candidates:
+            return []
+        candidate_x = self.space.normalize_many(candidates)
+        reference = self.reference_point()
+
+        gp_l, gp_e = self._gp_latency, self._gp_energy
+        _, observed = self.objectives_matrix()
+        front = observed[pareto_mask(observed)]
+
+        picks: List[DvfsConfiguration] = []
+        active = np.ones(len(candidates), dtype=bool)
+        max_ehvi_first = None
+        for _ in range(min(batch_size, len(candidates))):
+            idx_active = np.flatnonzero(active)
+            x_active = candidate_x[idx_active]
+            mean_l, var_l = gp_l.predict(x_active)
+            mean_e, var_e = gp_e.predict(x_active)
+            mean = np.stack([mean_l, mean_e], axis=1)
+            var = np.stack([var_l, var_e], axis=1)
+            ehvi = expected_hypervolume_improvement(mean, var, front, reference)
+            best_local = int(np.argmax(ehvi))
+            if max_ehvi_first is None:
+                max_ehvi_first = float(ehvi[best_local])
+            best = idx_active[best_local]
+            picks.append(candidates[best])
+            active[best] = False
+            # Kriging believer: pretend the pick returned its posterior mean.
+            fantasy_x = candidate_x[best : best + 1]
+            gp_l = gp_l.conditioned_on(fantasy_x, mean_l[best_local : best_local + 1])
+            gp_e = gp_e.conditioned_on(fantasy_x, mean_e[best_local : best_local + 1])
+            front = np.vstack([front, mean[best_local]])
+        self._last_max_ehvi = max_ehvi_first
+        return picks
+
+    @property
+    def last_max_ehvi(self) -> Optional[float]:
+        """Max EHVI seen at the head of the most recent suggestion batch.
+
+        Used by the phase-2 stopping condition: a small value means the
+        surrogate expects little further hypervolume gain anywhere.
+        """
+        return self._last_max_ehvi

@@ -1,0 +1,78 @@
+"""Quasi-random and uniform sampling of the discrete DVFS space.
+
+§4.2, "Sample selection": BoFL draws its phase-1 starting points "uniformly
+distributed over X, using a quasi-random number generator".  We use a
+scrambled Sobol sequence in the unit cube snapped to the nearest grid
+configuration, de-duplicated, which preserves low-discrepancy coverage of
+the discrete space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+from scipy.stats import qmc
+
+from repro.errors import OptimizationError
+from repro.hardware.frequency import ConfigurationSpace
+from repro.types import DvfsConfiguration
+
+
+def sobol_configurations(
+    space: ConfigurationSpace,
+    n: int,
+    seed: int = 0,
+    exclude: Optional[Sequence[DvfsConfiguration]] = None,
+) -> List[DvfsConfiguration]:
+    """Draw ``n`` distinct configurations via a scrambled Sobol sequence.
+
+    Snapping to the grid can collide, so the sequence is extended until
+    ``n`` distinct configurations are collected.  Configurations in
+    ``exclude`` are skipped.
+    """
+    if n < 1:
+        raise OptimizationError(f"need n >= 1 samples, got {n}")
+    seen: Set[DvfsConfiguration] = set(exclude) if exclude else set()
+    if n > len(space) - len(seen):
+        raise OptimizationError(
+            f"cannot draw {n} distinct configurations from a space of "
+            f"{len(space)} with {len(seen)} excluded"
+        )
+    sampler = qmc.Sobol(d=3, scramble=True, seed=seed)
+    picks: List[DvfsConfiguration] = []
+    while len(picks) < n:
+        # Sobol wants power-of-two batches; over-draw to amortize collisions.
+        batch = sampler.random_base2(m=max(3, int(np.ceil(np.log2(2 * n)))))
+        for point in batch:
+            config = space.snap(
+                space.cpu.denormalize(point[0]),
+                space.gpu.denormalize(point[1]),
+                space.mem.denormalize(point[2]),
+            )
+            if config in seen:
+                continue
+            seen.add(config)
+            picks.append(config)
+            if len(picks) == n:
+                break
+    return picks
+
+
+def uniform_configurations(
+    space: ConfigurationSpace,
+    n: int,
+    rng: np.random.Generator,
+    exclude: Optional[Sequence[DvfsConfiguration]] = None,
+) -> List[DvfsConfiguration]:
+    """Draw ``n`` distinct configurations uniformly at random."""
+    if n < 1:
+        raise OptimizationError(f"need n >= 1 samples, got {n}")
+    exclude_set = set(exclude) if exclude else set()
+    pool = [c for c in space.all_configurations() if c not in exclude_set]
+    if n > len(pool):
+        raise OptimizationError(
+            f"cannot draw {n} distinct configurations from {len(pool)} available"
+        )
+    indices = rng.choice(len(pool), size=n, replace=False)
+    return [pool[i] for i in indices]

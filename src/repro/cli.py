@@ -1,0 +1,110 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands:
+
+* ``list`` — enumerate the reproducible paper artifacts;
+* ``run <experiment>`` — regenerate one table/figure and print its rows
+  (e.g. ``python -m repro run fig12 --rounds 40``);
+* ``campaign`` — run a single controller campaign and print its summary
+  (e.g. ``python -m repro campaign --controller bofl --task lstm``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.analysis.tables import render_kv
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.sim.runner import CONTROLLER_NAMES, run_campaign
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BoFL reproduction (Middleware '22): regenerate paper artifacts.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list reproducible artifacts")
+
+    run = commands.add_parser("run", help="regenerate one table/figure")
+    run.add_argument("experiment", help="artifact id, e.g. fig9 or tab3")
+    run.add_argument("--rounds", type=int, default=None, help="override round count")
+    run.add_argument("--ratio", type=float, default=None, help="override T_max/T_min")
+    run.add_argument("--seed", type=int, default=0)
+
+    campaign = commands.add_parser("campaign", help="run one controller campaign")
+    campaign.add_argument("--device", default="agx", choices=("agx", "tx2"))
+    campaign.add_argument("--task", default="vit", choices=("vit", "resnet50", "lstm"))
+    campaign.add_argument("--controller", default="bofl", choices=CONTROLLER_NAMES)
+    campaign.add_argument("--ratio", type=float, default=2.0)
+    campaign.add_argument("--rounds", type=int, default=40)
+    campaign.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> str:
+    lines = ["Reproducible artifacts:"]
+    for experiment_id in sorted(EXPERIMENTS):
+        lines.append(f"  {experiment_id:16s} {EXPERIMENTS[experiment_id].description}")
+    return "\n".join(lines)
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    experiment = get_experiment(args.experiment)
+    kwargs = {}
+    if args.rounds is not None:
+        kwargs["rounds"] = args.rounds
+    if args.ratio is not None:
+        kwargs["ratio"] = args.ratio
+    if args.seed:
+        kwargs["seed"] = args.seed
+    payload = experiment.run(**kwargs)
+    return experiment.render(payload)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> str:
+    result = run_campaign(
+        args.device,
+        args.task,
+        args.controller,
+        args.ratio,
+        rounds=args.rounds,
+        seed=args.seed,
+    )
+    pairs = [
+        ("controller", result.controller),
+        ("device / task", f"{result.device} / {result.task}"),
+        ("rounds", result.rounds),
+        ("deadline ratio", result.deadline_ratio),
+        ("training energy (J)", result.training_energy),
+        ("MBO energy (J)", result.mbo_energy),
+        ("missed rounds", result.missed_rounds),
+        ("configs explored", result.explored_total),
+    ]
+    return render_kv(pairs, title="Campaign summary")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            print(_cmd_list())
+        elif args.command == "run":
+            print(_cmd_run(args))
+        elif args.command == "campaign":
+            print(_cmd_campaign(args))
+    except Exception as error:  # surface library errors as clean CLI errors
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

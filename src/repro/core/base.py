@@ -1,0 +1,74 @@
+"""The pace-controller interface that BoFL and all baselines implement.
+
+A controller is bound to one :class:`~repro.hardware.device.SimulatedDevice`
+and is driven round by round: the FL client (or the experiment runner)
+calls :meth:`PaceController.run_round` with the round's job count and
+deadline; the controller actuates DVFS configurations and executes jobs on
+its device, invoking ``on_job`` after each one so real model training can
+ride along.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+from repro.core.records import RoundRecord
+from repro.errors import ConfigurationError
+from repro.hardware.device import SimulatedDevice
+from repro.types import Seconds
+
+#: Callback fired after every executed job (e.g. to run a real minibatch).
+JobCallback = Callable[[], None]
+
+
+class PaceController(ABC):
+    """Decides the DVFS configuration of every job in every round."""
+
+    #: Short identifier used in records and reports.
+    name: str = "abstract"
+
+    def __init__(self, device: SimulatedDevice):
+        self.device = device
+        self._rounds_run = 0
+
+    @property
+    def rounds_run(self) -> int:
+        return self._rounds_run
+
+    def run_round(
+        self,
+        jobs: int,
+        deadline: Seconds,
+        on_job: Optional[JobCallback] = None,
+    ) -> RoundRecord:
+        """Execute one FL round of ``jobs`` jobs before ``deadline`` seconds.
+
+        Template method: validates inputs, delegates to
+        :meth:`_execute_round`, and keeps the round counter.
+        """
+        if jobs < 1:
+            raise ConfigurationError(f"a round needs at least one job, got {jobs}")
+        if deadline <= 0:
+            raise ConfigurationError(f"deadline must be positive, got {deadline}")
+        record = self._execute_round(self._rounds_run, jobs, deadline, on_job)
+        self._rounds_run += 1
+        return record
+
+    @abstractmethod
+    def _execute_round(
+        self,
+        round_index: int,
+        jobs: int,
+        deadline: Seconds,
+        on_job: Optional[JobCallback],
+    ) -> RoundRecord:
+        """Controller-specific round execution."""
+
+    def _run_one_job(self, budget, on_job: Optional[JobCallback]):
+        """Execute one job on the device, update the budget, fire the hook."""
+        result = self.device.run_job()
+        budget.record_job(result)
+        if on_job is not None:
+            on_job()
+        return result

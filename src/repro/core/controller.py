@@ -1,0 +1,388 @@
+"""The BoFL controller: explore-then-exploit pace control (§4).
+
+Round lifecycle:
+
+* **Phase 1 (safe random exploration)** — measure ``x_max`` first (the
+  guardian anchor), then the Sobol starting points, each for >= ``tau``
+  seconds, gating every new window on Eqn. 2; once the queue empties,
+  remaining jobs are exploited against the observations so far.
+* **Phase 2 (Pareto construction)** — before each round the MBO engine
+  refits the GPs and emits a ``K = T_avg / tau`` (capped) batch of EHVI
+  suggestions; the round explores them under the same safe algorithm.
+  After the round, the stopping rule checks space coverage and the
+  hypervolume trend.
+* **Phase 3 (exploitation)** — each round solves the Eqn. 1 ILP over the
+  observed Pareto set and executes the plan fastest-entries-first, with a
+  drift monitor that falls back to ``x_max`` if execution noise threatens
+  the deadline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bayesopt.optimizer import MultiObjectiveBayesianOptimizer
+from repro.bayesopt.sampling import sobol_configurations, uniform_configurations
+from repro.core.base import JobCallback, PaceController
+from repro.core.config import BoFLConfig
+from repro.core.exploitation import ExploitationPlanner
+from repro.core.guardian import DeadlineGuardian
+from repro.core.observations import ObservationStore
+from repro.core.phases import Phase, PhaseTransition
+from repro.core.records import MBOReport, RoundRecord
+from repro.core.stopping import StoppingCondition
+from repro.core.workload_assignment import MeasurementPolicy
+from repro.errors import InfeasibleError
+from repro.hardware.device import SimulatedDevice
+from repro.types import DvfsConfiguration, RoundBudget, Schedule, Seconds
+
+#: Models the cost of one MBO engine run: (n_observations, batch_size) ->
+#: (latency seconds, energy Joules).  ``None`` means free (unit tests).
+MBOCostFn = Callable[[int, int], Tuple[float, float]]
+
+
+class BoFLController(PaceController):
+    """Bayesian-optimized local training pace control."""
+
+    name = "bofl"
+
+    def __init__(
+        self,
+        device: SimulatedDevice,
+        config: Optional[BoFLConfig] = None,
+        mbo_cost: Optional[MBOCostFn] = None,
+    ):
+        super().__init__(device)
+        self.config = config if config is not None else BoFLConfig()
+        self.mbo_cost = mbo_cost
+        space = device.space
+        self.store = ObservationStore()
+        self.guardian = DeadlineGuardian(self.config.tau, self.config.guardian_enabled)
+        self.measurer = MeasurementPolicy(self.config.tau)
+        self.planner = ExploitationPlanner(
+            self.config.safety_margin, exact=self.config.exploit_mixture
+        )
+        self.optimizer = MultiObjectiveBayesianOptimizer(
+            space, seed=self.config.seed, fit_restarts=self.config.fit_restarts
+        )
+        self.stopping = StoppingCondition(
+            self.config.min_explored(len(space)),
+            self.config.hv_improvement_threshold,
+        )
+        self.phase = Phase.RANDOM_EXPLORATION
+        self.transitions: List[PhaseTransition] = []
+        self._x_max = space.max_configuration()
+        starting_points = sobol_configurations(
+            space,
+            self.config.initial_samples(len(space)),
+            seed=self.config.seed,
+            exclude=[self._x_max],
+        )
+        #: Phase-1 queue: x_max first (guardian anchor), then Sobol points.
+        self._exploration_queue: Deque[DvfsConfiguration] = deque(
+            [self._x_max] + starting_points
+        )
+        self._pending_suggestions: Deque[DvfsConfiguration] = deque()
+        self._phase1_durations: List[Seconds] = []
+        self._rng = np.random.default_rng(self.config.seed + 1)
+        #: Drift-adaptation extension state (see BoFLConfig.drift_reexploration).
+        self._drift_ewma = 0.0
+        self.restarts = 0
+
+    # -- public inspection --------------------------------------------------
+
+    @property
+    def explored_count(self) -> int:
+        return len(self.store)
+
+    def pareto_front(self) -> np.ndarray:
+        """Objective values of the currently observed Pareto set."""
+        _, values = self.store.pareto_set()
+        return values
+
+    # -- round execution -----------------------------------------------------
+
+    def _execute_round(
+        self,
+        round_index: int,
+        jobs: int,
+        deadline: Seconds,
+        on_job: Optional[JobCallback],
+    ) -> RoundRecord:
+        budget = RoundBudget(total_jobs=jobs, deadline=deadline)
+        record = RoundRecord(
+            round_index=round_index,
+            phase=self.phase.value,
+            deadline=deadline,
+            jobs=jobs,
+        )
+        if self.phase is Phase.PARETO_CONSTRUCTION:
+            record.mbo = self._run_mbo_engine()
+        if self.phase is Phase.EXPLOITATION:
+            self._run_exploitation_round(budget, record, on_job)
+        else:
+            queue = (
+                self._exploration_queue
+                if self.phase is Phase.RANDOM_EXPLORATION
+                else self._pending_suggestions
+            )
+            self._run_exploration_round(queue, budget, record, on_job)
+        record.elapsed = budget.elapsed
+        record.energy = self.device.energy_consumed - self._energy_start
+        record.missed = budget.elapsed > deadline + 1e-9
+        self._advance_phase(round_index, budget)
+        return record
+
+    def run_round(self, jobs, deadline, on_job=None):  # type: ignore[override]
+        """Execute one FL round (see :meth:`PaceController.run_round`).
+
+        Snapshots the device energy ledger so the returned record carries
+        this round's exact training energy.
+        """
+        self._energy_start = self.device.energy_consumed
+        return super().run_round(jobs, deadline, on_job)
+
+    # -- phase 1 & 2: safe exploration ----------------------------------------
+
+    def _run_exploration_round(
+        self,
+        queue: Deque[DvfsConfiguration],
+        budget: RoundBudget,
+        record: RoundRecord,
+        on_job: Optional[JobCallback],
+    ) -> None:
+        while queue and not budget.finished:
+            config = queue[0]
+            first_measurement = self.guardian.t_xmax <= 0
+            if first_measurement and config != self._x_max:
+                # Defensive: x_max must be measured before anything else.
+                config = self._x_max
+            if not first_measurement and not self.guardian.allows_exploration(budget):
+                record.guardian_triggered = True
+                self._drain_at_x_max(budget, record, on_job)
+                if self.phase is Phase.RANDOM_EXPLORATION:
+                    self._phase1_durations.append(budget.elapsed)
+                return
+            if queue[0] == config:
+                queue.popleft()
+            sample, results = self.measurer.measure(self.device, config, budget, on_job)
+            self._record_sample(sample, results, record)
+        if not budget.finished:
+            # Last-round exploitation (§4.2): candidates exhausted but jobs
+            # remain — run them on the best observed profile.
+            self._execute_best_profile(budget, record, on_job)
+        if self.phase is Phase.RANDOM_EXPLORATION:
+            self._phase1_durations.append(budget.elapsed)
+
+    def _record_sample(self, sample, results, record: RoundRecord) -> None:
+        merged = self.store.add(sample)
+        self.optimizer.add_observation(merged.config, merged.latency, merged.energy)
+        # Feed the guardian the accurately-timed per-job latencies: the
+        # x_max estimate anchors Eqn. 2 and must not inherit the power
+        # sensor's window error.
+        if sample.config == self._x_max:
+            if self.guardian.t_xmax <= 0:
+                self.guardian.update_t_xmax(sample.latency)
+            for result in results:
+                self.guardian.observe_xmax_job(result.latency)
+        else:
+            for result in results:
+                self.guardian.observe_job_latency(result.latency)
+        record.explored.append(sample.config)
+
+    def _drain_at_x_max(
+        self, budget: RoundBudget, record: RoundRecord, on_job: Optional[JobCallback]
+    ) -> None:
+        """Guardian fallback: run every remaining job at ``x_max``."""
+        self.device.set_configuration(self._x_max)
+        while not budget.finished:
+            result = self._run_one_job(budget, on_job)
+            self.guardian.observe_xmax_job(result.latency)
+
+    # -- exploitation ----------------------------------------------------------
+
+    def _execute_best_profile(
+        self, budget: RoundBudget, record: RoundRecord, on_job: Optional[JobCallback]
+    ) -> None:
+        """Plan and execute the energy-minimal schedule for remaining jobs."""
+        if budget.time_remaining <= 0:
+            # Already past the deadline (only reachable with the guardian
+            # disabled): sprint to limit the damage; the miss is recorded.
+            self._drain_at_x_max(budget, record, on_job)
+            return
+        try:
+            schedule = self.planner.plan(
+                self.store, budget.jobs_remaining, budget.time_remaining
+            )
+        except InfeasibleError:
+            # Not even the fastest observed pace fits: sprint at x_max and
+            # accept what happens (with the guardian active this is
+            # unreachable except under extreme deadline settings).
+            record.guardian_triggered = True
+            self._drain_at_x_max(budget, record, on_job)
+            return
+        self._execute_schedule(schedule, budget, record, on_job)
+
+    def _execute_schedule(
+        self,
+        schedule: Schedule,
+        budget: RoundBudget,
+        record: RoundRecord,
+        on_job: Optional[JobCallback],
+    ) -> None:
+        """Run a schedule fastest-entries-first with a drift monitor."""
+        remaining_expected = schedule.expected_latency
+        for entry in schedule:
+            self.device.set_configuration(entry.config)
+            expected_job = self.store.get(entry.config).latency
+            for _ in range(entry.jobs):
+                if budget.finished:
+                    return
+                # Drift monitor: sprint at x_max if (a) the remaining plan no
+                # longer fits, or (b) running one more planned job would make
+                # the round uncatchable even at x_max — the same invariant
+                # the exploration guardian maintains (Eqn. 2).
+                plan_unfit = remaining_expected > budget.time_remaining
+                uncatchable = (
+                    budget.time_remaining - expected_job
+                    < (budget.jobs_remaining - 1) * self.guardian.padded_t_xmax
+                )
+                if (
+                    self.guardian.enabled
+                    and (plan_unfit or uncatchable)
+                    and entry.config != self._x_max
+                ):
+                    record.guardian_triggered = True
+                    self._drain_at_x_max(budget, record, on_job)
+                    return
+                result = self._run_one_job(budget, on_job)
+                if entry.config == self._x_max:
+                    self.guardian.observe_xmax_job(result.latency)
+                else:
+                    self.guardian.observe_job_latency(result.latency)
+                record.exploited_jobs += 1
+                remaining_expected -= expected_job
+                # Drift detector: EWMA of the relative gap between planned
+                # and realized job latency.
+                deviation = abs(result.latency / expected_job - 1.0)
+                self._drift_ewma = (
+                    (1 - self.config.drift_smoothing) * self._drift_ewma
+                    + self.config.drift_smoothing * deviation
+                )
+        # Rounding or drift may leave a few unplanned jobs; finish them at
+        # the fastest observed configuration.
+        if not budget.finished:
+            fastest = self.store.fastest().config
+            self.device.set_configuration(fastest)
+            while not budget.finished:
+                self._run_one_job(budget, on_job)
+                record.exploited_jobs += 1
+
+    def _run_exploitation_round(
+        self, budget: RoundBudget, record: RoundRecord, on_job: Optional[JobCallback]
+    ) -> None:
+        self._execute_best_profile(budget, record, on_job)
+
+    # -- MBO engine -------------------------------------------------------------
+
+    def _suggestion_batch_size(self) -> int:
+        """``K = T_avg / tau`` capped at the configured maximum (§4.3)."""
+        if self._phase1_durations:
+            t_avg = float(np.mean(self._phase1_durations))
+        else:
+            t_avg = self.config.tau * self.config.max_batch_size
+        k = int(round(t_avg / self.config.tau))
+        return max(1, min(k, self.config.max_batch_size))
+
+    def _run_mbo_engine(self) -> MBOReport:
+        """Fit the surrogates and produce the next suggestion batch.
+
+        Runs in the configuration/reporting window (Fig. 1): costs energy
+        (and wall time on the board) but never delays training jobs.
+        """
+        batch_size = self._suggestion_batch_size()
+        if self.config.mbo_enabled:
+            self.optimizer.fit()
+            suggestions = self.optimizer.suggest(batch_size)
+        else:
+            # Acquisition ablation: random unexplored configurations.
+            suggestions = uniform_configurations(
+                self.device.space,
+                batch_size,
+                self._rng,
+                exclude=self.store.configurations,
+            )
+        self._pending_suggestions = deque(suggestions)
+        if self.mbo_cost is not None:
+            latency, energy = self.mbo_cost(len(self.store), batch_size)
+        else:
+            latency, energy = 0.0, 0.0
+        return MBOReport(
+            latency=latency,
+            energy=energy,
+            n_observations=len(self.store),
+            batch_size=batch_size,
+            suggestions=tuple(suggestions),
+        )
+
+    # -- phase transitions ---------------------------------------------------------
+
+    def _advance_phase(self, round_index: int, budget: RoundBudget) -> None:
+        if self.phase is Phase.RANDOM_EXPLORATION and not self._exploration_queue:
+            self._transition(round_index, Phase.PARETO_CONSTRUCTION)
+            self.optimizer.freeze_reference()
+            return
+        if self.phase is Phase.PARETO_CONSTRUCTION:
+            self.stopping.record_hypervolume(self.optimizer.hypervolume())
+            if self.stopping.should_stop(len(self.store)):
+                self._transition(round_index, Phase.EXPLOITATION)
+            return
+        if (
+            self.phase is Phase.EXPLOITATION
+            and self.config.drift_reexploration
+            and self._drift_ewma > self.config.drift_threshold
+        ):
+            self._restart_exploration(round_index)
+
+    def _restart_exploration(self, round_index: int) -> None:
+        """Drift adaptation: drop the stale model, re-run the exploration.
+
+        The observed performance surfaces no longer predict reality (e.g.
+        the board heated up and throttles), so the store, optimizer and
+        stopping rule are rebuilt and a fresh phase-1 queue is drawn.  The
+        guardian is kept — its ``T(x_max)`` running mean adapts on its own
+        and its worst-case reserve must stay conservative across episodes.
+        """
+        self.restarts += 1
+        self._drift_ewma = 0.0
+        episode_seed = self.config.seed + 1000 * self.restarts
+        space = self.device.space
+        self.store = ObservationStore()
+        self.optimizer = MultiObjectiveBayesianOptimizer(
+            space, seed=episode_seed, fit_restarts=self.config.fit_restarts
+        )
+        self.stopping = StoppingCondition(
+            self.config.min_explored(len(space)),
+            self.config.hv_improvement_threshold,
+        )
+        starting_points = sobol_configurations(
+            space,
+            self.config.initial_samples(len(space)),
+            seed=episode_seed,
+            exclude=[self._x_max],
+        )
+        self._exploration_queue = deque([self._x_max] + starting_points)
+        self._pending_suggestions = deque()
+        self._phase1_durations = []
+        self._transition(round_index, Phase.RANDOM_EXPLORATION)
+
+    def _transition(self, round_index: int, to_phase: Phase) -> None:
+        self.transitions.append(
+            PhaseTransition(
+                round_index=round_index, from_phase=self.phase, to_phase=to_phase
+            )
+        )
+        self.phase = to_phase

@@ -1,0 +1,106 @@
+"""The deadline-guardian check (Eqn. 2).
+
+Before exploring an unknown configuration ``x``, BoFL verifies that even if
+the whole measurement window is wasted, the remaining jobs can still finish
+at the guardian configuration ``x_max``:
+
+    ``T_remain - tau >= W_remain * T(x_max)``      (Eqn. 2)
+
+If the check fails, exploration stops for the round and every remaining job
+runs at ``x_max``.
+
+Three robustness refinements over the literal formula (all conservative):
+
+* the reserved window is ``tau`` plus the slowest per-job latency seen so
+  far, because a window can only be closed on a job boundary — the last
+  job may overshoot ``tau``;
+* ``T(x_max)`` is a running mean over *accurate per-job timings* (CUDA
+  event granularity) whenever such jobs are available, because the initial
+  power-sensor-window estimate can carry several percent of error on short
+  windows;
+* the estimate is padded by ``safety_pad`` (default 3 %) so that process
+  noise on the fallback sprint cannot turn a passed check into a miss.
+"""
+
+from __future__ import annotations
+
+from repro.types import RoundBudget, Seconds, require_fraction, require_positive
+
+
+class DeadlineGuardian:
+    """Stateful Eqn. 2 checker bound to one controller."""
+
+    #: Cap on the running-mean sample count so the estimate stays adaptive
+    #: to slow drift (thermal throttling on a real board).
+    MEAN_WINDOW = 500
+
+    def __init__(self, tau: Seconds, enabled: bool = True, safety_pad: float = 0.03):
+        self.tau = require_positive("tau", tau)
+        self.enabled = enabled
+        self.safety_pad = require_fraction("safety_pad", safety_pad)
+        self._t_xmax_mean: Seconds = 0.0
+        self._t_xmax_count: int = 0
+        self._worst_job_latency: Seconds = 0.0
+        self.trigger_count = 0
+
+    @property
+    def t_xmax(self) -> Seconds:
+        """Current estimate of the per-job latency at ``x_max``."""
+        return self._t_xmax_mean
+
+    @property
+    def padded_t_xmax(self) -> Seconds:
+        """The safety-padded estimate the checks actually use."""
+        return self._t_xmax_mean * (1.0 + self.safety_pad)
+
+    def update_t_xmax(self, latency: Seconds) -> None:
+        """Seed the ``T(x_max)`` estimate from a measurement-window sample.
+
+        Only used until accurate per-job timings arrive: window samples go
+        through the power-sensor noise path and are strictly less reliable
+        than :meth:`observe_xmax_job` inputs.
+        """
+        require_positive("T(x_max)", latency)
+        if self._t_xmax_count == 0:
+            self._t_xmax_mean = latency
+            self._t_xmax_count = 1
+        self.observe_job_latency(latency)
+
+    def observe_xmax_job(self, latency: Seconds) -> None:
+        """Fold one accurately-timed ``x_max`` job into the running mean."""
+        require_positive("x_max job latency", latency)
+        count = min(self._t_xmax_count, self.MEAN_WINDOW)
+        self._t_xmax_mean = (self._t_xmax_mean * count + latency) / (count + 1)
+        self._t_xmax_count = count + 1
+        self.observe_job_latency(latency)
+
+    def observe_job_latency(self, latency: Seconds) -> None:
+        """Track the slowest job seen (sets the window-overshoot reserve)."""
+        if latency > self._worst_job_latency:
+            self._worst_job_latency = latency
+
+    @property
+    def reserve(self) -> Seconds:
+        """Time set aside for one measurement window (tau + overshoot)."""
+        return self.tau + self._worst_job_latency
+
+    def allows_exploration(self, budget: RoundBudget) -> bool:
+        """Eqn. 2: may one more measurement window start safely?
+
+        With the guardian disabled (ablation mode) this always permits
+        exploration — the behaviour SmartPC-style controllers exhibit when
+        they trust their model blindly.
+        """
+        if not self.enabled:
+            return True
+        if self._t_xmax_count == 0:
+            # T(x_max) unknown: only the very first x_max measurement is
+            # allowed, and the caller performs exactly that.
+            return True
+        ok = (
+            budget.time_remaining - self.reserve
+            >= budget.jobs_remaining * self.padded_t_xmax
+        )
+        if not ok:
+            self.trigger_count += 1
+        return ok

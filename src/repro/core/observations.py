@@ -1,0 +1,93 @@
+"""The controller's memory of measured configurations.
+
+Each explored configuration maps to one merged
+:class:`~repro.types.PerformanceSample`; re-measuring the same
+configuration (e.g. the guardian falling back to ``x_max`` many times)
+refines the estimate by job-count-weighted averaging rather than
+duplicating rows — duplicates would both bias the GP fit and inflate the
+Pareto set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bayesopt.pareto import pareto_mask
+from repro.errors import ConfigurationError
+from repro.types import DvfsConfiguration, PerformanceSample
+
+
+class ObservationStore:
+    """Merged performance samples keyed by configuration."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[DvfsConfiguration, PerformanceSample] = {}
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __contains__(self, config: DvfsConfiguration) -> bool:
+        return config in self._samples
+
+    def __iter__(self) -> Iterator[DvfsConfiguration]:
+        return iter(self._samples)
+
+    def add(self, sample: PerformanceSample) -> PerformanceSample:
+        """Merge ``sample`` into the store; returns the merged sample."""
+        existing = self._samples.get(sample.config)
+        merged = sample if existing is None else existing.merged_with(sample)
+        self._samples[sample.config] = merged
+        return merged
+
+    def get(self, config: DvfsConfiguration) -> PerformanceSample:
+        """Return the merged sample for ``config`` (raises if unmeasured)."""
+        try:
+            return self._samples[config]
+        except KeyError:
+            raise ConfigurationError(f"{config} has not been measured") from None
+
+    def maybe_get(self, config: DvfsConfiguration) -> Optional[PerformanceSample]:
+        """Return the merged sample for ``config``, or None."""
+        return self._samples.get(config)
+
+    @property
+    def configurations(self) -> List[DvfsConfiguration]:
+        return list(self._samples)
+
+    def objectives_matrix(self) -> Tuple[List[DvfsConfiguration], np.ndarray]:
+        """All observations as ``(configs, (n, 2) [latency, energy])``."""
+        configs = list(self._samples)
+        if not configs:
+            return configs, np.zeros((0, 2))
+        values = np.array([self._samples[c].objectives for c in configs])
+        return configs, values
+
+    def pareto_set(self) -> Tuple[List[DvfsConfiguration], np.ndarray]:
+        """Non-dominated observed configurations and their objectives."""
+        configs, values = self.objectives_matrix()
+        if not configs:
+            return [], values
+        mask = pareto_mask(values)
+        return [c for c, keep in zip(configs, mask) if keep], values[mask]
+
+    def fastest(self) -> PerformanceSample:
+        """The lowest-latency observation (usually ``x_max``)."""
+        if not self._samples:
+            raise ConfigurationError("no observations yet")
+        return min(self._samples.values(), key=lambda s: s.latency)
+
+    def worst_latency(self) -> float:
+        """Highest observed per-job latency (guardian reserve input)."""
+        if not self._samples:
+            raise ConfigurationError("no observations yet")
+        return max(s.latency for s in self._samples.values())
+
+    def worst_point(self) -> Tuple[float, float]:
+        """Componentwise-worst observed objectives (the HV reference rule)."""
+        _, values = self.objectives_matrix()
+        if values.shape[0] == 0:
+            raise ConfigurationError("no observations yet")
+        worst = values.max(axis=0)
+        return (float(worst[0]), float(worst[1]))

@@ -1,0 +1,54 @@
+"""The three BoFL operating phases and their transition log (§4.1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Phase(enum.Enum):
+    """BoFL's operating phases, in order."""
+
+    #: Phase 1: Sobol starting points under the safe exploration algorithm.
+    RANDOM_EXPLORATION = "random_exploration"
+    #: Phase 2: MBO-suggested configurations, still safely explored.
+    PARETO_CONSTRUCTION = "pareto_construction"
+    #: Phase 3: pure exploitation of the approximated Pareto set.
+    EXPLOITATION = "exploitation"
+
+    @property
+    def order(self) -> int:
+        return {"random_exploration": 1, "pareto_construction": 2, "exploitation": 3}[
+            self.value
+        ]
+
+
+@dataclass(frozen=True)
+class PhaseTransition:
+    """A phase change, stamped with the round at which it took effect.
+
+    Legal moves: one step forward (1 -> 2 -> 3), or the re-exploration
+    restart (3 -> 1) used by the drift-adaptation extension when the
+    measured performance model has gone stale (e.g. thermal throttling).
+    """
+
+    round_index: int
+    from_phase: Phase
+    to_phase: Phase
+
+    def __post_init__(self) -> None:
+        forward = self.to_phase.order == self.from_phase.order + 1
+        restart = (
+            self.from_phase is Phase.EXPLOITATION
+            and self.to_phase is Phase.RANDOM_EXPLORATION
+        )
+        if not (forward or restart):
+            raise ValueError(
+                f"phases advance forward one step (or restart from exploitation): "
+                f"{self.from_phase.value} -> {self.to_phase.value}"
+            )
+
+    @property
+    def is_restart(self) -> bool:
+        """Whether this transition re-enters exploration from exploitation."""
+        return self.to_phase.order < self.from_phase.order

@@ -1,0 +1,62 @@
+"""Workload assignment for configuration measurement (§4.2).
+
+"A transient workload ... will lead to the execution being finished before
+the hardware voltage gets stable, and will generate large energy
+measurement error.  Contrarily, a heavy workload prolongs exploration":
+BoFL therefore keeps assigning jobs to a configuration until it has run
+for at least ``tau`` seconds, then moves on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.base import JobCallback
+from repro.hardware.device import SimulatedDevice
+from repro.types import (
+    DvfsConfiguration,
+    JobResult,
+    PerformanceSample,
+    RoundBudget,
+    require_positive,
+)
+
+
+class MeasurementPolicy:
+    """Runs tau-second measurement windows against the round budget."""
+
+    def __init__(self, tau: float):
+        self.tau = require_positive("tau", tau)
+
+    def measure(
+        self,
+        device: SimulatedDevice,
+        config: DvfsConfiguration,
+        budget: RoundBudget,
+        on_job: Optional[JobCallback] = None,
+    ) -> Tuple[PerformanceSample, Tuple[JobResult, ...]]:
+        """Measure ``config`` for >= tau seconds (or until jobs run out).
+
+        Every job executed inside the window is a real training job: it is
+        charged to ``budget`` and triggers ``on_job``.  Returns the noisy
+        energy-meter sample plus the individual job results — the latter
+        carry *accurately timed* latencies (event-recording granularity)
+        that the deadline guardian feeds on.
+        """
+        device.set_configuration(config)
+        device.open_measurement()
+        results: List[JobResult] = []
+        while device.meter.window_duration < self.tau and not budget.finished:
+            result = device.run_job()
+            budget.record_job(result)
+            results.append(result)
+            if on_job is not None:
+                on_job()
+        if not results:
+            # The budget was already exhausted; close cleanly with no job
+            # executed — callers check budget.finished before calling, so
+            # reaching this point is a bug.
+            device.meter.abort()
+            raise RuntimeError("measure() called with no jobs remaining in the budget")
+        sample = device.close_measurement()
+        return sample, tuple(results)

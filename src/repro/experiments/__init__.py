@@ -1,0 +1,12 @@
+"""One driver per paper table/figure.
+
+Every driver module exposes ``run(**params) -> dict`` (the experiment
+payload, cached campaign results inside) and ``render(payload) -> str``
+(the paper-style rows).  The registry maps experiment ids to drivers so
+benchmarks, tests and the EXPERIMENTS.md generator share one source of
+truth.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment"]

@@ -1,0 +1,373 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+* **guardian** — safe exploration (Eqn. 2) on vs off, under tight
+  deadlines: deadline-miss rate and energy.
+* **acquisition** — EHVI suggestions vs uniform random phase-2
+  exploration: searched-front quality and end-to-end energy.
+* **tau** — sensitivity to the reference measurement duration: shorter
+  windows are noisier (worse fronts), longer windows eat the exploitation
+  budget.
+* **exploit** — ILP mixture schedules vs single-best-configuration
+  exploitation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.metrics import hypervolume_ratio, improvement_vs_performant
+from repro.analysis.tables import ascii_table
+from repro.bayesopt.hypervolume import reference_from_observations
+from repro.core.config import BoFLConfig
+from repro.sim.runner import run_campaign
+
+
+def run_guardian(
+    device: str = "agx",
+    task: str = "vit",
+    ratio: float = 1.3,
+    rounds: int = 30,
+    seed: int = 0,
+) -> Dict:
+    """Guardian on/off under tight deadlines."""
+    variants = {}
+    for enabled in (True, False):
+        config = BoFLConfig(seed=seed, guardian_enabled=enabled)
+        result = run_campaign(
+            device, task, "bofl", ratio, rounds=rounds, seed=seed, bofl_config=config
+        )
+        variants["guardian_on" if enabled else "guardian_off"] = {
+            "missed_rounds": result.missed_rounds,
+            "energy": result.total_energy,
+            "explored": result.explored_total,
+        }
+    return {"device": device, "task": task, "ratio": ratio, "variants": variants}
+
+
+def render_guardian(payload: Dict) -> str:
+    rows = [
+        (name, v["missed_rounds"], f"{v['energy']:.0f}", v["explored"])
+        for name, v in payload["variants"].items()
+    ]
+    return ascii_table(
+        ["variant", "missed rounds", "energy (J)", "explored"],
+        rows,
+        title=(
+            f"Ablation: deadline guardian ({payload['task']}, tight deadlines "
+            f"T_max/T_min={payload['ratio']})"
+        ),
+    )
+
+
+def run_acquisition(
+    device: str = "agx",
+    task: str = "vit",
+    ratio: float = 2.0,
+    rounds: int = 40,
+    seed: int = 0,
+) -> Dict:
+    """EHVI vs random phase-2 suggestions."""
+    bofl = run_campaign(device, task, "bofl", ratio, rounds=rounds, seed=seed)
+    random_search = run_campaign(
+        device, task, "random_search", ratio, rounds=rounds, seed=seed
+    )
+    performant = run_campaign(device, task, "performant", ratio, rounds=rounds, seed=seed)
+    oracle = run_campaign(device, task, "oracle", ratio, rounds=rounds, seed=seed)
+    true = np.array(oracle.final_front)
+    payload = {"device": device, "task": task, "variants": {}}
+    for name, result in (("ehvi", bofl), ("random", random_search)):
+        found = np.array(result.final_front)
+        reference = reference_from_observations(np.vstack([found, true]), margin=0.05)
+        payload["variants"][name] = {
+            "hv_ratio": hypervolume_ratio(found, true, reference),
+            "front_points": int(found.shape[0]),
+            "explored": result.explored_total,
+            "improvement": improvement_vs_performant(result, performant),
+        }
+    return payload
+
+
+def render_acquisition(payload: Dict) -> str:
+    rows = [
+        (
+            name,
+            f"{v['hv_ratio'] * 100:.1f}%",
+            v["front_points"],
+            v["explored"],
+            f"{v['improvement'] * 100:.1f}%",
+        )
+        for name, v in payload["variants"].items()
+    ]
+    return ascii_table(
+        ["suggestions", "HV ratio", "front pts", "explored", "improvement"],
+        rows,
+        title=f"Ablation: EHVI vs random exploration ({payload['task']})",
+    )
+
+
+def run_tau(
+    device: str = "agx",
+    task: str = "vit",
+    ratio: float = 2.0,
+    rounds: int = 40,
+    taus: tuple = (1.0, 2.5, 5.0, 10.0),
+    seed: int = 0,
+) -> Dict:
+    """Sensitivity to the reference measurement duration tau."""
+    performant = run_campaign(device, task, "performant", ratio, rounds=rounds, seed=seed)
+    variants = {}
+    for tau in taus:
+        config = BoFLConfig(seed=seed, tau=tau)
+        result = run_campaign(
+            device, task, "bofl", ratio, rounds=rounds, seed=seed, bofl_config=config
+        )
+        explore_rounds = sum(
+            1 for r in result.records if r.phase != "exploitation"
+        )
+        variants[tau] = {
+            "improvement": improvement_vs_performant(result, performant),
+            "explored": result.explored_total,
+            "explore_rounds": explore_rounds,
+            "missed": result.missed_rounds,
+        }
+    return {"device": device, "task": task, "variants": variants}
+
+
+def render_tau(payload: Dict) -> str:
+    rows = [
+        (
+            f"{tau:.1f}s",
+            f"{v['improvement'] * 100:.1f}%",
+            v["explored"],
+            v["explore_rounds"],
+            v["missed"],
+        )
+        for tau, v in payload["variants"].items()
+    ]
+    return ascii_table(
+        ["tau", "improvement", "explored", "exploration rounds", "missed"],
+        rows,
+        title=f"Ablation: measurement duration tau ({payload['task']})",
+    )
+
+
+def run_parego(
+    device: str = "agx",
+    workload: str = "vit",
+    n_initial: int = 21,
+    batches: int = 5,
+    batch_size: int = 10,
+    seed: int = 0,
+) -> Dict:
+    """EHVI vs ParEGO vs random at an equal evaluation budget.
+
+    Pure front-search comparison on the true surfaces (no FL loop): all
+    three strategies start from the same Sobol sample and spend the same
+    number of evaluations; front quality is scored by hypervolume ratio
+    against the exact front.
+    """
+    import numpy as np
+
+    from repro.bayesopt.hypervolume import hypervolume_2d
+    from repro.bayesopt.optimizer import MultiObjectiveBayesianOptimizer
+    from repro.bayesopt.parego import ParEGOSuggester
+    from repro.bayesopt.pareto import pareto_front
+    from repro.bayesopt.sampling import sobol_configurations, uniform_configurations
+    from repro.hardware.devices import get_device
+    from repro.workloads.zoo import get_workload
+
+    spec = get_device(device)
+    model = get_workload(workload).performance_model(spec)
+    initial = [spec.space.max_configuration()] + sobol_configurations(
+        spec.space, n_initial, seed=seed, exclude=[spec.space.max_configuration()]
+    )
+    latencies, energies = model.profile_space()
+    true_front = pareto_front(np.stack([latencies, energies], axis=1))
+    # Reference just beyond the front's own bounding box: hypervolume then
+    # measures *front* quality, not coverage of the (easy) interior.
+    reference = true_front.max(axis=0) * 1.05
+    true_hv = hypervolume_2d(true_front, reference)
+
+    def final_ratio(values: "np.ndarray") -> float:
+        return hypervolume_2d(np.asarray(values), reference) / true_hv
+
+    results = {}
+
+    # EHVI
+    ehvi = MultiObjectiveBayesianOptimizer(spec.space, seed=seed, fit_restarts=1)
+    for config in initial:
+        ehvi.add_observation(config, *model.objectives(config))
+    for _ in range(batches):
+        ehvi.fit()
+        for pick in ehvi.suggest(batch_size):
+            ehvi.add_observation(pick, *model.objectives(pick))
+    _, ehvi_values = ehvi.objectives_matrix()
+    results["ehvi"] = {
+        "hv_ratio": final_ratio(ehvi_values),
+        "evaluations": ehvi.n_observations,
+    }
+
+    # ParEGO
+    parego = ParEGOSuggester(spec.space, seed=seed)
+    for config in initial:
+        parego.add_observation(config, *model.objectives(config))
+    for _ in range(batches):
+        parego.fit()
+        for pick in parego.suggest(batch_size):
+            parego.add_observation(pick, *model.objectives(pick))
+    results["parego"] = {
+        "hv_ratio": final_ratio(np.array(list(parego._observations.values()))),
+        "evaluations": parego.n_observations,
+    }
+
+    # Random
+    rng = np.random.default_rng(seed + 7)
+    random_obs = {c: model.objectives(c) for c in initial}
+    for _ in range(batches):
+        for pick in uniform_configurations(
+            spec.space, batch_size, rng, exclude=list(random_obs)
+        ):
+            random_obs[pick] = model.objectives(pick)
+    results["random"] = {
+        "hv_ratio": final_ratio(np.array(list(random_obs.values()))),
+        "evaluations": len(random_obs),
+    }
+    return {"device": device, "workload": workload, "variants": results}
+
+
+def render_parego(payload: Dict) -> str:
+    rows = [
+        (name, f"{v['hv_ratio'] * 100:.1f}%", v["evaluations"])
+        for name, v in payload["variants"].items()
+    ]
+    return ascii_table(
+        ["strategy", "HV ratio vs true front", "evaluations"],
+        rows,
+        title=(
+            f"Ablation: acquisition strategies at equal budget "
+            f"({payload['workload']} on {payload['device']})"
+        ),
+    )
+
+
+def run_thermal(
+    rounds: int = 30,
+    seed: int = 0,
+    drift_threshold: float = 0.08,
+) -> Dict:
+    """Thermal throttling + drift re-exploration (extension experiment).
+
+    Runs BoFL on a board whose sustained load heats it into throttling —
+    invalidating every cold measurement — with the drift detector off and
+    on.  Compares model staleness (EWMA of plan-vs-reality latency error),
+    guardian sprints during exploitation, deadline misses and energy.
+    """
+    from repro.core.controller import BoFLController
+    from repro.federated.deadlines import UniformDeadlines
+    from repro.hardware.device import SimulatedDevice
+    from repro.hardware.thermal import ThermalModel
+    from repro.hardware.devices import jetson_agx
+    from repro.workloads.zoo import vit
+
+    jobs = 200  # CIFAR10-ViT on the AGX
+    variants = {}
+    for drift in (False, True):
+        thermal = ThermalModel(
+            r_th=2.3,
+            tau_th=90.0,
+            t_ambient=25.0,
+            throttle_start=42.0,
+            throttle_full=58.0,
+            max_slowdown=1.3,
+        )
+        device = SimulatedDevice(jetson_agx(), vit(), seed=seed, thermal=thermal)
+        config = BoFLConfig(
+            seed=seed,
+            drift_reexploration=drift,
+            drift_threshold=drift_threshold,
+        )
+        controller = BoFLController(device, config)
+        t_min_cold = device.model.latency(device.space.max_configuration()) * jobs
+        deadlines = UniformDeadlines(3.2, floor=1.8).generate(
+            t_min_cold, rounds, seed=seed + 5
+        )
+        records = [controller.run_round(jobs, d) for d in deadlines]
+        variants["adaptive" if drift else "static"] = {
+            "restarts": controller.restarts,
+            "drift_ewma": controller._drift_ewma,
+            "exploit_sprints": sum(
+                r.guardian_triggered for r in records if r.phase == "exploitation"
+            ),
+            "missed": sum(r.missed for r in records),
+            "energy": sum(r.energy for r in records),
+            "final_temperature": device.thermal.temperature,
+        }
+    return {"rounds": rounds, "variants": variants}
+
+
+def render_thermal(payload: Dict) -> str:
+    rows = [
+        (
+            name,
+            v["restarts"],
+            f"{v['drift_ewma']:.3f}",
+            v["exploit_sprints"],
+            v["missed"],
+            f"{v['energy']:.0f}",
+            f"{v['final_temperature']:.1f}C",
+        )
+        for name, v in payload["variants"].items()
+    ]
+    return ascii_table(
+        [
+            "controller",
+            "restarts",
+            "plan error (EWMA)",
+            "exploit sprints",
+            "missed",
+            "energy (J)",
+            "final temp",
+        ],
+        rows,
+        title=(
+            "Extension: thermal throttling with/without drift re-exploration "
+            f"({payload['rounds']} rounds)"
+        ),
+    )
+
+
+def run_exploit(
+    device: str = "agx",
+    task: str = "vit",
+    ratio: float = 2.0,
+    rounds: int = 40,
+    seed: int = 0,
+) -> Dict:
+    """ILP mixture vs single-best-configuration exploitation."""
+    performant = run_campaign(device, task, "performant", ratio, rounds=rounds, seed=seed)
+    variants = {}
+    for mixture in (True, False):
+        config = BoFLConfig(seed=seed, exploit_mixture=mixture)
+        result = run_campaign(
+            device, task, "bofl", ratio, rounds=rounds, seed=seed, bofl_config=config
+        )
+        variants["ilp_mixture" if mixture else "single_config"] = {
+            "energy": result.total_energy,
+            "improvement": improvement_vs_performant(result, performant),
+            "missed": result.missed_rounds,
+        }
+    return {"device": device, "task": task, "variants": variants}
+
+
+def render_exploit(payload: Dict) -> str:
+    rows = [
+        (name, f"{v['energy']:.0f}", f"{v['improvement'] * 100:.1f}%", v["missed"])
+        for name, v in payload["variants"].items()
+    ]
+    return ascii_table(
+        ["exploitation", "energy (J)", "improvement", "missed"],
+        rows,
+        title=f"Ablation: ILP mixture vs single configuration ({payload['task']})",
+    )

@@ -1,0 +1,72 @@
+"""Extension experiment: every controller on one scoreboard.
+
+Runs all six pace controllers — BoFL, the paper's two comparison targets,
+and this repo's three extension baselines — on the same task, deadlines
+and noise, and reports total energy, deadline misses and exploration
+volume.  The expected ordering:
+
+    Oracle <= BoFL < {random-search, linear, ondemand} < Performant
+
+with only the deadline-blind ondemand governor ever missing a round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.tables import ascii_table
+from repro.sim.runner import CONTROLLER_NAMES, run_campaign
+
+
+def run(
+    device: str = "agx",
+    task: str = "vit",
+    ratio: float = 2.0,
+    rounds: int = 40,
+    seed: int = 0,
+) -> Dict:
+    results = {}
+    for controller in CONTROLLER_NAMES:
+        campaign = run_campaign(device, task, controller, ratio, rounds=rounds, seed=seed)
+        results[controller] = {
+            "energy": campaign.total_energy,
+            "training_energy": campaign.training_energy,
+            "mbo_energy": campaign.mbo_energy,
+            "missed": campaign.missed_rounds,
+            "explored": campaign.explored_total,
+        }
+    performant_energy = results["performant"]["energy"]
+    for stats in results.values():
+        stats["vs_performant"] = 1 - stats["energy"] / performant_energy
+    return {
+        "device": device,
+        "task": task,
+        "ratio": ratio,
+        "rounds": rounds,
+        "results": results,
+    }
+
+
+def render(payload: Dict) -> str:
+    order = sorted(payload["results"], key=lambda n: payload["results"][n]["energy"])
+    rows = []
+    for name in order:
+        stats = payload["results"][name]
+        rows.append(
+            (
+                name,
+                f"{stats['energy']:.0f}",
+                f"{stats['vs_performant'] * 100:+.1f}%",
+                stats["missed"],
+                stats["explored"],
+            )
+        )
+    return ascii_table(
+        ["controller", "total energy (J)", "vs Performant", "missed", "explored"],
+        rows,
+        title=(
+            f"Extension: controller scoreboard — {payload['task']} on "
+            f"{payload['device']}, {payload['rounds']} rounds, "
+            f"T_max/T_min = {payload['ratio']}"
+        ),
+    )

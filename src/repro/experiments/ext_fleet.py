@@ -1,0 +1,115 @@
+"""Extension experiment: fleet-level energy in a heterogeneous federation.
+
+The paper evaluates BoFL per device; this experiment shows the deployment
+story it implies — "BoFL is deployed on each FL client locally" (§1) —
+by running a 10-client federation mixing AGX- and TX2-class devices and
+all three tasks, and comparing the *fleet's* total energy and round
+latency under Performant vs BoFL pacing.
+
+Round wall-clock is the slowest participant's elapsed time (synchronous
+FedAvg), so the experiment also verifies that per-client pacing does not
+stretch the global round beyond its deadline envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import ascii_table
+from repro.baselines import PerformantController
+from repro.core.config import BoFLConfig
+from repro.core.controller import BoFLController
+from repro.federated.client import FederatedClient
+from repro.federated.deadlines import UniformDeadlines
+from repro.federated.server import FederatedServer
+from repro.federated.task import FLTaskSpec, cifar10_vit, imagenet_resnet50, imdb_lstm
+from repro.hardware.device import SimulatedDevice
+from repro.hardware.devices import get_device
+from repro.sim.mbo_cost import MBOCostModel
+
+#: (device, task factory) mix for the 10-client fleet.
+FLEET = (
+    ("agx", cifar10_vit),
+    ("agx", imagenet_resnet50),
+    ("agx", imdb_lstm),
+    ("agx", cifar10_vit),
+    ("agx", imdb_lstm),
+    ("tx2", cifar10_vit),
+    ("tx2", imagenet_resnet50),
+    ("tx2", imdb_lstm),
+    ("tx2", cifar10_vit),
+    ("tx2", imagenet_resnet50),
+)
+
+
+def _build_fleet(controller_name: str, seed: int) -> List[FederatedClient]:
+    clients: List[FederatedClient] = []
+    for index, (device_name, task_factory) in enumerate(FLEET):
+        spec = get_device(device_name)
+        task: FLTaskSpec = task_factory()
+        device = SimulatedDevice(spec, task.workload, seed=1000 + index)
+        if controller_name == "bofl":
+            controller = BoFLController(
+                device, BoFLConfig(seed=seed + index), mbo_cost=MBOCostModel(spec)
+            )
+        else:
+            controller = PerformantController(device)
+        clients.append(
+            FederatedClient(
+                f"{device_name}-{task.workload.name}-{index}", controller, task
+            )
+        )
+    return clients
+
+
+def run(rounds: int = 25, deadline_ratio: float = 2.5, seed: int = 0) -> Dict:
+    """Run the 10-client fleet under both controllers (energy-only)."""
+    results = {}
+    for controller_name in ("performant", "bofl"):
+        clients = _build_fleet(controller_name, seed)
+        server = FederatedServer(
+            clients,
+            deadline_schedule=UniformDeadlines(deadline_ratio),
+            seed=seed,
+        )
+        history = server.run(rounds)
+        per_client = {
+            client.client_id: client.device.energy_consumed for client in clients
+        }
+        stragglers = sum(len(h.stragglers) for h in history)
+        results[controller_name] = {
+            "fleet_energy": server.total_energy,
+            "per_client": per_client,
+            "stragglers": stragglers,
+        }
+    saving = 1 - results["bofl"]["fleet_energy"] / results["performant"]["fleet_energy"]
+    return {
+        "rounds": rounds,
+        "deadline_ratio": deadline_ratio,
+        "results": results,
+        "fleet_saving": saving,
+    }
+
+
+def render(payload: Dict) -> str:
+    performant = payload["results"]["performant"]
+    bofl = payload["results"]["bofl"]
+    rows = []
+    for client_id in performant["per_client"]:
+        p = performant["per_client"][client_id]
+        b = bofl["per_client"][client_id]
+        rows.append((client_id, f"{p:.0f}", f"{b:.0f}", f"{(1 - b / p) * 100:.1f}%"))
+    table = ascii_table(
+        ["client", "Performant (J)", "BoFL (J)", "saving"],
+        rows,
+        title=(
+            f"Extension: 10-client heterogeneous fleet, {payload['rounds']} rounds, "
+            f"T_max/T_min = {payload['deadline_ratio']}"
+        ),
+    )
+    return (
+        table
+        + f"\nfleet total: Performant {performant['fleet_energy']:.0f} J, "
+        f"BoFL {bofl['fleet_energy']:.0f} J -> {payload['fleet_saving'] * 100:.1f}% saved; "
+        f"stragglers: {performant['stragglers']} vs {bofl['stragglers']}"
+    )

@@ -1,0 +1,82 @@
+"""Fig. 11 — BoFL's searched Pareto front vs the actual Pareto front.
+
+For each task: the true front (Oracle's offline profile), BoFL's searched
+front after its exploration phases, and front-quality metrics (hypervolume
+ratio and coverage), plus the fraction of the space explored (the paper:
+"after exploring just 3% of the whole configuration space").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.metrics import front_coverage, hypervolume_ratio
+from repro.analysis.tables import ascii_table
+from repro.bayesopt.hypervolume import reference_from_observations
+from repro.hardware.devices import get_device
+from repro.sim.runner import run_campaign
+
+
+def run(
+    ratio: float = 2.0,
+    device: str = "agx",
+    tasks: tuple = ("vit", "resnet50", "lstm"),
+    rounds: int = 40,
+    seed: int = 0,
+) -> Dict:
+    space_size = len(get_device(device).space)
+    results = {}
+    for task in tasks:
+        bofl = run_campaign(device, task, "bofl", ratio, rounds=rounds, seed=seed)
+        oracle = run_campaign(device, task, "oracle", ratio, rounds=rounds, seed=seed)
+        found = np.array(bofl.final_front)
+        true = np.array(oracle.final_front)
+        reference = reference_from_observations(np.vstack([found, true]), margin=0.05)
+        results[task] = {
+            "found_front": found.tolist(),
+            "true_front": true.tolist(),
+            "hv_ratio": hypervolume_ratio(found, true, reference),
+            "coverage": front_coverage(found, true, tolerance=0.03),
+            "explored": bofl.explored_total,
+            "explored_fraction": bofl.explored_total / space_size,
+            "found_points": int(found.shape[0]),
+            "true_points": int(true.shape[0]),
+        }
+    return {"ratio": ratio, "device": device, "tasks": results}
+
+
+def render(payload: Dict) -> str:
+    rows = []
+    for task, data in payload["tasks"].items():
+        rows.append(
+            (
+                task,
+                data["found_points"],
+                data["true_points"],
+                f"{data['hv_ratio'] * 100:.1f}%",
+                f"{data['coverage'] * 100:.0f}%",
+                f"{data['explored']} ({data['explored_fraction'] * 100:.1f}%)",
+            )
+        )
+    table = ascii_table(
+        [
+            "task",
+            "BoFL front pts",
+            "true front pts",
+            "hypervolume ratio",
+            "coverage(3%)",
+            "explored (of space)",
+        ],
+        rows,
+        title=f"Fig. 11 — BoFL searched vs actual Pareto fronts ({payload['device']})",
+    )
+    lines = [table]
+    for task, data in payload["tasks"].items():
+        front = sorted(data["found_front"])
+        lines.append(f"\n{task} BoFL front (latency s, energy J):")
+        lines.append(
+            "  " + "  ".join(f"({t:.3f},{e:.2f})" for t, e in front)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Fig. 12 — sensitivity to the deadline length.
+
+Sweeps ``T_max / T_min`` over {2.0, 2.5, 3.0, 3.5, 4.0} for every task and
+reports (a) BoFL's energy improvement over Performant and (b) its regret
+vs Oracle.  Expected shape (paper §6.4): improvement rising with longer
+deadlines, regret falling; overall bands 20.3-25.9% and 1.2-3.4%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.metrics import improvement_vs_performant, regret_vs_oracle
+from repro.analysis.tables import ascii_table
+from repro.sim.runner import run_campaign
+
+PAPER_BANDS = {"improvement": (0.203, 0.259), "regret": (0.012, 0.034)}
+
+
+def run(
+    device: str = "agx",
+    tasks: tuple = ("vit", "resnet50", "lstm"),
+    ratios: tuple = (2.0, 2.5, 3.0, 3.5, 4.0),
+    rounds: int = 100,
+    seed: int = 0,
+) -> Dict:
+    results = {}
+    for task in tasks:
+        per_ratio = {}
+        for ratio in ratios:
+            bofl = run_campaign(device, task, "bofl", ratio, rounds=rounds, seed=seed)
+            performant = run_campaign(
+                device, task, "performant", ratio, rounds=rounds, seed=seed
+            )
+            oracle = run_campaign(device, task, "oracle", ratio, rounds=rounds, seed=seed)
+            per_ratio[ratio] = {
+                "improvement": improvement_vs_performant(bofl, performant),
+                "regret": regret_vs_oracle(bofl, oracle),
+            }
+        results[task] = per_ratio
+    return {
+        "device": device,
+        "ratios": list(ratios),
+        "rounds": rounds,
+        "tasks": results,
+        "paper_bands": PAPER_BANDS,
+    }
+
+
+def render(payload: Dict) -> str:
+    ratios = payload["ratios"]
+    headers = ["task"] + [f"{r}x" for r in ratios]
+    improvement_rows = []
+    regret_rows = []
+    for task, per_ratio in payload["tasks"].items():
+        improvement_rows.append(
+            [task] + [f"{per_ratio[r]['improvement'] * 100:.1f}%" for r in ratios]
+        )
+        regret_rows.append(
+            [task] + [f"{per_ratio[r]['regret'] * 100:.2f}%" for r in ratios]
+        )
+    improvement = ascii_table(
+        headers,
+        improvement_rows,
+        title=(
+            "Fig. 12 (a/c/e) — improvement vs Performant by normalized max "
+            f"deadline, {payload['rounds']} rounds (paper band 20.3-25.9%)"
+        ),
+    )
+    regret = ascii_table(
+        headers,
+        regret_rows,
+        title="Fig. 12 (b/d/f) — regret vs Oracle (paper band 1.2-3.4%)",
+    )
+    return improvement + "\n\n" + regret

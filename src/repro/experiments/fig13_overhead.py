@@ -1,0 +1,80 @@
+"""Fig. 13 — overhead of the MBO module.
+
+(a) per-run MBO latency and energy on each device; (b) the MBO energy as
+a fraction of each campaign's total.  Paper values: 6-9 s and 50-70 J per
+run, 0.4-0.7% overall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.tables import ascii_table
+from repro.sim.runner import run_campaign
+
+PAPER_BANDS = {
+    "latency_s": (6.0, 9.0),
+    "energy_j": (50.0, 70.0),
+    "overall_pct": (0.4, 0.7),
+}
+
+
+def run(
+    devices: tuple = ("agx", "tx2"),
+    tasks: tuple = ("vit", "resnet50", "lstm"),
+    ratio: float = 2.0,
+    rounds: int = 100,
+    seed: int = 0,
+) -> Dict:
+    per_device = {}
+    overall = {}
+    for device in devices:
+        latencies = []
+        energies = []
+        for task in tasks:
+            bofl = run_campaign(device, task, "bofl", ratio, rounds=rounds, seed=seed)
+            runs = [r.mbo for r in bofl.records if r.mbo is not None]
+            latencies.extend(m.latency for m in runs)
+            energies.extend(m.energy for m in runs)
+            overall[(device, task)] = bofl.mbo_energy / bofl.total_energy
+        per_device[device] = {
+            "mean_latency": float(np.mean(latencies)) if latencies else 0.0,
+            "max_latency": float(np.max(latencies)) if latencies else 0.0,
+            "mean_energy": float(np.mean(energies)) if energies else 0.0,
+            "max_energy": float(np.max(energies)) if energies else 0.0,
+            "runs": len(latencies),
+        }
+    return {
+        "per_device": per_device,
+        "overall": {f"{d}/{t}": v for (d, t), v in overall.items()},
+        "paper_bands": PAPER_BANDS,
+        "ratio": ratio,
+    }
+
+
+def render(payload: Dict) -> str:
+    rows = [
+        (
+            device,
+            f"{d['mean_latency']:.1f}s (max {d['max_latency']:.1f}s)",
+            f"{d['mean_energy']:.0f}J (max {d['max_energy']:.0f}J)",
+            d["runs"],
+        )
+        for device, d in payload["per_device"].items()
+    ]
+    per_run = ascii_table(
+        ["device", "MBO latency / run", "MBO energy / run", "runs"],
+        rows,
+        title="Fig. 13a — MBO overhead per run (paper: 6-9 s, 50-70 J)",
+    )
+    overall_rows = [
+        (key, f"{value * 100:.2f}%") for key, value in payload["overall"].items()
+    ]
+    overall = ascii_table(
+        ["device/task", "MBO energy share"],
+        overall_rows,
+        title="Fig. 13b — overall energy overhead of MBO (paper: 0.4-0.7%)",
+    )
+    return per_run + "\n\n" + overall

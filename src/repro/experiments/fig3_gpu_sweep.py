@@ -1,0 +1,55 @@
+"""Fig. 3 — ViT training performance vs GPU frequency at two CPU clocks.
+
+Reproduces both panels: (a) execution latency per minibatch and (b) energy
+per minibatch, swept over GPU frequencies with the CPU pinned to its
+minimum (0.42 GHz) and maximum (2.26 GHz); memory at maximum, as in the
+paper's measurement setup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import ascii_table
+from repro.hardware.devices import get_device
+from repro.workloads.zoo import get_workload
+
+
+def run(device: str = "agx", workload: str = "vit") -> Dict:
+    spec = get_device(device)
+    model = get_workload(workload).performance_model(spec)
+    space = spec.space
+    sweeps: List[Dict] = []
+    for cpu in (space.cpu.min, space.cpu.max):
+        points = []
+        for gpu in space.gpu.frequencies:
+            config = space.snap(cpu, gpu, space.mem.max)
+            points.append(
+                {
+                    "gpu": gpu,
+                    "latency": model.latency(config),
+                    "energy": model.energy(config),
+                }
+            )
+        sweeps.append({"cpu": cpu, "points": points})
+    return {"device": device, "workload": workload, "sweeps": sweeps}
+
+
+def render(payload: Dict) -> str:
+    lines = [
+        f"Fig. 3 — {payload['workload']} on {payload['device']}: "
+        "latency/energy per minibatch vs GPU frequency"
+    ]
+    for sweep in payload["sweeps"]:
+        rows = [
+            (f"{p['gpu']:.2f}", f"{p['latency']:.3f}", f"{p['energy']:.2f}")
+            for p in sweep["points"]
+        ]
+        lines.append(
+            ascii_table(
+                ["GPU (GHz)", "latency (s)", "energy (J)"],
+                rows,
+                title=f"CPU frequency: {sweep['cpu']:.2f} GHz",
+            )
+        )
+    return "\n\n".join(lines)

@@ -1,0 +1,58 @@
+"""Fig. 4 — three models' training performance vs CPU frequency.
+
+GPU and memory at maximum; the CPU swept over the paper's plotted range
+(~0.6 to ~1.7 GHz).  Expected structure: ViT and ResNet50 latencies nearly
+flat, LSTM latency roughly halving; ResNet50 energy increasing, LSTM
+energy decreasing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import ascii_table
+from repro.hardware.devices import get_device
+from repro.workloads.zoo import get_workload
+
+
+def run(
+    device: str = "agx",
+    workloads: tuple = ("vit", "resnet50", "lstm"),
+    cpu_range: tuple = (0.6, 1.75),
+) -> Dict:
+    spec = get_device(device)
+    space = spec.space
+    cpu_freqs = [f for f in space.cpu.frequencies if cpu_range[0] <= f <= cpu_range[1]]
+    series: List[Dict] = []
+    for name in workloads:
+        model = get_workload(name).performance_model(spec)
+        points = []
+        for cpu in cpu_freqs:
+            config = space.snap(cpu, space.gpu.max, space.mem.max)
+            points.append(
+                {
+                    "cpu": cpu,
+                    "latency": model.latency(config),
+                    "energy": model.energy(config),
+                }
+            )
+        series.append({"workload": name, "points": points})
+    return {"device": device, "cpu_freqs": cpu_freqs, "series": series}
+
+
+def render(payload: Dict) -> str:
+    headers = ["CPU (GHz)"] + [
+        f"{s['workload']} {col}" for s in payload["series"] for col in ("T(s)", "E(J)")
+    ]
+    rows = []
+    for i, cpu in enumerate(payload["cpu_freqs"]):
+        row = [f"{cpu:.2f}"]
+        for s in payload["series"]:
+            row.append(f"{s['points'][i]['latency']:.3f}")
+            row.append(f"{s['points'][i]['energy']:.2f}")
+        rows.append(row)
+    return ascii_table(
+        headers,
+        rows,
+        title=f"Fig. 4 — per-minibatch latency/energy vs CPU frequency on {payload['device']}",
+    )

@@ -1,0 +1,82 @@
+"""Figs. 9 & 10 — per-round energy of BoFL vs Performant vs Oracle.
+
+One driver parameterized by the deadline ratio: ``ratio=2.0`` regenerates
+Fig. 9, ``ratio=4.0`` Fig. 10.  For each of the three tasks it reports the
+energy curve of each controller over the first ``rounds`` rounds, the
+deadline series, BoFL's phase boundaries, and the summary improvement /
+regret numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.metrics import improvement_vs_performant, regret_vs_oracle
+from repro.analysis.charts import line_chart
+from repro.analysis.tables import ascii_table, format_series
+from repro.sim.runner import run_campaign
+
+
+def run(
+    ratio: float = 2.0,
+    device: str = "agx",
+    tasks: tuple = ("vit", "resnet50", "lstm"),
+    rounds: int = 40,
+    seed: int = 0,
+) -> Dict:
+    results = {}
+    for task in tasks:
+        bofl = run_campaign(device, task, "bofl", ratio, rounds=rounds, seed=seed)
+        performant = run_campaign(device, task, "performant", ratio, rounds=rounds, seed=seed)
+        oracle = run_campaign(device, task, "oracle", ratio, rounds=rounds, seed=seed)
+        phase_bounds = {}
+        for record in bofl.records:
+            phase_bounds.setdefault(record.phase, [record.round_index, record.round_index])
+            phase_bounds[record.phase][1] = record.round_index
+        results[task] = {
+            "bofl": bofl.energy_series(),
+            "performant": performant.energy_series(),
+            "oracle": oracle.energy_series(),
+            "deadlines": bofl.deadline_series(),
+            "phases": phase_bounds,
+            "improvement": improvement_vs_performant(bofl, performant),
+            "regret": regret_vs_oracle(bofl, oracle),
+            "missed": bofl.missed_rounds,
+        }
+    return {"ratio": ratio, "device": device, "rounds": rounds, "tasks": results}
+
+
+def render(payload: Dict) -> str:
+    fig = "Fig. 9" if payload["ratio"] <= 2.0 else "Fig. 10"
+    lines = [
+        f"{fig} — per-round energy (J), first {payload['rounds']} rounds, "
+        f"T_max/T_min = {payload['ratio']}, device {payload['device']}"
+    ]
+    for task, data in payload["tasks"].items():
+        lines.append(f"\n== {task} ==")
+        lines.append(
+            line_chart(
+                {
+                    "performant": data["performant"],
+                    "oracle": data["oracle"],
+                    "bofl": data["bofl"],
+                },
+                height=12,
+                y_label="energy per round (J)",
+            )
+        )
+        for name in ("performant", "oracle", "bofl"):
+            lines.append(f"{name}:")
+            lines.append(format_series(data[name], per_line=10, precision=0))
+        lines.append("deadlines (s):")
+        lines.append(format_series(data["deadlines"], per_line=10, precision=1))
+        phase_rows = [
+            (phase, f"rounds {lo}..{hi}") for phase, (lo, hi) in data["phases"].items()
+        ]
+        lines.append(ascii_table(["BoFL phase", "span"], phase_rows))
+        lines.append(
+            f"improvement vs Performant: {data['improvement'] * 100:.1f}%   "
+            f"regret vs Oracle: {data['regret'] * 100:.2f}%   "
+            f"missed rounds: {data['missed']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Experiment registry: id -> (run, render, description).
+
+The single source of truth mapping the paper's tables/figures (plus the
+repo's ablations) to executable drivers; used by the benchmark suite and
+by tooling that regenerates EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablations,
+    ext_accuracy,
+    ext_controllers,
+    ext_fleet,
+    fig2_spread,
+    fig3_gpu_sweep,
+    fig4_cpu_sweep,
+    fig5_hardware,
+    fig9_energy,
+    fig11_pareto,
+    fig12_sensitivity,
+    fig13_overhead,
+    tab1_specs,
+    tab2_tasks,
+    tab3_walkthrough,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered paper artifact reproduction."""
+
+    id: str
+    description: str
+    run: Callable[..., dict]
+    render: Callable[[dict], str]
+
+
+def _fig10_run(**kwargs) -> dict:
+    kwargs.setdefault("ratio", 4.0)
+    return fig9_energy.run(**kwargs)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.id: exp
+    for exp in (
+        Experiment(
+            "fig2",
+            "Motivation: latency/energy spread over the DVFS space",
+            fig2_spread.run,
+            fig2_spread.render,
+        ),
+        Experiment(
+            "fig3",
+            "ViT performance vs GPU frequency at two CPU clocks",
+            fig3_gpu_sweep.run,
+            fig3_gpu_sweep.render,
+        ),
+        Experiment(
+            "fig4",
+            "Three models' performance vs CPU frequency",
+            fig4_cpu_sweep.run,
+            fig4_cpu_sweep.render,
+        ),
+        Experiment(
+            "fig5",
+            "Normalized AGX vs TX2 performance at x_max",
+            fig5_hardware.run,
+            fig5_hardware.render,
+        ),
+        Experiment(
+            "tab1",
+            "Testbed hardware specifications",
+            tab1_specs.run,
+            tab1_specs.render,
+        ),
+        Experiment(
+            "tab2",
+            "FL task specifications with measured T_min",
+            tab2_tasks.run,
+            tab2_tasks.render,
+        ),
+        Experiment(
+            "fig9",
+            "Per-round energy, T_max/T_min = 2 (BoFL/Performant/Oracle)",
+            fig9_energy.run,
+            fig9_energy.render,
+        ),
+        Experiment(
+            "fig10",
+            "Per-round energy, T_max/T_min = 4 (BoFL/Performant/Oracle)",
+            _fig10_run,
+            fig9_energy.render,
+        ),
+        Experiment(
+            "fig11",
+            "BoFL searched Pareto front vs actual front",
+            fig11_pareto.run,
+            fig11_pareto.render,
+        ),
+        Experiment(
+            "tab3",
+            "Explorations and Pareto points per round",
+            tab3_walkthrough.run,
+            tab3_walkthrough.render,
+        ),
+        Experiment(
+            "fig12",
+            "Sensitivity to deadline length (improvement & regret)",
+            fig12_sensitivity.run,
+            fig12_sensitivity.render,
+        ),
+        Experiment(
+            "fig13",
+            "MBO module overhead",
+            fig13_overhead.run,
+            fig13_overhead.render,
+        ),
+        Experiment(
+            "abl_guardian",
+            "Ablation: deadline guardian on/off under tight deadlines",
+            ablations.run_guardian,
+            ablations.render_guardian,
+        ),
+        Experiment(
+            "abl_acquisition",
+            "Ablation: EHVI vs random exploration",
+            ablations.run_acquisition,
+            ablations.render_acquisition,
+        ),
+        Experiment(
+            "abl_tau",
+            "Ablation: measurement duration tau",
+            ablations.run_tau,
+            ablations.render_tau,
+        ),
+        Experiment(
+            "abl_exploit",
+            "Ablation: ILP mixture vs single-configuration exploitation",
+            ablations.run_exploit,
+            ablations.render_exploit,
+        ),
+        Experiment(
+            "abl_parego",
+            "Ablation: EHVI vs ParEGO vs random at equal budget",
+            ablations.run_parego,
+            ablations.render_parego,
+        ),
+        Experiment(
+            "abl_thermal",
+            "Extension: thermal throttling with drift re-exploration",
+            ablations.run_thermal,
+            ablations.render_thermal,
+        ),
+        Experiment(
+            "ext_accuracy",
+            "Extension: learning-trajectory parity under pace control",
+            ext_accuracy.run,
+            ext_accuracy.render,
+        ),
+        Experiment(
+            "ext_fleet",
+            "Extension: fleet-level energy in a heterogeneous federation",
+            ext_fleet.run,
+            ext_fleet.render,
+        ),
+        Experiment(
+            "ext_controllers",
+            "Extension: all-controller energy scoreboard",
+            ext_controllers.run,
+            ext_controllers.render,
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look an experiment up by id (e.g. ``"fig9"``)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        ) from None

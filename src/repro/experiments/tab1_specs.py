@@ -1,0 +1,31 @@
+"""Table 1 — testbed hardware specifications."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.tables import ascii_table
+from repro.hardware.devices import available_devices, get_device
+
+
+def run(devices: tuple = ("agx", "tx2")) -> Dict:
+    specs = {}
+    for name in devices:
+        spec = get_device(name)
+        specs[name] = {
+            "long_name": spec.long_name,
+            "rows": spec.summary_rows(),
+            "configurations": spec.num_configurations,
+        }
+    return {"devices": specs, "available": available_devices()}
+
+
+def render(payload: Dict) -> str:
+    names = list(payload["devices"])
+    headers = [""] + [payload["devices"][n]["long_name"] for n in names]
+    first = payload["devices"][names[0]]["rows"]
+    rows = []
+    for i, (label, _) in enumerate(first):
+        row = [label] + [payload["devices"][n]["rows"][i][1] for n in names]
+        rows.append(row)
+    return ascii_table(headers, rows, title="Table 1 — BoFL testbed hardware specifications")

@@ -1,0 +1,72 @@
+"""Table 2 — federated learning task specifications, with measured T_min.
+
+``T_min`` is obtained the way the paper obtained it: run one round at
+``x_max`` on the (simulated) testbed and time it.  The paper's published
+values are printed alongside for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.tables import ascii_table
+from repro.federated.task import paper_tasks
+from repro.hardware.device import SimulatedDevice
+from repro.hardware.devices import get_device
+
+PAPER_T_MIN = {
+    ("CIFAR10-ViT", "agx"): 37.2,
+    ("CIFAR10-ViT", "tx2"): 36.0,
+    ("ImageNet-ResNet50", "agx"): 46.9,
+    ("ImageNet-ResNet50", "tx2"): 49.2,
+    ("IMDB-LSTM", "agx"): 46.1,
+    ("IMDB-LSTM", "tx2"): 55.6,
+}
+
+
+def run(devices: tuple = ("agx", "tx2"), seed: int = 0) -> Dict:
+    rows = []
+    for task in paper_tasks():
+        entry = {
+            "task": task.name,
+            "B": task.batch_size,
+            "E": task.epochs,
+            "N": dict(task.minibatches),
+            "rounds": task.rounds,
+            "t_min": {},
+            "paper_t_min": {},
+        }
+        for device_name in devices:
+            spec = get_device(device_name)
+            device = SimulatedDevice(spec, task.workload, seed=seed)
+            jobs = task.jobs_per_round(spec)
+            device.set_configuration(spec.space.max_configuration())
+            start = device.clock.now
+            for _ in range(jobs):
+                device.run_job()
+            entry["t_min"][device_name] = device.clock.now - start
+            entry["paper_t_min"][device_name] = PAPER_T_MIN.get(
+                (task.name, device_name)
+            )
+        rows.append(entry)
+    return {"rows": rows, "deadline_ratios": (2.0, 2.5, 3.0, 3.5, 4.0)}
+
+
+def render(payload: Dict) -> str:
+    headers = ["", *[r["task"] for r in payload["rows"]]]
+    def row(label, fn):
+        return [label] + [fn(r) for r in payload["rows"]]
+    rows = [
+        row("B", lambda r: r["B"]),
+        row("E", lambda r: r["E"]),
+        row("N (AGX)", lambda r: r["N"]["agx"]),
+        row("N (TX2)", lambda r: r["N"]["tx2"]),
+        row("|T| rounds", lambda r: r["rounds"]),
+        row("T_min AGX measured", lambda r: f"{r['t_min']['agx']:.1f}s"),
+        row("T_min AGX paper", lambda r: f"{r['paper_t_min']['agx']:.1f}s"),
+        row("T_min TX2 measured", lambda r: f"{r['t_min']['tx2']:.1f}s"),
+        row("T_min TX2 paper", lambda r: f"{r['paper_t_min']['tx2']:.1f}s"),
+    ]
+    table = ascii_table(headers, rows, title="Table 2 — FL task specifications")
+    ratios = ", ".join(str(x) for x in payload["deadline_ratios"])
+    return table + f"\nT_max / T_min sweep: {{{ratios}}}"

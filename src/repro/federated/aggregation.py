@@ -1,0 +1,83 @@
+"""Server-side gradient/weight aggregation rules."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: A model as exchanged over the wire: a list of weight arrays.
+Weights = List[np.ndarray]
+
+
+def _check_updates(updates: Sequence[Weights]) -> None:
+    if not updates:
+        raise ConfigurationError("cannot aggregate zero client updates")
+    reference = updates[0]
+    for update in updates[1:]:
+        if len(update) != len(reference):
+            raise ConfigurationError("client updates have differing layer counts")
+        for a, b in zip(update, reference):
+            if a.shape != b.shape:
+                raise ConfigurationError(
+                    f"client update shape mismatch: {a.shape} vs {b.shape}"
+                )
+
+
+class Aggregator(ABC):
+    """Combines per-client weight lists into the new global weights."""
+
+    @abstractmethod
+    def aggregate(self, updates: Sequence[Weights], weights: Sequence[float]) -> Weights:
+        """Combine ``updates`` with per-client importance ``weights``."""
+
+
+class FedAvg(Aggregator):
+    """Sample-count-weighted averaging (McMahan et al.) — the FL default."""
+
+    def aggregate(self, updates: Sequence[Weights], weights: Sequence[float]) -> Weights:
+        _check_updates(updates)
+        weights_arr = np.asarray(list(weights), dtype=float)
+        if weights_arr.size != len(updates):
+            raise ConfigurationError(
+                f"{weights_arr.size} weights for {len(updates)} updates"
+            )
+        if np.any(weights_arr < 0) or weights_arr.sum() <= 0:
+            raise ConfigurationError("aggregation weights must be non-negative, not all zero")
+        weights_arr = weights_arr / weights_arr.sum()
+        return [
+            sum(w * update[layer] for w, update in zip(weights_arr, updates))
+            for layer in range(len(updates[0]))
+        ]
+
+
+class TrimmedMeanAggregator(Aggregator):
+    """Coordinate-wise trimmed mean — a simple Byzantine-robust alternative.
+
+    Drops the ``trim`` largest and smallest values per coordinate before
+    averaging (unweighted).  Included as an extension point; the paper's
+    evaluation uses FedAvg.
+    """
+
+    def __init__(self, trim: int = 1):
+        if trim < 0:
+            raise ConfigurationError(f"trim must be >= 0, got {trim}")
+        self.trim = trim
+
+    def aggregate(self, updates: Sequence[Weights], weights: Sequence[float]) -> Weights:
+        _check_updates(updates)
+        if len(updates) <= 2 * self.trim:
+            raise ConfigurationError(
+                f"trimming {self.trim} from each side needs more than "
+                f"{2 * self.trim} clients, got {len(updates)}"
+            )
+        aggregated: Weights = []
+        for layer in range(len(updates[0])):
+            stacked = np.stack([update[layer] for update in updates])
+            stacked.sort(axis=0)
+            kept = stacked[self.trim : len(updates) - self.trim]
+            aggregated.append(kept.mean(axis=0))
+        return aggregated

@@ -1,0 +1,125 @@
+"""The FL client: local data, local model, and a pace controller.
+
+One :class:`FederatedClient` owns a simulated device, a pace controller
+bound to that device, and (optionally) a real numpy model + data shard.
+During a round it downloads the global weights, runs its ``W = E x N``
+jobs under the controller's DVFS decisions — each device job driving one
+real minibatch when a trainer is attached — and reports the updated
+weights plus the round record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import PaceController
+from repro.core.records import RoundRecord
+from repro.errors import ConfigurationError
+from repro.federated.task import FLTaskSpec
+from repro.ml.data import Dataset
+from repro.ml.models import MLPClassifier
+from repro.ml.training import LocalTrainer
+from repro.types import Seconds
+
+
+@dataclass
+class ClientReport:
+    """What a client uploads at the end of a round."""
+
+    client_id: str
+    weights: Optional[List[np.ndarray]]
+    n_samples: int
+    record: RoundRecord
+
+    @property
+    def succeeded(self) -> bool:
+        """Upload counts only if the deadline was met (Fig. 1, step 3)."""
+        return not self.record.missed
+
+
+class FederatedClient:
+    """A device + controller participating in an FL task."""
+
+    def __init__(
+        self,
+        client_id: str,
+        controller: PaceController,
+        task: FLTaskSpec,
+        *,
+        model: Optional[MLPClassifier] = None,
+        data: Optional[Dataset] = None,
+        seed: int = 0,
+    ):
+        if (model is None) != (data is None):
+            raise ConfigurationError(
+                "model and data must be provided together (or both omitted "
+                "for energy-only simulation)"
+            )
+        self.client_id = client_id
+        self.controller = controller
+        self.task = task
+        self.device = controller.device
+        self.model = model
+        self._trainer: Optional[LocalTrainer] = None
+        if model is not None and data is not None:
+            self._trainer = LocalTrainer(
+                model, data, batch_size=task.batch_size, seed=seed
+            )
+
+    @property
+    def jobs_per_round(self) -> int:
+        """``W`` on this client's device.
+
+        With a real trainer attached, ``W`` follows the actual shard size
+        (``E x ceil(samples / B)``) so deadlines and training agree; the
+        spec's Table 2 value is used for energy-only simulation.
+        """
+        if self._trainer is not None:
+            return self.task.epochs * self._trainer.minibatches_per_epoch
+        return self.task.jobs_per_round(self.device.spec)
+
+    @property
+    def n_samples(self) -> int:
+        if self._trainer is not None:
+            return len(self._trainer.data)
+        return self.task.samples_on(self.device.spec)
+
+    def measure_t_min(self) -> Seconds:
+        """The fastest possible round duration on this device.
+
+        Uses the device's ground-truth model the way the paper measured
+        ``T_min`` on the testbed before the experiments (Table 2).
+        """
+        x_max = self.device.space.max_configuration()
+        return self.device.model.latency(x_max) * self.jobs_per_round
+
+    def train_round(self, global_weights: Optional[List[np.ndarray]], deadline: Seconds) -> ClientReport:
+        """Run one FL round: download, train W jobs before deadline, report."""
+        jobs = self.jobs_per_round
+        on_job = None
+        if self._trainer is not None:
+            if global_weights is not None:
+                self._trainer.model.set_weights(global_weights)
+                self._trainer.optimizer.reset()
+            queued = self._trainer.start_round(self.task.epochs)
+            # The simulated job count (E x N with N = ceil(samples / B))
+            # must match the trainer's queue so each device job maps to one
+            # real minibatch.
+            jobs = queued
+
+            def on_job() -> None:  # noqa: ANN202 - local callback
+                self._trainer.train_job()
+
+        record = self.controller.run_round(jobs, deadline, on_job=on_job)
+        weights = None
+        if self._trainer is not None:
+            weights = self._trainer.model.get_weights()
+        return ClientReport(
+            client_id=self.client_id,
+            weights=weights,
+            n_samples=self.n_samples,
+            record=record,
+        )

@@ -1,0 +1,78 @@
+"""Round-deadline schedules.
+
+The paper's server "assigns a training deadline for each training round"
+(§2.1); the evaluation samples 100 deadlines uniformly from
+``[T_min, T_max]`` where ``T_min = T(x_max) * W`` is the fastest-possible
+round and ``T_max = r * T_min`` for ratios ``r`` in {2.0, 2.5, 3.0, 3.5,
+4.0} (Table 2).  Deadlines at exactly ``T_min`` leave zero slack, so the
+uniform schedule optionally floors slightly above it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import Seconds
+
+
+class DeadlineSchedule(ABC):
+    """Produces the deadline list ``T`` for a campaign."""
+
+    @abstractmethod
+    def generate(self, t_min: Seconds, rounds: int, seed: int = 0) -> List[Seconds]:
+        """Deadlines for ``rounds`` rounds, given the measured ``T_min``."""
+
+    @staticmethod
+    def _check(t_min: Seconds, rounds: int) -> None:
+        if t_min <= 0:
+            raise ConfigurationError(f"T_min must be positive, got {t_min}")
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+
+
+class UniformDeadlines(DeadlineSchedule):
+    """IID-uniform deadlines over ``[floor * T_min, ratio * T_min]``.
+
+    ``floor`` defaults to 1.05 so that even the tightest round leaves the
+    guardian a little slack over pure ``x_max`` execution — a deadline of
+    exactly ``T_min`` is only meetable with zero measurement noise.
+    """
+
+    def __init__(self, ratio: float, floor: float = 1.05):
+        if ratio <= 1.0:
+            raise ConfigurationError(f"ratio must exceed 1.0, got {ratio}")
+        if not 1.0 <= floor <= ratio:
+            raise ConfigurationError(
+                f"floor must lie in [1.0, ratio], got floor={floor}, ratio={ratio}"
+            )
+        self.ratio = float(ratio)
+        self.floor = float(floor)
+
+    def generate(self, t_min: Seconds, rounds: int, seed: int = 0) -> List[Seconds]:
+        self._check(t_min, rounds)
+        rng = np.random.default_rng(seed)
+        draws = rng.uniform(self.floor * t_min, self.ratio * t_min, size=rounds)
+        return [float(d) for d in draws]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformDeadlines(ratio={self.ratio}, floor={self.floor})"
+
+
+class StaticDeadlines(DeadlineSchedule):
+    """The vanilla static-timeout server design ([9] in the paper)."""
+
+    def __init__(self, multiple: float):
+        if multiple < 1.0:
+            raise ConfigurationError(f"multiple must be >= 1.0, got {multiple}")
+        self.multiple = float(multiple)
+
+    def generate(self, t_min: Seconds, rounds: int, seed: int = 0) -> List[Seconds]:
+        self._check(t_min, rounds)
+        return [self.multiple * t_min] * rounds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticDeadlines(multiple={self.multiple})"

@@ -1,0 +1,94 @@
+"""Reporting-deadline support: the §2.1 footnote-3 extension.
+
+Some FL servers specify only a *reporting* deadline (training + upload).
+:class:`ReportingDeadlineAdapter` wraps any pace controller with the
+bandwidth-measurement module the paper sketches: before each round it
+converts the reporting deadline into a training deadline using a
+conservative online bandwidth estimate, runs the wrapped controller, then
+simulates the upload and feeds the observed transfer back into the
+estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import JobCallback, PaceController
+from repro.core.records import RoundRecord
+from repro.errors import ConfigurationError
+from repro.federated.transport import (
+    BandwidthEstimator,
+    LinkModel,
+    training_deadline_from_reporting,
+)
+from repro.types import Seconds
+
+
+@dataclass
+class ReportingRoundRecord:
+    """A training round plus its upload leg."""
+
+    training: RoundRecord
+    training_deadline: Seconds
+    reporting_deadline: Seconds
+    upload_time: Seconds
+    #: Whether the server received the update before the reporting deadline.
+    reported_in_time: bool
+
+    @property
+    def total_elapsed(self) -> Seconds:
+        return self.training.elapsed + self.upload_time
+
+
+class ReportingDeadlineAdapter:
+    """Drives a pace controller under reporting (not training) deadlines."""
+
+    def __init__(
+        self,
+        controller: PaceController,
+        model_size_mbit: float,
+        link: Optional[LinkModel] = None,
+        estimator: Optional[BandwidthEstimator] = None,
+        seed: int = 0,
+    ):
+        if model_size_mbit <= 0:
+            raise ConfigurationError(
+                f"model_size_mbit must be positive, got {model_size_mbit}"
+            )
+        self.controller = controller
+        self.model_size_mbit = float(model_size_mbit)
+        self.link = link if link is not None else LinkModel()
+        self.estimator = estimator if estimator is not None else BandwidthEstimator(
+            initial_mbps=self.link.bandwidth_mbps
+        )
+        self._rng = np.random.default_rng(seed)
+
+    def run_round(
+        self,
+        jobs: int,
+        reporting_deadline: Seconds,
+        on_job: Optional[JobCallback] = None,
+    ) -> ReportingRoundRecord:
+        """One FL round against a reporting deadline.
+
+        The derived training deadline shrinks by the predicted upload time;
+        the actual upload is then drawn from the link model and the
+        estimator updated, so mispredictions self-correct over rounds.
+        """
+        training_deadline = training_deadline_from_reporting(
+            reporting_deadline, self.model_size_mbit, self.estimator
+        )
+        record = self.controller.run_round(jobs, training_deadline, on_job)
+        upload_time = self.link.transfer_time(self.model_size_mbit, self._rng)
+        self.estimator.observe_transfer(self.model_size_mbit, upload_time)
+        return ReportingRoundRecord(
+            training=record,
+            training_deadline=training_deadline,
+            reporting_deadline=reporting_deadline,
+            upload_time=upload_time,
+            reported_in_time=record.elapsed + upload_time
+            <= reporting_deadline + 1e-9,
+        )

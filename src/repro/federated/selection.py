@@ -1,0 +1,125 @@
+"""Client-selection strategies (step 1 of the Fig. 1 workflow).
+
+BoFL is agnostic to selection — "any deadline assignment algorithm ...
+can function well with BoFL" (§2.1) — so these are deliberately simple:
+uniform random subsets (the vanilla design of Bonawitz et al.) and
+select-everyone for small pools.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+ClientT = TypeVar("ClientT")
+
+
+class ClientSelector(ABC):
+    """Chooses the participants of one round."""
+
+    @abstractmethod
+    def select(self, clients: Sequence[ClientT], round_index: int) -> List[ClientT]:
+        """Return the participants for ``round_index``."""
+
+
+class AllClientsSelector(ClientSelector):
+    """Every registered client participates every round."""
+
+    def select(self, clients: Sequence[ClientT], round_index: int) -> List[ClientT]:
+        if not clients:
+            raise ConfigurationError("no clients registered")
+        return list(clients)
+
+
+class RandomSelector(ClientSelector):
+    """A uniform random subset of fixed size each round."""
+
+    def __init__(self, participants_per_round: int, seed: int = 0):
+        if participants_per_round < 1:
+            raise ConfigurationError(
+                f"participants_per_round must be >= 1, got {participants_per_round}"
+            )
+        self.participants_per_round = participants_per_round
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, clients: Sequence[ClientT], round_index: int) -> List[ClientT]:
+        if not clients:
+            raise ConfigurationError("no clients registered")
+        count = min(self.participants_per_round, len(clients))
+        indices = self._rng.choice(len(clients), size=count, replace=False)
+        return [clients[i] for i in sorted(indices)]
+
+
+class EnergyAwareSelector(ClientSelector):
+    """AutoFL-style global energy optimization (extension).
+
+    Prefers the clients whose recent rounds cost the least energy — the
+    server-side half of the two-level design §2.1 describes — while an
+    epsilon-greedy exploration share keeps every client occasionally
+    selected (avoiding both staleness and starvation).
+
+    The server feeds the selector through :meth:`observe` after each round;
+    clients without history rank as cheapest so newcomers get measured.
+    """
+
+    def __init__(
+        self,
+        participants_per_round: int,
+        *,
+        epsilon: float = 0.2,
+        smoothing: float = 0.3,
+        seed: int = 0,
+    ):
+        if participants_per_round < 1:
+            raise ConfigurationError(
+                f"participants_per_round must be >= 1, got {participants_per_round}"
+            )
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigurationError(f"epsilon must lie in [0, 1], got {epsilon}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(f"smoothing must lie in (0, 1], got {smoothing}")
+        self.participants_per_round = participants_per_round
+        self.epsilon = epsilon
+        self.smoothing = smoothing
+        self._rng = np.random.default_rng(seed)
+        self._energy_ewma: dict = {}
+
+    def observe(self, client_id: str, round_energy: float) -> None:
+        """Update a client's energy estimate from a completed round."""
+        if round_energy < 0:
+            raise ConfigurationError(f"round energy must be >= 0, got {round_energy}")
+        previous = self._energy_ewma.get(client_id)
+        if previous is None:
+            self._energy_ewma[client_id] = float(round_energy)
+        else:
+            self._energy_ewma[client_id] = (
+                (1 - self.smoothing) * previous + self.smoothing * round_energy
+            )
+
+    def estimated_energy(self, client_id: str) -> float:
+        """The current EWMA estimate (unseen clients rank as free)."""
+        return self._energy_ewma.get(client_id, 0.0)
+
+    def select(self, clients: Sequence[ClientT], round_index: int) -> List[ClientT]:
+        if not clients:
+            raise ConfigurationError("no clients registered")
+        count = min(self.participants_per_round, len(clients))
+        n_random = int(round(self.epsilon * count))
+        ranked = sorted(
+            range(len(clients)),
+            key=lambda i: self.estimated_energy(getattr(clients[i], "client_id", str(i))),
+        )
+        greedy = ranked[: count - n_random]
+        remaining = [i for i in range(len(clients)) if i not in set(greedy)]
+        explore: List[int] = []
+        if n_random and remaining:
+            explore = list(
+                self._rng.choice(len(remaining), size=min(n_random, len(remaining)), replace=False)
+            )
+            explore = [remaining[i] for i in explore]
+        picked = sorted(set(greedy) | set(explore))
+        return [clients[i] for i in picked]

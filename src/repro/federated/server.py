@@ -1,0 +1,155 @@
+"""The FL server: selection, deadline assignment, aggregation (Fig. 1).
+
+Round loop:
+
+1. select participants;
+2. assign each a training deadline — sampled per round from the deadline
+   schedule, scaled by that client's measured ``T_min`` (stronger devices
+   get shorter deadlines, §3.1);
+3. broadcast the global weights and wait for client reports;
+4. aggregate the successful reports (deadline met) with FedAvg and move to
+   the next round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.federated.aggregation import Aggregator, FedAvg, Weights
+from repro.federated.client import ClientReport, FederatedClient
+from repro.federated.deadlines import DeadlineSchedule, UniformDeadlines
+from repro.federated.selection import AllClientsSelector, ClientSelector
+from repro.ml.data import Dataset
+from repro.ml.models import MLPClassifier
+from repro.ml.training import accuracy
+
+
+@dataclass
+class ServerRound:
+    """Server-side record of one global round."""
+
+    round_index: int
+    participants: List[str]
+    reports: List[ClientReport] = field(default_factory=list)
+    #: Clients that dropped out before training (Fig. 1's drop-out branch).
+    dropped: List[str] = field(default_factory=list)
+    aggregated: bool = False
+    global_accuracy: Optional[float] = None
+
+    @property
+    def total_energy(self) -> float:
+        return sum(r.record.energy for r in self.reports)
+
+    @property
+    def stragglers(self) -> List[str]:
+        return [r.client_id for r in self.reports if not r.succeeded]
+
+
+class FederatedServer:
+    """Orchestrates a multi-client federated learning task."""
+
+    def __init__(
+        self,
+        clients: Sequence[FederatedClient],
+        *,
+        global_model: Optional[MLPClassifier] = None,
+        aggregator: Optional[Aggregator] = None,
+        selector: Optional[ClientSelector] = None,
+        deadline_schedule: Optional[DeadlineSchedule] = None,
+        eval_data: Optional[Dataset] = None,
+        dropout_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        if not clients:
+            raise ConfigurationError("a federation needs at least one client")
+        if not 0.0 <= dropout_rate < 1.0:
+            raise ConfigurationError(
+                f"dropout_rate must lie in [0, 1), got {dropout_rate}"
+            )
+        self.clients = list(clients)
+        self.global_model = global_model
+        self.aggregator = aggregator if aggregator is not None else FedAvg()
+        self.selector = selector if selector is not None else AllClientsSelector()
+        self.deadline_schedule = (
+            deadline_schedule if deadline_schedule is not None else UniformDeadlines(2.0)
+        )
+        self.eval_data = eval_data
+        #: Per-participant probability of dropping out of a round before
+        #: training (device offline, battery died — Fig. 1's drop-out arrow).
+        self.dropout_rate = dropout_rate
+        self.history: List[ServerRound] = []
+        self._seed = seed
+        self._dropout_rng = np.random.default_rng(seed + 17)
+        self._t_min: Dict[str, float] = {
+            client.client_id: client.measure_t_min() for client in self.clients
+        }
+        self._deadline_ratios: Optional[np.ndarray] = None
+
+    def _deadline_for(self, client: FederatedClient, round_index: int, total_rounds: int) -> float:
+        """Per-client deadline: the round's slack ratio times its T_min.
+
+        Ratios are drawn once for the whole campaign so every client of a
+        round shares the same relative slack (the server's round pacing),
+        while absolute deadlines reflect each device's capability.
+        """
+        if self._deadline_ratios is None or self._deadline_ratios.size < total_rounds:
+            unit = self.deadline_schedule.generate(1.0, total_rounds, seed=self._seed)
+            self._deadline_ratios = np.asarray(unit)
+        return float(self._deadline_ratios[round_index] * self._t_min[client.client_id])
+
+    def run_round(self, round_index: int, total_rounds: int) -> ServerRound:
+        """Execute one global round and aggregate the results."""
+        participants = self.selector.select(self.clients, round_index)
+        round_record = ServerRound(
+            round_index=round_index,
+            participants=[c.client_id for c in participants],
+        )
+        global_weights: Optional[Weights] = (
+            self.global_model.get_weights() if self.global_model is not None else None
+        )
+        for client in participants:
+            if self.dropout_rate and self._dropout_rng.random() < self.dropout_rate:
+                round_record.dropped.append(client.client_id)
+                continue
+            deadline = self._deadline_for(client, round_index, total_rounds)
+            round_record.reports.append(client.train_round(global_weights, deadline))
+        self._notify_selector(round_record)
+
+        successful = [r for r in round_record.reports if r.succeeded and r.weights is not None]
+        if self.global_model is not None and successful:
+            new_weights = self.aggregator.aggregate(
+                [r.weights for r in successful],
+                [r.n_samples for r in successful],
+            )
+            self.global_model.set_weights(new_weights)
+            round_record.aggregated = True
+            if self.eval_data is not None:
+                round_record.global_accuracy = accuracy(self.global_model, self.eval_data)
+        self.history.append(round_record)
+        return round_record
+
+    def _notify_selector(self, round_record: ServerRound) -> None:
+        """Feed energy observations to selectors that learn from them."""
+        observe = getattr(self.selector, "observe", None)
+        if observe is None:
+            return
+        for report in round_record.reports:
+            observe(report.client_id, report.record.energy)
+
+    def run(self, rounds: int) -> List[ServerRound]:
+        """Run a full campaign of ``rounds`` global rounds."""
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        return [self.run_round(i, rounds) for i in range(rounds)]
+
+    @property
+    def total_energy(self) -> float:
+        """Total training energy across all clients and rounds."""
+        return sum(r.total_energy for r in self.history)
+
+    def accuracy_series(self) -> List[Optional[float]]:
+        return [r.global_accuracy for r in self.history]

@@ -1,0 +1,131 @@
+"""Model-transmission modelling (uplink/downlink) for FL clients.
+
+The paper's deadline model (§2.1, footnote 3) distinguishes
+
+* a **training deadline** — when the gradients must be computed (what BoFL
+  natively consumes), and
+* a **reporting deadline** — when the server must have *received* the
+  update, i.e. training plus upload.
+
+Footnote 7 sizes the transmission: "sending and receiving ResNet50 model
+may take 51.2 Mb / 5 Mbps = 10.2 s ... under 4G LTE".  This module provides
+that arithmetic — a link model with slowly drifting bandwidth, an online
+bandwidth estimator (EWMA over observed transfers), and the conversion the
+paper describes from reporting deadlines to training deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import Seconds, require_fraction, require_positive
+
+#: Megabits per common model checkpoint, for convenience in examples.
+MODEL_SIZES_MBIT = {
+    "vit": 42.0,
+    "resnet50": 51.2,  # the paper's footnote-7 number
+    "lstm": 18.0,
+    "mobilenet_v2": 28.0,
+    "bert_tiny": 35.0,
+}
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A wireless link with lognormal-drifting effective bandwidth.
+
+    ``bandwidth_mbps`` is the nominal rate (5 Mbps ~ busy 4G LTE);
+    ``variability`` the per-transfer lognormal sigma; ``latency`` the fixed
+    per-transfer setup cost (RRC/TLS handshakes).
+    """
+
+    bandwidth_mbps: float = 5.0
+    variability: float = 0.2
+    latency: Seconds = 0.5
+
+    def __post_init__(self) -> None:
+        require_positive("bandwidth_mbps", self.bandwidth_mbps)
+        if self.variability < 0:
+            raise ConfigurationError(f"variability must be >= 0, got {self.variability}")
+        if self.latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {self.latency}")
+
+    def transfer_time(self, size_mbit: float, rng: np.random.Generator) -> Seconds:
+        """Seconds to move ``size_mbit`` over the link (one draw)."""
+        require_positive("size_mbit", size_mbit)
+        if self.variability > 0:
+            factor = float(
+                np.exp(rng.normal(-0.5 * self.variability**2, self.variability))
+            )
+        else:
+            factor = 1.0
+        effective = self.bandwidth_mbps * factor
+        return self.latency + size_mbit / effective
+
+
+class BandwidthEstimator:
+    """EWMA estimate of the effective uplink bandwidth.
+
+    The client observes (size, duration) pairs from its own uploads and
+    keeps a conservative (lower-quantile-ish) estimate: underestimating
+    bandwidth costs a little energy, overestimating costs a deadline.
+    """
+
+    def __init__(self, initial_mbps: float = 5.0, smoothing: float = 0.3,
+                 conservatism: float = 0.8):
+        require_positive("initial_mbps", initial_mbps)
+        self.smoothing = require_fraction("smoothing", smoothing)
+        self.conservatism = require_fraction("conservatism", conservatism)
+        if self.conservatism <= 0:
+            raise ConfigurationError("conservatism must be positive")
+        self._estimate = initial_mbps
+        self.observations = 0
+
+    @property
+    def estimate_mbps(self) -> float:
+        """Current (raw) EWMA bandwidth estimate."""
+        return self._estimate
+
+    @property
+    def safe_mbps(self) -> float:
+        """The deliberately conservative estimate used for deadlines."""
+        return self._estimate * self.conservatism
+
+    def observe_transfer(self, size_mbit: float, duration: Seconds) -> None:
+        """Fold one completed transfer into the estimate."""
+        require_positive("size_mbit", size_mbit)
+        require_positive("duration", duration)
+        measured = size_mbit / duration
+        self._estimate = (
+            (1 - self.smoothing) * self._estimate + self.smoothing * measured
+        )
+        self.observations += 1
+
+    def upload_time(self, size_mbit: float) -> Seconds:
+        """Predicted (conservative) upload duration for ``size_mbit``."""
+        require_positive("size_mbit", size_mbit)
+        return size_mbit / self.safe_mbps
+
+
+def training_deadline_from_reporting(
+    reporting_deadline: Seconds,
+    model_size_mbit: float,
+    estimator: BandwidthEstimator,
+    minimum: Optional[Seconds] = None,
+) -> Seconds:
+    """Infer the training deadline BoFL should target (§2.1 footnote 3).
+
+    ``training_deadline = reporting_deadline - predicted_upload_time``,
+    floored at ``minimum`` (default: 10 % of the reporting deadline) so a
+    catastrophic bandwidth estimate cannot produce a non-positive budget.
+    """
+    require_positive("reporting_deadline", reporting_deadline)
+    upload = estimator.upload_time(model_size_mbit)
+    floor = minimum if minimum is not None else 0.1 * reporting_deadline
+    if floor <= 0:
+        raise ConfigurationError(f"minimum must be positive, got {floor}")
+    return max(reporting_deadline - upload, floor)

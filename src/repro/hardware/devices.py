@@ -1,0 +1,181 @@
+"""Device specifications for the paper's two testbeds (Table 1).
+
+=========  =======================================  ==========================
+Unit       Jetson AGX Xavier                        Jetson TX2
+=========  =======================================  ==========================
+CPU        8-core ARM v8.2, 0.42-2.26 GHz, 25 steps  2-core Denver2 + 4-core
+                                                     A57, 0.34-2.03 GHz, 12
+GPU        512-core Volta, 0.11-1.38 GHz, 14 steps   256-core Pascal,
+                                                     0.11-1.30 GHz, 13 steps
+Memory     32 GB LPDDR4x, 0.20-2.13 GHz, 6 steps     8 GB LPDDR4,
+                                                     0.41-1.87 GHz, 6 steps
+=========  =======================================  ==========================
+
+giving |X| = 25*14*6 = 2100 configurations on the AGX and 12*13*6 = 936 on
+the TX2, exactly as the paper states (§5.1).
+
+Voltage curves and static/idle powers are not published in the paper; they
+are chosen so that full-board draw at ``x_max`` lands in each board's real
+TDP envelope (~30 W AGX, ~15 W TX2) once the per-workload dynamic power is
+calibrated (see :mod:`repro.hardware.perfmodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.errors import DeviceError
+from repro.hardware.frequency import ConfigurationSpace, FrequencyTable
+from repro.hardware.power import VoltageCurve
+from repro.types import Seconds, Watts
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a DVFS-capable edge board.
+
+    A :class:`DeviceSpec` is pure data — the dynamic behaviour (latency and
+    energy surfaces) comes from pairing it with a workload through
+    :class:`repro.hardware.perfmodel.AnalyticPerformanceModel`.
+    """
+
+    name: str
+    long_name: str
+    cpu_description: str
+    gpu_description: str
+    mem_description: str
+    space: ConfigurationSpace
+    cpu_voltage: VoltageCurve
+    gpu_voltage: VoltageCurve
+    mem_voltage: VoltageCurve
+    #: Board rail/leakage power, paid whenever the board is on.
+    static_watts: Watts
+    #: Per-unit idle floors (cpu, gpu, mem).
+    idle_watts: Tuple[Watts, Watts, Watts]
+    #: Fraction of dynamic power a clocked-but-stalled unit keeps drawing
+    #: (imperfect clock gating); (cpu, gpu, mem).
+    waiting_fractions: Tuple[float, float, float] = (0.10, 0.25, 0.05)
+    #: Latency of actuating a DVFS change through sysfs (per switch).
+    dvfs_switch_latency: Seconds = 1e-3
+    #: CPU throughput relative to the AGX, used by the MBO-overhead model
+    #: (Fig. 13): a slower host CPU takes longer to refit the GPs.
+    relative_cpu_speed: float = 1.0
+    #: Extra metadata (memory size, TDP, ...), for reporting only.
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.static_watts < 0:
+            raise DeviceError(f"static_watts must be >= 0, got {self.static_watts}")
+        if len(self.idle_watts) != 3 or any(w < 0 for w in self.idle_watts):
+            raise DeviceError(f"idle_watts must be 3 non-negative values, got {self.idle_watts}")
+        if len(self.waiting_fractions) != 3 or any(
+            not 0.0 <= b <= 1.0 for b in self.waiting_fractions
+        ):
+            raise DeviceError(
+                f"waiting_fractions must be 3 values in [0, 1], got {self.waiting_fractions}"
+            )
+        if self.dvfs_switch_latency < 0:
+            raise DeviceError("dvfs_switch_latency must be >= 0")
+        if self.relative_cpu_speed <= 0:
+            raise DeviceError("relative_cpu_speed must be > 0")
+
+    @property
+    def num_configurations(self) -> int:
+        return len(self.space)
+
+    def summary_rows(self) -> Tuple[Tuple[str, str], ...]:
+        """Rows for the Table 1 reproduction."""
+        cpu, gpu, mem = self.space.tables
+        return (
+            ("CPU", self.cpu_description),
+            (
+                "CPU frequencies",
+                f"{cpu.min:.2f}GHz -> {cpu.max:.2f}GHz ({len(cpu)} steps)",
+            ),
+            ("GPU", self.gpu_description),
+            (
+                "GPU frequencies",
+                f"{gpu.min:.2f}GHz -> {gpu.max:.2f}GHz ({len(gpu)} steps)",
+            ),
+            ("Memory", self.mem_description),
+            (
+                "Memory frequencies",
+                f"{mem.min:.2f}GHz -> {mem.max:.2f}GHz ({len(mem)} steps)",
+            ),
+            ("Unique configurations", str(self.num_configurations)),
+        )
+
+
+def jetson_agx() -> DeviceSpec:
+    """The Nvidia Jetson AGX Xavier testbed (2100 DVFS configurations)."""
+    space = ConfigurationSpace(
+        FrequencyTable.linspaced("cpu", 0.42, 2.26, 25),
+        FrequencyTable.linspaced("gpu", 0.11, 1.38, 14),
+        FrequencyTable.linspaced("mem", 0.20, 2.13, 6),
+    )
+    return DeviceSpec(
+        name="agx",
+        long_name="Nvidia Jetson AGX Xavier",
+        cpu_description="8-core ARM v8.2",
+        gpu_description="512-core Volta GPU",
+        mem_description="32GB 256-bit LPDDR4x",
+        space=space,
+        cpu_voltage=VoltageCurve(0.42, 2.26, 0.64, 1.15, gamma=1.45),
+        gpu_voltage=VoltageCurve(0.11, 1.38, 0.58, 1.10, gamma=1.45),
+        mem_voltage=VoltageCurve(0.20, 2.13, 0.85, 1.05, gamma=1.25),
+        static_watts=2.6,
+        idle_watts=(0.25, 0.35, 0.20),
+        waiting_fractions=(0.10, 0.25, 0.05),
+        dvfs_switch_latency=1e-3,
+        relative_cpu_speed=1.0,
+        attributes={"memory": "32GB", "tdp": "30W", "released": "2018"},
+    )
+
+
+def jetson_tx2() -> DeviceSpec:
+    """The Nvidia Jetson TX2 testbed (936 DVFS configurations)."""
+    space = ConfigurationSpace(
+        FrequencyTable.linspaced("cpu", 0.34, 2.03, 12),
+        FrequencyTable.linspaced("gpu", 0.11, 1.30, 13),
+        FrequencyTable.linspaced("mem", 0.41, 1.87, 6),
+    )
+    return DeviceSpec(
+        name="tx2",
+        long_name="Nvidia Jetson TX2",
+        cpu_description="2-core Nvidia Denver2 + 4-core ARM Cortex-A57",
+        gpu_description="256-core Pascal GPU",
+        mem_description="8GB 128-bit LPDDR4",
+        space=space,
+        cpu_voltage=VoltageCurve(0.34, 2.03, 0.72, 1.20, gamma=1.45),
+        gpu_voltage=VoltageCurve(0.11, 1.30, 0.62, 1.15, gamma=1.45),
+        mem_voltage=VoltageCurve(0.41, 1.87, 0.88, 1.10, gamma=1.25),
+        static_watts=1.3,
+        idle_watts=(0.15, 0.18, 0.12),
+        waiting_fractions=(0.12, 0.30, 0.06),
+        dvfs_switch_latency=1.5e-3,
+        relative_cpu_speed=0.7,
+        attributes={"memory": "8GB", "tdp": "15W", "released": "2017"},
+    )
+
+
+_REGISTRY: Dict[str, Callable[[], DeviceSpec]] = {
+    "agx": jetson_agx,
+    "tx2": jetson_tx2,
+}
+
+
+def available_devices() -> Tuple[str, ...]:
+    """Names accepted by :func:`get_device`."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look a device spec up by short name (``"agx"`` or ``"tx2"``)."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise DeviceError(
+            f"unknown device {name!r}; available: {', '.join(available_devices())}"
+        ) from None
+    return factory()

@@ -1,0 +1,111 @@
+"""sysfs-style DVFS actuation.
+
+On a real Jetson, BoFL changes clocks by writing into kernel files such as
+``/sys/devices/*/devfreq/*/min_freq``.  :class:`DvfsController` reproduces
+that surface — including a string-keyed knob interface and per-switch
+latency — over an in-memory device state, and validates every requested
+frequency against the device's published tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.clock import SimulationClock
+from repro.errors import DeviceError, FrequencyError
+from repro.hardware.devices import DeviceSpec
+from repro.types import DvfsConfiguration, GHz
+
+#: sysfs-like paths for the three knobs, in canonical unit order.
+KNOB_PATHS = (
+    "/sys/devices/system/cpu/cpufreq/policy0/scaling_setspeed",
+    "/sys/devices/gpu.0/devfreq/17000000.gv11b/target_freq",
+    "/sys/kernel/debug/bpmp/debug/clk/emc/rate",
+)
+
+
+class DvfsController:
+    """Actuates DVFS configurations on a simulated board.
+
+    The controller tracks the currently applied configuration, counts
+    switches, and charges :attr:`DeviceSpec.dvfs_switch_latency` of
+    simulated time per actual change (a no-op write is free, matching the
+    kernel's behaviour).
+    """
+
+    def __init__(self, spec: DeviceSpec, clock: Optional[SimulationClock] = None):
+        self.spec = spec
+        self.clock = clock if clock is not None else SimulationClock()
+        self._current = spec.space.max_configuration()
+        self._switch_count = 0
+        self._last_switch_at = self.clock.now
+
+    @property
+    def current(self) -> DvfsConfiguration:
+        """The configuration currently applied to the hardware."""
+        return self._current
+
+    @property
+    def switch_count(self) -> int:
+        """How many actual configuration changes have been actuated."""
+        return self._switch_count
+
+    @property
+    def last_switch_at(self) -> float:
+        """Simulated timestamp of the most recent actual switch."""
+        return self._last_switch_at
+
+    def apply(self, config: DvfsConfiguration) -> bool:
+        """Apply ``config``; returns True if an actual switch happened.
+
+        Raises :class:`FrequencyError` if any axis is not in the device's
+        table — the kernel would reject such a write with ``EINVAL``.
+        """
+        if config not in self.spec.space:
+            raise FrequencyError(
+                f"{config} is not a valid configuration for device {self.spec.name!r}"
+            )
+        if config == self._current:
+            return False
+        self._current = config
+        self._switch_count += 1
+        self.clock.advance(self.spec.dvfs_switch_latency)
+        self._last_switch_at = self.clock.now
+        return True
+
+    # -- sysfs-compatible string interface ----------------------------------
+
+    def write_knob(self, path: str, freq_khz: str) -> None:
+        """Write one knob the way a shell script would: a kHz string.
+
+        The other two axes keep their current values.  Unknown paths raise
+        :class:`DeviceError` (ENOENT in kernel terms).
+        """
+        try:
+            axis = KNOB_PATHS.index(path)
+        except ValueError:
+            raise DeviceError(f"no such DVFS knob: {path}") from None
+        try:
+            ghz: GHz = int(freq_khz) / 1e6
+        except ValueError:
+            raise DeviceError(f"knob writes must be integer kHz, got {freq_khz!r}") from None
+        table = self.spec.space.tables[axis]
+        if ghz not in table:
+            raise FrequencyError(
+                f"{ghz} GHz is not a supported {table.unit} frequency on "
+                f"{self.spec.name!r}"
+            )
+        clocks = list(self._current.as_tuple())
+        clocks[axis] = table.nearest(ghz)
+        self.apply(DvfsConfiguration(*clocks))
+
+    def read_knobs(self) -> Dict[str, str]:
+        """Read all knobs back as kHz strings, keyed by sysfs path."""
+        return {
+            path: str(int(round(freq * 1e6)))
+            for path, freq in zip(KNOB_PATHS, self._current.as_tuple())
+        }
+
+    def reset_to_max(self) -> None:
+        """Apply ``x_max`` (the Performant/guardian configuration)."""
+        self.apply(self.spec.space.max_configuration())

@@ -1,0 +1,141 @@
+"""Deterministic measurement- and process-noise models.
+
+Two kinds of randomness affect what the controller observes:
+
+* **process noise** — genuine run-to-run variation in job latency/energy
+  (cache state, DRAM refresh, thermal drift).  Applied to the *actual*
+  values a job consumes.
+* **sensor noise** — error in the INA3221 power readings and event timers.
+  Applied only to the *measured* values reported to the controller.  The
+  sensor error over a measurement window shrinks as the window grows, and
+  is inflated while the voltage rails are still settling after a DVFS
+  switch — exactly the effect that motivates the paper's ``tau`` reference
+  measurement duration (§4.2, "Workload assignment").
+
+Every draw is a pure function of ``(seed, *key)``, so identical campaigns
+produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.types import require_fraction, require_positive
+
+
+def _rng_for(seed: int, key: Iterable[int]) -> np.random.Generator:
+    """Build a generator deterministically keyed by ``(seed, *key)``."""
+    material = [seed & 0xFFFFFFFF] + [int(k) & 0xFFFFFFFF for k in key]
+    return np.random.default_rng(np.random.SeedSequence(material))
+
+
+class MeasurementNoise:
+    """Multiplicative Gaussian noise with duration-dependent sensor error.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; combine with per-draw keys for determinism.
+    process_latency_std / process_energy_std:
+        Relative std of true per-job variation.
+    sensor_latency_std / sensor_energy_std:
+        Relative std of a sensor reading over a window of
+        ``reference_duration`` seconds.  Shorter windows scale the error by
+        ``sqrt(reference_duration / duration)`` (capped).
+    settle_time:
+        Seconds after a DVFS switch during which rails are unstable;
+        windows overlapping it get ``settle_penalty`` times the error.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        process_latency_std: float = 0.005,
+        process_energy_std: float = 0.010,
+        sensor_latency_std: float = 0.004,
+        sensor_energy_std: float = 0.015,
+        reference_duration: float = 5.0,
+        max_error_scale: float = 6.0,
+        settle_time: float = 0.5,
+        settle_penalty: float = 3.0,
+    ):
+        self.seed = int(seed)
+        self.process_latency_std = require_fraction("process_latency_std", process_latency_std)
+        self.process_energy_std = require_fraction("process_energy_std", process_energy_std)
+        self.sensor_latency_std = require_fraction("sensor_latency_std", sensor_latency_std)
+        self.sensor_energy_std = require_fraction("sensor_energy_std", sensor_energy_std)
+        self.reference_duration = require_positive("reference_duration", reference_duration)
+        self.max_error_scale = require_positive("max_error_scale", max_error_scale)
+        if settle_time < 0:
+            raise ValueError(f"settle_time must be >= 0, got {settle_time}")
+        self.settle_time = float(settle_time)
+        self.settle_penalty = require_positive("settle_penalty", settle_penalty)
+
+    # -- process noise ------------------------------------------------------
+
+    def perturb_job(
+        self, key: Iterable[int], latency: float, energy: float
+    ) -> Tuple[float, float]:
+        """Apply run-to-run variation to one job's true latency/energy."""
+        rng = _rng_for(self.seed, list(key) + [0x1A])
+        lat = latency * self._bounded_factor(rng, self.process_latency_std)
+        en = energy * self._bounded_factor(rng, self.process_energy_std)
+        return lat, en
+
+    # -- sensor noise ---------------------------------------------------------
+
+    def error_scale(self, duration: float, settling_overlap: float = 0.0) -> float:
+        """Relative error multiplier for a window of ``duration`` seconds."""
+        duration = max(float(duration), 1e-6)
+        scale = math.sqrt(self.reference_duration / duration)
+        scale = min(max(scale, 1.0), self.max_error_scale)
+        if self.settle_time > 0 and settling_overlap > 0:
+            overlap_frac = min(settling_overlap / duration, 1.0)
+            scale *= 1.0 + (self.settle_penalty - 1.0) * overlap_frac
+        return scale
+
+    def perturb_measurement(
+        self,
+        key: Iterable[int],
+        latency: float,
+        energy: float,
+        duration: float,
+        settling_overlap: float = 0.0,
+    ) -> Tuple[float, float]:
+        """Apply sensor error to a measurement over a window."""
+        rng = _rng_for(self.seed, list(key) + [0x2B])
+        scale = self.error_scale(duration, settling_overlap)
+        lat = latency * self._bounded_factor(rng, self.sensor_latency_std * scale)
+        en = energy * self._bounded_factor(rng, self.sensor_energy_std * scale)
+        return lat, en
+
+    @staticmethod
+    def _bounded_factor(rng: np.random.Generator, std: float) -> float:
+        """A multiplicative factor ``1 + N(0, std)`` clipped to stay positive."""
+        if std <= 0:
+            return 1.0
+        return float(np.clip(1.0 + rng.normal(0.0, std), 0.2, 1.8))
+
+
+class NoiselessMeasurement(MeasurementNoise):
+    """A noise model that changes nothing — for unit tests and oracles."""
+
+    def __init__(self, seed: int = 0):
+        super().__init__(
+            seed,
+            process_latency_std=0.0,
+            process_energy_std=0.0,
+            sensor_latency_std=0.0,
+            sensor_energy_std=0.0,
+            settle_time=0.0,
+        )
+
+    def perturb_job(self, key, latency, energy):  # noqa: D102 - inherited
+        return latency, energy
+
+    def perturb_measurement(self, key, latency, energy, duration, settling_overlap=0.0):  # noqa: D102
+        return latency, energy

@@ -1,0 +1,229 @@
+"""Calibrated analytic latency/energy surfaces over the DVFS space.
+
+This module is the stand-in for physically training a network on a Jetson
+board.  It models a job (one minibatch) as three overlapping per-unit work
+phases and derives both objectives from first principles:
+
+**Latency.**  Each unit ``u`` (CPU, GPU, memory controller) owes
+``work_u`` gigacycles, taking ``t_u = work_u / f_u`` seconds at clock
+``f_u``.  Units overlap imperfectly, so the job latency is
+
+    ``T(x) = t_overhead + max_u(t_u) + sigma * (sum_u(t_u) - max_u(t_u))``
+
+where ``sigma`` in [0, 1] is the workload's serialization factor: 0 means
+the non-bottleneck units hide entirely behind the bottleneck, 1 means fully
+serial execution.  This produces exactly the phenomenology of §2.2 —
+diminishing returns from one axis once another becomes the bottleneck
+(Fig. 3a), and workload-dependent axis sensitivity (Fig. 4a).
+
+**Energy.**  The board pays its power floor (static rails + per-unit idle
+draw) for the full duration and each unit additionally pays dynamic power
+``k_u * f_u * V_u(f_u)^2`` while busy (:mod:`repro.hardware.power`).  The
+race between floor energy (favours fast clocks) and super-linear dynamic
+energy (favours slow clocks) yields interior energy optima and the
+non-monotone curves of Figs. 3b/4b.
+
+**Calibration.**  Work amounts and dynamic coefficients are solved in
+closed form from a :class:`CalibrationTarget`, which pins the per-job
+latency and energy at ``x_max`` to the paper's measured values (Table 2 /
+Figs. 9-11) and fixes how the busy time / dynamic energy are shared between
+units at ``x_max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.devices import DeviceSpec
+from repro.hardware.power import DevicePowerModel, UnitPowerModel
+from repro.types import (
+    DvfsConfiguration,
+    Joules,
+    Seconds,
+    require_fraction,
+    require_positive,
+)
+
+
+def _require_simplex(name: str, values: Sequence[float]) -> Tuple[float, float, float]:
+    """Validate a 3-vector of positive shares summing to one."""
+    if len(values) != 3:
+        raise ConfigurationError(f"{name} must have 3 entries, got {len(values)}")
+    shares = tuple(float(v) for v in values)
+    if any(v <= 0 for v in shares):
+        raise ConfigurationError(f"{name} entries must be positive: {shares}")
+    if abs(sum(shares) - 1.0) > 1e-6:
+        raise ConfigurationError(f"{name} must sum to 1, got {sum(shares)}")
+    return shares  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """Anchors for one (device, workload) performance surface.
+
+    Attributes
+    ----------
+    latency_at_max:
+        Measured per-job latency at ``x_max`` (seconds).  Derived from the
+        paper's Table 2 as ``T_min / W``.
+    energy_at_max:
+        Measured per-job energy at ``x_max`` (Joules).  Derived from the
+        Performant curves of Figs. 9-10 divided by ``W`` (and from the
+        Fig. 5 AGX/TX2 ratios for the TX2).
+    busy_shares:
+        Fraction of per-unit busy time attributed to (cpu, gpu, mem) at
+        ``x_max``; encodes which unit bottlenecks the workload.
+    dynamic_split:
+        Fraction of the dynamic energy budget drawn by (cpu, gpu, mem) at
+        ``x_max``.
+    serial_fraction:
+        The overlap parameter ``sigma`` described in the module docstring.
+    overhead_fraction:
+        Fixed per-job overhead (kernel launches, sync) as a fraction of
+        ``latency_at_max``.
+    """
+
+    latency_at_max: Seconds
+    energy_at_max: Joules
+    busy_shares: Tuple[float, float, float]
+    dynamic_split: Tuple[float, float, float]
+    serial_fraction: float
+    overhead_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        require_positive("latency_at_max", self.latency_at_max)
+        require_positive("energy_at_max", self.energy_at_max)
+        _require_simplex("busy_shares", self.busy_shares)
+        _require_simplex("dynamic_split", self.dynamic_split)
+        require_fraction("serial_fraction", self.serial_fraction)
+        require_fraction("overhead_fraction", self.overhead_fraction)
+
+
+class AnalyticPerformanceModel:
+    """Ground-truth ``T(x)`` / ``E(x)`` surfaces for one (device, workload).
+
+    Instances are the *blackbox* under optimization: the BoFL controller
+    never reads the internals, it only receives (noisy) samples through
+    :class:`repro.hardware.device.SimulatedDevice`.  The exact surfaces are
+    exposed (``latency``, ``energy``, ``profile_space``) for the Oracle
+    baseline, which in the paper corresponds to exhaustive offline
+    profiling.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        target: CalibrationTarget,
+        workload_name: str = "custom",
+    ):
+        self.device = device
+        self.target = target
+        self.workload_name = workload_name
+        space = device.space
+        x_max = space.max_configuration()
+        f_max = np.array(x_max.as_tuple())
+
+        # --- latency calibration -----------------------------------------
+        # Split the target latency into overhead + overlapped busy times so
+        # that at x_max the busy times have exactly the requested shares.
+        self._overhead = target.overhead_fraction * target.latency_at_max
+        shares = np.array(target.busy_shares)
+        sigma = target.serial_fraction
+        # T* - t0 = scale * (max(shares) + sigma * (1 - max(shares)))
+        overlap = shares.max() + sigma * (1.0 - shares.max())
+        scale = (target.latency_at_max - self._overhead) / overlap
+        busy_at_max = scale * shares
+        #: per-unit work in gigacycles: busy time at clock f is work / f.
+        self._work = busy_at_max * f_max
+        self._sigma = sigma
+
+        # --- energy calibration ------------------------------------------
+        # Solve the per-unit dynamic coefficients k_u so the total job
+        # energy at x_max equals the target, with the requested split.
+        curves = (device.cpu_voltage, device.gpu_voltage, device.mem_voltage)
+        floor = device.static_watts + sum(device.idle_watts)
+        dynamic_budget = target.energy_at_max - floor * target.latency_at_max
+        if dynamic_budget <= 0:
+            raise ConfigurationError(
+                f"energy target {target.energy_at_max} J is below the floor energy "
+                f"{floor * target.latency_at_max:.3f} J; lower the device's "
+                "static/idle power or raise the target"
+            )
+        split = np.array(target.dynamic_split)
+        units = []
+        for i in range(3):
+            switching = curves[i].switching_factor(f_max[i])
+            beta = device.waiting_fractions[i]
+            stalled = target.latency_at_max - busy_at_max[i]
+            effective_time = busy_at_max[i] + beta * stalled
+            k = split[i] * dynamic_budget / (switching * effective_time)
+            units.append(
+                UnitPowerModel(curves[i], float(k), device.idle_watts[i], beta)
+            )
+        self.power = DevicePowerModel(device.static_watts, *units)
+
+    # -- scalar interface --------------------------------------------------
+
+    def busy_times(self, config: DvfsConfiguration) -> Tuple[float, float, float]:
+        """Per-unit busy seconds at ``config``."""
+        freqs = np.array(config.as_tuple())
+        times = self._work / freqs
+        return (float(times[0]), float(times[1]), float(times[2]))
+
+    def latency(self, config: DvfsConfiguration) -> Seconds:
+        """True (noise-free) per-job latency at ``config``."""
+        times = self._work / np.array(config.as_tuple())
+        bottleneck = times.max()
+        return float(
+            self._overhead + bottleneck + self._sigma * (times.sum() - bottleneck)
+        )
+
+    def energy(self, config: DvfsConfiguration) -> Joules:
+        """True (noise-free) per-job energy at ``config``."""
+        freqs = config.as_tuple()
+        times = self.busy_times(config)
+        return float(self.power.job_energy(freqs, times, self.latency(config)))
+
+    def objectives(self, config: DvfsConfiguration) -> Tuple[Seconds, Joules]:
+        """``(T(x), E(x))`` at ``config``."""
+        return (self.latency(config), self.energy(config))
+
+    # -- vectorized interface (used by the Oracle's offline profiling) -----
+
+    def latency_array(self, freqs: np.ndarray) -> np.ndarray:
+        """Vectorized latency for an ``(n, 3)`` array of GHz clocks."""
+        freqs = np.asarray(freqs, dtype=float)
+        times = self._work[None, :] / freqs
+        bottleneck = times.max(axis=1)
+        return self._overhead + bottleneck + self._sigma * (times.sum(axis=1) - bottleneck)
+
+    def energy_array(self, freqs: np.ndarray) -> np.ndarray:
+        """Vectorized energy for an ``(n, 3)`` array of GHz clocks."""
+        freqs = np.asarray(freqs, dtype=float)
+        times = self._work[None, :] / freqs
+        duration = self.latency_array(freqs)
+        return self.power.job_energy(
+            (freqs[:, 0], freqs[:, 1], freqs[:, 2]),
+            (times[:, 0], times[:, 1], times[:, 2]),
+            duration,
+        )
+
+    def profile_space(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Exhaustively profile the whole space (the Oracle's offline pass).
+
+        Returns ``(latencies, energies)`` aligned with
+        ``device.space.all_configurations()``.
+        """
+        freqs = self.device.space.as_array()
+        return self.latency_array(freqs), self.energy_array(freqs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AnalyticPerformanceModel({self.workload_name!r} on {self.device.name!r}, "
+            f"T(x_max)={self.target.latency_at_max:.3f}s, "
+            f"E(x_max)={self.target.energy_at_max:.3f}J)"
+        )

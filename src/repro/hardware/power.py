@@ -1,0 +1,174 @@
+"""Voltage/power modelling for the simulated boards.
+
+DVFS saves energy because dynamic CMOS power scales as ``P ~ k * f * V(f)^2``
+and the required supply voltage V grows with frequency, so lowering a clock
+saves *more* than linearly in power while costing only linearly in time.
+The competing effect is the board's static (leakage + rail) power, which is
+paid for the full duration of a job — run too slowly and the static energy
+dominates.  The interaction of these two terms is what gives each workload
+an interior energy-optimal configuration, exactly the structure the paper
+measures in Figs. 3-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import GHz, Watts, require_positive
+
+
+@dataclass(frozen=True)
+class VoltageCurve:
+    """Voltage-frequency operating curve for one unit.
+
+    ``V(f) = v_min + (v_max - v_min) * frac^gamma`` with
+    ``frac = (f - f_min) / (f_max - f_min)``.
+
+    ``gamma > 1`` makes the curve convex — flat at low frequencies and
+    steep near the top — which matches published Jetson operating points:
+    the last few frequency bins demand disproportionate voltage, so backing
+    off a little from ``f_max`` yields outsized energy savings.
+    """
+
+    f_min: GHz
+    f_max: GHz
+    v_min: float
+    v_max: float
+    gamma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.f_min < self.f_max):
+            raise ConfigurationError(
+                f"need 0 < f_min < f_max, got {self.f_min}, {self.f_max}"
+            )
+        if not (0 < self.v_min <= self.v_max):
+            raise ConfigurationError(
+                f"need 0 < v_min <= v_max, got {self.v_min}, {self.v_max}"
+            )
+        if self.gamma <= 0:
+            raise ConfigurationError(f"gamma must be positive, got {self.gamma}")
+
+    def voltage(self, freq):
+        """Supply voltage at ``freq`` (GHz).  Accepts scalars or arrays."""
+        freq = np.asarray(freq, dtype=float)
+        span = self.f_max - self.f_min
+        frac = np.clip((freq - self.f_min) / span, 0.0, 1.0)
+        out = self.v_min + (self.v_max - self.v_min) * frac**self.gamma
+        return float(out) if out.ndim == 0 else out
+
+    def switching_factor(self, freq):
+        """``f * V(f)^2`` — the dynamic-power scaling factor at ``freq``."""
+        freq = np.asarray(freq, dtype=float)
+        out = freq * self.voltage(freq) ** 2
+        return float(out) if out.ndim == 0 else out
+
+
+@dataclass(frozen=True)
+class UnitPowerModel:
+    """Power model for one hardware unit (CPU, GPU or memory controller).
+
+    * while busy the unit draws ``k * f * V(f)^2`` watts (dynamic) on top of
+      its idle draw;
+    * while *stalled* — clocked but waiting for another unit during an
+      active job — it still draws ``waiting_fraction`` of its dynamic power,
+      because clock gating is imperfect (especially on GPUs);
+    * while idle it draws ``idle_watts``.
+
+    ``k`` is a calibration constant fixed per (device, workload) so that the
+    total energy at ``x_max`` matches the measured target (see
+    :mod:`repro.hardware.perfmodel`).  The waiting term is what makes badly
+    *imbalanced* configurations expensive: downclocking the CPU under a
+    fast GPU leaves the GPU spinning at high voltage, which is why the
+    paper's slow-CPU energy advantage vanishes at high GPU clocks
+    (Fig. 3b).
+    """
+
+    curve: VoltageCurve
+    k: float
+    idle_watts: Watts
+    waiting_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("k", self.k)
+        if self.idle_watts < 0:
+            raise ConfigurationError(f"idle_watts must be >= 0, got {self.idle_watts}")
+        if not 0.0 <= self.waiting_fraction <= 1.0:
+            raise ConfigurationError(
+                f"waiting_fraction must lie in [0, 1], got {self.waiting_fraction}"
+            )
+
+    def busy_power(self, freq):
+        """Total draw while busy at ``freq``: idle floor plus dynamic power."""
+        return self.idle_watts + self.k * self.curve.switching_factor(freq)
+
+    def dynamic_power(self, freq):
+        """Dynamic (activity) component of the busy draw at ``freq``."""
+        return self.k * self.curve.switching_factor(freq)
+
+
+@dataclass(frozen=True)
+class DevicePowerModel:
+    """Whole-board power model: static rail power plus three units.
+
+    Energy for a job of duration ``T`` with per-unit busy times ``t_u``:
+
+    ``E = P_static * T
+         + sum_u [ idle_u * T
+                   + dyn_u(f_u) * (t_u + beta_u * (T - t_u)) ]``
+
+    where ``dyn_u(f) = k_u * f * V_u(f)^2`` and ``beta_u`` is the unit's
+    waiting fraction: every unit pays its idle floor for the whole job, its
+    full dynamic power while busy, and a fraction of it while stalled
+    behind another unit.
+    """
+
+    static_watts: Watts
+    cpu: UnitPowerModel
+    gpu: UnitPowerModel
+    mem: UnitPowerModel
+
+    def __post_init__(self) -> None:
+        if self.static_watts < 0:
+            raise ConfigurationError(
+                f"static_watts must be >= 0, got {self.static_watts}"
+            )
+
+    def floor_power(self) -> Watts:
+        """Board draw with all units idle (static + idle floors)."""
+        return (
+            self.static_watts
+            + self.cpu.idle_watts
+            + self.gpu.idle_watts
+            + self.mem.idle_watts
+        )
+
+    def job_energy(self, freqs, busy_times, duration):
+        """Energy of a job given unit clocks, per-unit busy times and duration.
+
+        Parameters
+        ----------
+        freqs:
+            ``(f_cpu, f_gpu, f_mem)`` in GHz; each entry may be an array for
+            vectorized evaluation (all shapes must broadcast together).
+        busy_times:
+            per-unit busy seconds ``(t_cpu, t_gpu, t_mem)``; each must not
+            exceed ``duration``.
+        duration:
+            total job latency in seconds.
+        """
+        duration = np.asarray(duration, dtype=float)
+        energy = self.floor_power() * duration
+        for unit, freq, busy in zip((self.cpu, self.gpu, self.mem), freqs, busy_times):
+            busy = np.asarray(busy, dtype=float)
+            stalled = np.maximum(duration - busy, 0.0)
+            energy = energy + unit.dynamic_power(freq) * (
+                busy + unit.waiting_fraction * stalled
+            )
+        return float(energy) if np.ndim(energy) == 0 else energy
+
+    def average_power(self, freqs, busy_times, duration):
+        """Mean power over a job — what an INA3221-style sensor integrates."""
+        return self.job_energy(freqs, busy_times, duration) / duration

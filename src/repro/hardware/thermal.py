@@ -1,0 +1,100 @@
+"""Lumped thermal model with throttling (extension; off by default).
+
+Real Jetson boards heat up under sustained training and throttle once the
+junction temperature crosses a trip point, which silently invalidates any
+performance profile measured cold — the main threat to BoFL's
+explore-then-exploit design on long campaigns.  This module provides the
+standard first-order (RC) thermal model:
+
+    ``dT/dt = (P * R_th - (T - T_ambient)) / tau_th``
+
+integrated exactly over each job, plus a throttle curve that inflates job
+latency linearly from ``throttle_start`` to ``throttle_full`` degrees.
+
+Pair it with ``BoFLConfig(drift_reexploration=True)`` to let the controller
+detect the resulting model drift and re-run its exploration phases (see
+:mod:`repro.core.controller`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.types import Seconds, Watts, require_positive
+
+
+@dataclass
+class ThermalModel:
+    """First-order board thermal state with linear throttling.
+
+    Attributes
+    ----------
+    r_th:
+        Thermal resistance in degrees C per watt: the steady-state rise
+        above ambient under constant power is ``P * r_th``.
+    tau_th:
+        Thermal time constant in seconds (how fast the board approaches
+        its steady state).
+    t_ambient:
+        Ambient temperature in degrees C; also the initial temperature.
+    throttle_start / throttle_full:
+        Temperatures between which the throttle ramps linearly from no
+        effect to ``max_slowdown``.
+    max_slowdown:
+        Latency multiplier at (and beyond) ``throttle_full``.
+    """
+
+    r_th: float = 2.4
+    tau_th: Seconds = 120.0
+    t_ambient: float = 25.0
+    throttle_start: float = 70.0
+    throttle_full: float = 90.0
+    max_slowdown: float = 1.25
+    temperature: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        require_positive("r_th", self.r_th)
+        require_positive("tau_th", self.tau_th)
+        if not self.t_ambient < self.throttle_start < self.throttle_full:
+            raise ConfigurationError(
+                "need t_ambient < throttle_start < throttle_full, got "
+                f"{self.t_ambient}, {self.throttle_start}, {self.throttle_full}"
+            )
+        if self.max_slowdown < 1.0:
+            raise ConfigurationError(
+                f"max_slowdown must be >= 1.0, got {self.max_slowdown}"
+            )
+        self.temperature = self.t_ambient
+
+    def steady_state(self, power: Watts) -> float:
+        """Temperature the board settles at under constant ``power``."""
+        if power < 0:
+            raise ConfigurationError(f"power must be >= 0, got {power}")
+        return self.t_ambient + power * self.r_th
+
+    def update(self, power: Watts, duration: Seconds) -> float:
+        """Integrate the RC dynamics over ``duration`` at constant ``power``.
+
+        Exact exponential update (no time-step error), returns the new
+        temperature.
+        """
+        if duration < 0:
+            raise ConfigurationError(f"duration must be >= 0, got {duration}")
+        target = self.steady_state(power)
+        decay = math.exp(-duration / self.tau_th)
+        self.temperature = target + (self.temperature - target) * decay
+        return self.temperature
+
+    def throttle_factor(self) -> float:
+        """Current latency multiplier (1.0 when cool)."""
+        if self.temperature <= self.throttle_start:
+            return 1.0
+        span = self.throttle_full - self.throttle_start
+        fraction = min((self.temperature - self.throttle_start) / span, 1.0)
+        return 1.0 + (self.max_slowdown - 1.0) * fraction
+
+    def reset(self) -> None:
+        """Cool the board back to ambient (e.g. between campaigns)."""
+        self.temperature = self.t_ambient

@@ -1,0 +1,37 @@
+"""Exact linear and integer optimization, implemented from scratch.
+
+The paper solves the exploitation-phase energy minimization (Eqn. 1,
+restricted to the observed Pareto set) as an Integer Linear Program with
+Gurobi's branch-and-bound (§5.2, "Optimization solver").  Gurobi is
+proprietary, so this subpackage provides the same capability natively:
+
+* :mod:`repro.ilp.simplex` — a dense two-phase primal simplex solver;
+* :mod:`repro.ilp.branch_and_bound` — LP-relaxation branch-and-bound for
+  mixed-integer programs;
+* :mod:`repro.ilp.schedule` — the specialized job-schedule problem BoFL
+  actually solves each round, with a fast pair-mixing warm start that the
+  branch-and-bound uses as its incumbent.
+"""
+
+from repro.ilp.model import IntegerProgram, LinearProgram, Solution, SolutionStatus
+from repro.ilp.simplex import solve_lp
+from repro.ilp.branch_and_bound import solve_milp
+from repro.ilp.schedule import (
+    ScheduleProblem,
+    solve_schedule,
+    solve_schedule_greedy,
+    solve_schedule_pairs,
+)
+
+__all__ = [
+    "IntegerProgram",
+    "LinearProgram",
+    "ScheduleProblem",
+    "Solution",
+    "SolutionStatus",
+    "solve_lp",
+    "solve_milp",
+    "solve_schedule",
+    "solve_schedule_greedy",
+    "solve_schedule_pairs",
+]

@@ -1,0 +1,150 @@
+"""Problem and solution containers for the LP/MILP solvers.
+
+All problems are minimization over non-negative variables:
+
+    ``min c @ x   s.t.  A_ub x <= b_ub,  A_eq x = b_eq,  x >= 0``
+
+with optional per-variable upper bounds and (for
+:class:`IntegerProgram`) integrality flags.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class SolutionStatus(enum.Enum):
+    """Terminal state of a solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+
+@dataclass(frozen=True)
+class Solution:
+    """Result of an LP or MILP solve."""
+
+    status: SolutionStatus
+    x: Optional[np.ndarray] = None
+    objective: Optional[float] = None
+    #: Branch-and-bound node count (MILP) or simplex pivots (LP).
+    work: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolutionStatus.OPTIMAL
+
+
+def _as_matrix(a, n_vars: int, name: str) -> np.ndarray:
+    if a is None:
+        return np.zeros((0, n_vars))
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    if a.shape[1] != n_vars:
+        raise ConfigurationError(f"{name} has {a.shape[1]} columns, expected {n_vars}")
+    return a
+
+
+def _as_vector(b, n_rows: int, name: str) -> np.ndarray:
+    if b is None:
+        return np.zeros(0)
+    b = np.asarray(b, dtype=float).ravel()
+    if b.size != n_rows:
+        raise ConfigurationError(f"{name} has {b.size} entries, expected {n_rows}")
+    return b
+
+
+@dataclass
+class LinearProgram:
+    """``min c @ x`` over ``x >= 0`` with inequality/equality constraints.
+
+    ``upper_bounds`` (optional) adds ``x_i <= u_i`` rows at solve time;
+    use ``np.inf`` for unbounded variables.
+    """
+
+    c: np.ndarray
+    a_ub: Optional[np.ndarray] = None
+    b_ub: Optional[np.ndarray] = None
+    a_eq: Optional[np.ndarray] = None
+    b_eq: Optional[np.ndarray] = None
+    upper_bounds: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.c = np.asarray(self.c, dtype=float).ravel()
+        if self.c.size == 0:
+            raise ConfigurationError("a linear program needs at least one variable")
+        n = self.c.size
+        self.a_ub = _as_matrix(self.a_ub, n, "a_ub")
+        self.b_ub = _as_vector(self.b_ub, self.a_ub.shape[0], "b_ub")
+        self.a_eq = _as_matrix(self.a_eq, n, "a_eq")
+        self.b_eq = _as_vector(self.b_eq, self.a_eq.shape[0], "b_eq")
+        if self.upper_bounds is not None:
+            self.upper_bounds = np.asarray(self.upper_bounds, dtype=float).ravel()
+            if self.upper_bounds.size != n:
+                raise ConfigurationError(
+                    f"upper_bounds has {self.upper_bounds.size} entries, expected {n}"
+                )
+            if np.any(self.upper_bounds < 0):
+                raise ConfigurationError("upper bounds must be non-negative")
+
+    @property
+    def n_vars(self) -> int:
+        return self.c.size
+
+    def with_bound(self, var: int, *, upper: Optional[float] = None, lower: Optional[float] = None) -> "LinearProgram":
+        """A copy with one extra single-variable bound row (for branching)."""
+        a_ub = self.a_ub
+        b_ub = self.b_ub
+        rows = []
+        rhs = []
+        if upper is not None:
+            row = np.zeros(self.n_vars)
+            row[var] = 1.0
+            rows.append(row)
+            rhs.append(float(upper))
+        if lower is not None:
+            row = np.zeros(self.n_vars)
+            row[var] = -1.0
+            rows.append(row)
+            rhs.append(-float(lower))
+        if not rows:
+            raise ConfigurationError("with_bound needs an upper or lower bound")
+        new_a = np.vstack([a_ub, np.array(rows)]) if a_ub.size else np.array(rows)
+        new_b = np.concatenate([b_ub, np.array(rhs)])
+        return LinearProgram(
+            c=self.c.copy(),
+            a_ub=new_a,
+            b_ub=new_b,
+            a_eq=self.a_eq.copy() if self.a_eq.size else None,
+            b_eq=self.b_eq.copy() if self.b_eq.size else None,
+            upper_bounds=None if self.upper_bounds is None else self.upper_bounds.copy(),
+        )
+
+
+@dataclass
+class IntegerProgram:
+    """A :class:`LinearProgram` plus per-variable integrality flags."""
+
+    lp: LinearProgram
+    integer: Sequence[bool] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        flags = np.asarray(self.integer, dtype=bool).ravel()
+        if flags.size == 0:
+            flags = np.ones(self.lp.n_vars, dtype=bool)
+        if flags.size != self.lp.n_vars:
+            raise ConfigurationError(
+                f"integrality flags have {flags.size} entries, expected {self.lp.n_vars}"
+            )
+        self.integer = flags
+
+    @property
+    def n_vars(self) -> int:
+        return self.lp.n_vars

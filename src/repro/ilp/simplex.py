@@ -1,0 +1,192 @@
+"""A dense two-phase primal simplex solver.
+
+Small and dependency-free: BoFL's exploitation ILPs have ~10-30 variables
+and 2 structural constraints, so a dense tableau with Bland's
+anti-cycling rule is both simple and fast.  The solver handles:
+
+* ``min c @ x`` with ``x >= 0``;
+* inequality rows ``A_ub x <= b_ub`` (slack variables);
+* equality rows ``A_eq x = b_eq`` (artificial variables, phase 1);
+* optional per-variable upper bounds (expanded into inequality rows).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.ilp.model import LinearProgram, Solution, SolutionStatus
+
+_EPS = 1e-9
+
+
+def solve_lp(problem: LinearProgram, max_pivots: int = 10_000) -> Solution:
+    """Solve a linear program with the two-phase primal simplex method."""
+    c = problem.c
+    a_ub, b_ub = problem.a_ub, problem.b_ub
+    if problem.upper_bounds is not None:
+        finite = np.isfinite(problem.upper_bounds)
+        if np.any(finite):
+            rows = np.eye(problem.n_vars)[finite]
+            a_ub = np.vstack([a_ub, rows]) if a_ub.size else rows
+            b_ub = np.concatenate([b_ub, problem.upper_bounds[finite]])
+    tableau, basis, n_structural, n_slack = _build_phase1(
+        c, a_ub, b_ub, problem.a_eq, problem.b_eq
+    )
+    pivots = 0
+
+    # ---- phase 1: minimize the sum of artificial variables ----
+    n_artificial = tableau.shape[1] - 1 - n_structural - n_slack
+    if n_artificial > 0:
+        status, extra = _iterate(tableau, basis, max_pivots)
+        pivots += extra
+        if status is not SolutionStatus.OPTIMAL:
+            return Solution(status=SolutionStatus.ITERATION_LIMIT, work=pivots)
+        if tableau[-1, -1] < -1e-7:
+            return Solution(status=SolutionStatus.INFEASIBLE, work=pivots)
+        _drive_out_artificials(tableau, basis, n_structural + n_slack)
+
+    # ---- phase 2: original objective over structural + slack columns ----
+    n_cols = n_structural + n_slack
+    phase2 = np.zeros((tableau.shape[0], n_cols + 1))
+    phase2[:-1, :n_cols] = tableau[:-1, :n_cols]
+    phase2[:-1, -1] = tableau[:-1, -1]
+    objective = np.zeros(n_cols + 1)
+    objective[:n_structural] = c
+    phase2[-1, :] = objective
+    # Express the objective in terms of the current basis (reduced costs).
+    for row, var in enumerate(basis):
+        if var < n_cols and abs(phase2[-1, var]) > _EPS:
+            phase2[-1, :] -= phase2[-1, var] * phase2[row, :]
+    status, extra = _iterate(phase2, basis, max_pivots)
+    pivots += extra
+    if status is not SolutionStatus.OPTIMAL:
+        return Solution(status=status, work=pivots)
+
+    x = np.zeros(n_cols)
+    for row, var in enumerate(basis):
+        if var < n_cols:
+            x[var] = phase2[row, -1]
+    solution = x[:n_structural]
+    return Solution(
+        status=SolutionStatus.OPTIMAL,
+        x=solution,
+        objective=float(c @ solution),
+        work=pivots,
+    )
+
+
+def _build_phase1(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+) -> Tuple[np.ndarray, list, int, int]:
+    """Assemble the phase-1 tableau; returns (tableau, basis, n_struct, n_slack)."""
+    n = c.size
+    m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
+    m = m_ub + m_eq
+    a = np.vstack([a_ub, a_eq]) if m else np.zeros((0, n))
+    b = np.concatenate([b_ub, b_eq])
+    # Normalize to b >= 0 (flip row signs where needed).
+    flip = b < 0
+    a = np.where(flip[:, None], -a, a)
+    b = np.abs(b)
+    # slack columns: +1 for un-flipped <= rows, -1 for flipped ones.
+    slack = np.zeros((m, m_ub))
+    for i in range(m_ub):
+        slack[i, i] = -1.0 if flip[i] else 1.0
+    # Rows needing artificials: all eq rows, and flipped <= rows (their
+    # slack enters with -1 so it cannot serve as the initial basis).
+    needs_artificial = [i for i in range(m) if i >= m_ub or flip[i]]
+    n_art = len(needs_artificial)
+    art = np.zeros((m, n_art))
+    for j, i in enumerate(needs_artificial):
+        art[i, j] = 1.0
+    tableau = np.zeros((m + 1, n + m_ub + n_art + 1))
+    tableau[:m, :n] = a
+    tableau[:m, n : n + m_ub] = slack
+    tableau[:m, n + m_ub : n + m_ub + n_art] = art
+    tableau[:m, -1] = b
+    basis: list = [None] * m
+    for i in range(m_ub):
+        if not flip[i]:
+            basis[i] = n + i
+    for j, i in enumerate(needs_artificial):
+        basis[i] = n + m_ub + j
+    # Phase-1 objective: minimize the sum of artificials, expressed in
+    # reduced-cost form over the starting basis.
+    if n_art:
+        tableau[-1, n + m_ub : n + m_ub + n_art] = 1.0
+        for j, i in enumerate(needs_artificial):
+            tableau[-1, :] -= tableau[i, :]
+    return tableau, basis, n, m_ub
+
+
+def _iterate(tableau: np.ndarray, basis: list, max_pivots: int) -> Tuple[SolutionStatus, int]:
+    """Run simplex pivots until optimal/unbounded.
+
+    Uses Dantzig's rule (most negative reduced cost) for speed, switching
+    to Bland's anti-cycling rule once the pivot count suggests degeneracy.
+    """
+    m = tableau.shape[0] - 1
+    pivots = 0
+    bland_after = 20 * (m + 1)
+    while pivots < max_pivots:
+        costs = tableau[-1, :-1]
+        if pivots < bland_after:
+            entering = int(np.argmin(costs))
+            if costs[entering] >= -_EPS:
+                return SolutionStatus.OPTIMAL, pivots
+        else:
+            negative = np.flatnonzero(costs < -_EPS)
+            if negative.size == 0:
+                return SolutionStatus.OPTIMAL, pivots
+            entering = int(negative[0])  # Bland: lowest index
+        column = tableau[:m, entering]
+        positive = column > _EPS
+        if not np.any(positive):
+            return SolutionStatus.UNBOUNDED, pivots
+        ratios = np.full(m, np.inf)
+        ratios[positive] = tableau[:m, -1][positive] / column[positive]
+        min_ratio = ratios.min()
+        # Among minimal ratios, leave the basis at the lowest basic-variable
+        # index (cheap tie-breaking that also helps against cycling).
+        ties = np.flatnonzero(np.abs(ratios - min_ratio) <= _EPS)
+        leaving = int(min(ties, key=lambda r: basis[r]))
+        _pivot(tableau, leaving, entering)
+        basis[leaving] = entering
+        pivots += 1
+    return SolutionStatus.ITERATION_LIMIT, pivots
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    """Gauss-Jordan pivot on (row, col)."""
+    pivot_value = tableau[row, col]
+    if abs(pivot_value) < _EPS:
+        raise SolverError(f"degenerate pivot at ({row}, {col})")
+    tableau[row, :] /= pivot_value
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > _EPS:
+            tableau[r, :] -= tableau[r, col] * tableau[row, :]
+
+
+def _drive_out_artificials(tableau: np.ndarray, basis: list, n_real: int) -> None:
+    """Pivot any artificial variable still basic out of the basis.
+
+    After a feasible phase 1, basic artificials sit at zero; replace them
+    with any real column having a nonzero coefficient in their row, or drop
+    the (redundant) row by leaving it — its artificial stays at zero and
+    phase 2 ignores artificial columns.
+    """
+    m = tableau.shape[0] - 1
+    for row in range(m):
+        if basis[row] is not None and basis[row] >= n_real:
+            candidates = np.flatnonzero(np.abs(tableau[row, :n_real]) > _EPS)
+            if candidates.size:
+                _pivot(tableau, row, int(candidates[0]))
+                basis[row] = int(candidates[0])
+

@@ -1,0 +1,135 @@
+"""Synthetic datasets shaped like the paper's three FL tasks.
+
+No network access means no CIFAR10/ImageNet/IMDB downloads; these
+generators produce learnable classification problems of the same *shape*
+(multiclass image-like vectors; binary bag-of-words sentiment), plus the
+non-IID client partitioners federated learning evaluations rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Features and integer labels, with convenience splitters."""
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ConfigurationError(
+                f"{self.x.shape[0]} feature rows vs {self.y.shape[0]} labels"
+            )
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.y.max()) + 1 if len(self) else 0
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        return Dataset(self.x[indices], self.y[indices])
+
+    def batches(self, batch_size: int, rng: np.random.Generator) -> List["Dataset"]:
+        """Shuffled minibatches (the paper's 'jobs'); the tail is kept."""
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        order = rng.permutation(len(self))
+        return [
+            self.subset(order[i : i + batch_size])
+            for i in range(0, len(self), batch_size)
+        ]
+
+
+def make_blobs_classification(
+    n_samples: int,
+    n_features: int = 32,
+    n_classes: int = 10,
+    class_separation: float = 2.0,
+    seed: int = 0,
+) -> Dataset:
+    """A CIFAR10-shaped multiclass problem: Gaussian class clusters."""
+    if n_samples < n_classes:
+        raise ConfigurationError("need at least one sample per class")
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, class_separation, size=(n_classes, n_features))
+    labels = rng.integers(0, n_classes, size=n_samples)
+    features = centers[labels] + rng.normal(size=(n_samples, n_features))
+    return Dataset(features.astype(float), labels.astype(int))
+
+
+def make_text_sentiment(
+    n_samples: int,
+    vocabulary: int = 64,
+    seed: int = 0,
+) -> Dataset:
+    """An IMDB-shaped binary problem: sparse bag-of-words with signed words.
+
+    Half the vocabulary leans positive, half negative; documents draw a
+    Poisson number of word occurrences biased by their label.
+    """
+    if vocabulary < 4:
+        raise ConfigurationError("vocabulary must be at least 4")
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n_samples)
+    polarity = np.concatenate(
+        [np.ones(vocabulary // 2), -np.ones(vocabulary - vocabulary // 2)]
+    )
+    base_rate = 0.6
+    rates = base_rate * (1.0 + 0.8 * polarity[None, :] * (2.0 * labels[:, None] - 1.0))
+    counts = rng.poisson(np.maximum(rates, 0.05))
+    return Dataset(counts.astype(float), labels.astype(int))
+
+
+def partition_iid(dataset: Dataset, n_clients: int, rng: np.random.Generator) -> List[Dataset]:
+    """Split a dataset into IID shards of (nearly) equal size."""
+    if n_clients < 1 or n_clients > len(dataset):
+        raise ConfigurationError(
+            f"cannot split {len(dataset)} samples across {n_clients} clients"
+        )
+    order = rng.permutation(len(dataset))
+    return [dataset.subset(chunk) for chunk in np.array_split(order, n_clients)]
+
+
+def partition_dirichlet(
+    dataset: Dataset,
+    n_clients: int,
+    alpha: float = 0.5,
+    rng: np.random.Generator = None,
+) -> List[Dataset]:
+    """Non-IID label-skewed split via per-class Dirichlet proportions.
+
+    The standard FL heterogeneity protocol: lower ``alpha`` means more
+    skew (each client sees fewer classes).  Every client is guaranteed at
+    least one sample.
+    """
+    if alpha <= 0:
+        raise ConfigurationError(f"alpha must be positive, got {alpha}")
+    if n_clients < 1 or n_clients > len(dataset):
+        raise ConfigurationError(
+            f"cannot split {len(dataset)} samples across {n_clients} clients"
+        )
+    rng = rng if rng is not None else np.random.default_rng(0)
+    client_indices: List[List[int]] = [[] for _ in range(n_clients)]
+    for cls in range(dataset.n_classes):
+        cls_idx = np.flatnonzero(dataset.y == cls)
+        rng.shuffle(cls_idx)
+        proportions = rng.dirichlet(np.full(n_clients, alpha))
+        cuts = (np.cumsum(proportions) * len(cls_idx)).astype(int)[:-1]
+        for client, chunk in enumerate(np.split(cls_idx, cuts)):
+            client_indices[client].extend(chunk.tolist())
+    # Guarantee non-empty shards by stealing from the largest.
+    for client in range(n_clients):
+        if not client_indices[client]:
+            donor = max(range(n_clients), key=lambda c: len(client_indices[c]))
+            client_indices[client].append(client_indices[donor].pop())
+    return [dataset.subset(np.array(sorted(idx))) for idx in client_indices]

@@ -1,0 +1,158 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Every layer exposes ``forward(x, training)``, ``backward(grad)`` (returning
+the gradient w.r.t. its input and stashing parameter gradients), and its
+``parameters`` / ``gradients`` as flat lists so optimizers and FedAvg can
+treat a model as a vector of arrays.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Layer(ABC):
+    """Base class for differentiable layers."""
+
+    @abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for input ``x``."""
+
+    @abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output``; return grad w.r.t. the input."""
+
+    @property
+    def parameters(self) -> List[np.ndarray]:
+        """Trainable arrays (may be empty)."""
+        return []
+
+    @property
+    def gradients(self) -> List[np.ndarray]:
+        """Gradients aligned with :attr:`parameters` (after backward)."""
+        return []
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b`` with He-style init."""
+
+    def __init__(self, in_features: int, out_features: int, rng: Optional[np.random.Generator] = None):
+        if in_features < 1 or out_features < 1:
+            raise ConfigurationError("Dense layer dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input = x if training else None
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise ConfigurationError("backward() before forward(training=True)")
+        self.grad_weight = self._input.T @ grad_output
+        self.grad_bias = grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    @property
+    def parameters(self) -> List[np.ndarray]:
+        return [self.weight, self.bias]
+
+    @property
+    def gradients(self) -> List[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ConfigurationError("backward() before forward(training=True)")
+        return grad_output * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        if training:
+            self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise ConfigurationError("backward() before forward(training=True)")
+        return grad_output * (1.0 - self._output**2)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None):
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"dropout rate must lie in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None if not training else np.ones_like(x)
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ConfigurationError("backward() before forward(training=True)")
+        return grad_output * self._mask
+
+
+class Sequential(Layer):
+    """A layer stack applied in order."""
+
+    def __init__(self, layers: Sequence[Layer]):
+        if not layers:
+            raise ConfigurationError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    @property
+    def parameters(self) -> List[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters]
+
+    @property
+    def gradients(self) -> List[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients]

@@ -1,0 +1,50 @@
+"""Classification losses with analytic gradients w.r.t. the logits."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy and its gradient w.r.t. ``logits``.
+
+    ``labels`` are integer class indices of shape ``(batch,)``.
+    """
+    logits = np.atleast_2d(np.asarray(logits, dtype=float))
+    labels = np.asarray(labels, dtype=int).ravel()
+    batch, n_classes = logits.shape
+    if labels.size != batch:
+        raise ConfigurationError(f"got {labels.size} labels for {batch} logits rows")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= n_classes:
+        raise ConfigurationError("labels out of range for the logits width")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    eps = 1e-12
+    loss = -float(np.mean(np.log(probs[np.arange(batch), labels] + eps)))
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return loss, grad / batch
+
+
+def binary_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean sigmoid BCE and its gradient w.r.t. one-column ``logits``.
+
+    ``labels`` are 0/1 of shape ``(batch,)``.
+    """
+    logits = np.asarray(logits, dtype=float).reshape(-1, 1)
+    labels = np.asarray(labels, dtype=float).ravel()
+    if labels.size != logits.shape[0]:
+        raise ConfigurationError(f"got {labels.size} labels for {logits.shape[0]} logits")
+    if np.any((labels != 0) & (labels != 1)):
+        raise ConfigurationError("binary labels must be 0 or 1")
+    z = logits.ravel()
+    # numerically stable log(1 + exp(-|z|)) formulation
+    loss = float(np.mean(np.maximum(z, 0) - z * labels + np.log1p(np.exp(-np.abs(z)))))
+    probs = 1.0 / (1.0 + np.exp(-z))
+    grad = ((probs - labels) / labels.size).reshape(-1, 1)
+    return loss, grad

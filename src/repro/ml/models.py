@@ -1,0 +1,97 @@
+"""Classifier models built on the layer substrate."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.layers import Dense, ReLU, Sequential
+from repro.ml.losses import softmax_cross_entropy
+
+
+class MLPClassifier:
+    """A multilayer perceptron classifier with softmax cross-entropy.
+
+    Stands in for the paper's ViT/ResNet50/LSTM models on the *learning*
+    side of the reproduction: FedAvg over these genuinely converges, while
+    the hardware simulator supplies the per-minibatch energy/latency of the
+    heavyweight networks it represents.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: Sequence[int],
+        n_classes: int,
+        seed: int = 0,
+    ):
+        if n_classes < 2:
+            raise ConfigurationError(f"need at least 2 classes, got {n_classes}")
+        rng = np.random.default_rng(seed)
+        layers: List = []
+        prev = input_dim
+        for width in hidden_dims:
+            layers.append(Dense(prev, width, rng))
+            layers.append(ReLU())
+            prev = width
+        layers.append(Dense(prev, n_classes, rng))
+        self.network = Sequential(layers)
+        self.input_dim = input_dim
+        self.n_classes = n_classes
+
+    # -- parameter vector interface (what FedAvg exchanges) -----------------
+
+    @property
+    def parameters(self) -> List[np.ndarray]:
+        return self.network.parameters
+
+    @property
+    def gradients(self) -> List[np.ndarray]:
+        return self.network.gradients
+
+    def get_weights(self) -> List[np.ndarray]:
+        """Copies of all trainable arrays (the FL 'model download')."""
+        return [p.copy() for p in self.parameters]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        """Load weights in place (the FL 'model upload/aggregate')."""
+        params = self.parameters
+        if len(weights) != len(params):
+            raise ConfigurationError(
+                f"got {len(weights)} weight arrays for {len(params)} parameters"
+            )
+        for param, new in zip(params, weights):
+            if param.shape != new.shape:
+                raise ConfigurationError(
+                    f"weight shape mismatch: {param.shape} vs {new.shape}"
+                )
+            param[...] = new
+
+    # -- training/inference --------------------------------------------------
+
+    def loss_and_backward(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """One forward/backward pass; leaves gradients ready for an optimizer."""
+        logits = self.network.forward(x, training=True)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        self.network.backward(grad)
+        return loss
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        logits = self.network.forward(np.atleast_2d(x), training=False)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    def clone_architecture(self, seed: Optional[int] = None) -> "MLPClassifier":
+        """A fresh model with the same shape (random weights)."""
+        hidden = [
+            layer.weight.shape[1]
+            for layer in self.network.layers[:-1]
+            if isinstance(layer, Dense)
+        ]
+        return MLPClassifier(self.input_dim, hidden, self.n_classes, seed=seed or 0)

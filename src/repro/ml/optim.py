@@ -1,0 +1,54 @@
+"""Optimizers operating on flat parameter/gradient lists."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    This mirrors the paper's training setup (plain SGD is the FL default;
+    Eqn. references in §3.1).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must lie in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Optional[List[np.ndarray]] = None
+
+    def step(self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]) -> None:
+        """Update ``parameters`` in place from ``gradients``."""
+        if len(parameters) != len(gradients):
+            raise ConfigurationError(
+                f"{len(parameters)} parameters but {len(gradients)} gradients"
+            )
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in parameters]
+        if len(self._velocity) != len(parameters):
+            raise ConfigurationError("optimizer was bound to a different model")
+        for param, grad, vel in zip(parameters, gradients, self._velocity):
+            update = grad + self.weight_decay * param
+            vel *= self.momentum
+            vel += update
+            param -= self.learning_rate * vel
+
+    def reset(self) -> None:
+        """Drop momentum state (e.g. after the model is replaced by FedAvg)."""
+        self._velocity = None

@@ -1,0 +1,83 @@
+"""Local training loops — the computation behind one FL 'job'.
+
+:class:`LocalTrainer` is the real-gradient counterpart of the simulated job
+executor: calling :meth:`train_job` runs one minibatch of SGD, exactly the
+unit of work whose latency/energy the hardware simulator prices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.data import Dataset
+from repro.ml.models import MLPClassifier
+from repro.ml.optim import SGD
+
+
+def accuracy(model: MLPClassifier, dataset: Dataset) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset``."""
+    if len(dataset) == 0:
+        raise ConfigurationError("cannot evaluate on an empty dataset")
+    return float(np.mean(model.predict(dataset.x) == dataset.y))
+
+
+class LocalTrainer:
+    """Runs epochs of minibatch SGD over one client's private shard.
+
+    The job sequence matches the paper's §3.1: each round covers ``E``
+    epochs of ``N`` minibatches, i.e. ``W = E x N`` jobs, re-shuffled per
+    epoch.
+    """
+
+    def __init__(
+        self,
+        model: MLPClassifier,
+        data: Dataset,
+        batch_size: int,
+        optimizer: Optional[SGD] = None,
+        seed: int = 0,
+    ):
+        if len(data) < batch_size:
+            raise ConfigurationError(
+                f"client shard has {len(data)} samples < batch size {batch_size}"
+            )
+        self.model = model
+        self.data = data
+        self.batch_size = batch_size
+        self.optimizer = optimizer if optimizer is not None else SGD(0.05, momentum=0.9)
+        self._rng = np.random.default_rng(seed)
+        self._queue: List[Dataset] = []
+        self.jobs_run = 0
+        self.last_loss: Optional[float] = None
+
+    @property
+    def minibatches_per_epoch(self) -> int:
+        """``N`` in the paper's notation."""
+        return (len(self.data) + self.batch_size - 1) // self.batch_size
+
+    def start_round(self, epochs: int) -> int:
+        """Queue ``E`` epochs of shuffled minibatches; returns ``W``."""
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        self._queue = []
+        for _ in range(epochs):
+            self._queue.extend(self.data.batches(self.batch_size, self._rng))
+        return len(self._queue)
+
+    @property
+    def jobs_remaining(self) -> int:
+        return len(self._queue)
+
+    def train_job(self) -> float:
+        """Run one queued minibatch (one 'job'); returns the batch loss."""
+        if not self._queue:
+            raise ConfigurationError("no jobs queued; call start_round() first")
+        batch = self._queue.pop(0)
+        loss = self.model.loss_and_backward(batch.x, batch.y)
+        self.optimizer.step(self.model.parameters, self.model.gradients)
+        self.jobs_run += 1
+        self.last_loss = loss
+        return loss

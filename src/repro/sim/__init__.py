@@ -1,0 +1,28 @@
+"""Experiment harness: MBO cost model and campaign runner.
+
+:func:`run_campaign` is the workhorse behind every evaluation figure: it
+wires a device, task, deadline schedule and controller together, runs the
+requested number of FL rounds under simulated time, and returns a
+:class:`~repro.core.records.CampaignResult`.  Results are memoized
+in-process so benchmark modules can share campaigns.
+"""
+
+from repro.sim.mbo_cost import MBOCostModel
+from repro.sim.runner import (
+    CONTROLLER_NAMES,
+    clear_campaign_cache,
+    make_controller,
+    run_campaign,
+)
+from repro.sim.sweep import SummaryStat, SweepResult, sweep_campaign
+
+__all__ = [
+    "CONTROLLER_NAMES",
+    "MBOCostModel",
+    "SummaryStat",
+    "SweepResult",
+    "clear_campaign_cache",
+    "make_controller",
+    "run_campaign",
+    "sweep_campaign",
+]

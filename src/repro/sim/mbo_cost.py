@@ -1,0 +1,57 @@
+"""Cost model for the MBO engine runs (Fig. 13).
+
+On the paper's boards one MBO invocation — refit two GPs, score the space
+with EHVI, greedily assemble a batch — takes 6-9 seconds and 50-70 J.  The
+cost grows with the observation count (GP refits) and the batch size
+(sequential-greedy fantasies); the TX2's weaker CPU stretches the latency.
+
+The model:
+
+    ``latency = (base + per_obs * n + per_pick * K) / relative_cpu_speed``
+    ``energy  = latency * mbo_power``
+
+with ``mbo_power`` proportional to the device's CPU capability (the MBO is
+a CPU-side computation; the GPU idles through it).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.devices import DeviceSpec
+from repro.types import Joules, Seconds
+
+
+class MBOCostModel:
+    """Latency/energy of one MBO run on a given device."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        *,
+        base_seconds: float = 1.5,
+        per_observation_seconds: float = 0.04,
+        per_pick_seconds: float = 0.30,
+        power_watts_at_unit_speed: float = 10.0,
+    ):
+        if min(base_seconds, per_observation_seconds, per_pick_seconds) < 0:
+            raise ConfigurationError("MBO cost coefficients must be non-negative")
+        if power_watts_at_unit_speed <= 0:
+            raise ConfigurationError("MBO power must be positive")
+        self.device = device
+        self.base_seconds = base_seconds
+        self.per_observation_seconds = per_observation_seconds
+        self.per_pick_seconds = per_pick_seconds
+        self.power_watts = power_watts_at_unit_speed * device.relative_cpu_speed
+
+    def __call__(self, n_observations: int, batch_size: int) -> Tuple[Seconds, Joules]:
+        """Cost of one MBO run with ``n_observations`` and batch ``batch_size``."""
+        if n_observations < 0 or batch_size < 0:
+            raise ConfigurationError("counts must be non-negative")
+        latency = (
+            self.base_seconds
+            + self.per_observation_seconds * n_observations
+            + self.per_pick_seconds * batch_size
+        ) / self.device.relative_cpu_speed
+        return latency, latency * self.power_watts

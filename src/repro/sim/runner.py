@@ -1,0 +1,163 @@
+"""Campaign runner: one controller, one device, one task, N rounds.
+
+Determinism and pairing: the deadline sequence and the device noise stream
+are derived from (device, task, ratio, seed) only — *not* from the
+controller — so BoFL, Performant and Oracle face identical rounds and
+their energy curves are directly comparable, exactly as on a shared
+physical testbed.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.config import BoFLConfig
+from repro.core.controller import BoFLController
+from repro.core.base import PaceController
+from repro.core.records import CampaignResult
+from repro.baselines import (
+    LinearPaceController,
+    OndemandGovernorController,
+    OracleController,
+    PerformantController,
+    RandomSearchController,
+)
+from repro.errors import ConfigurationError
+from repro.federated.deadlines import UniformDeadlines
+from repro.federated.task import FLTaskSpec, cifar10_vit, imagenet_resnet50, imdb_lstm
+from repro.hardware.device import SimulatedDevice
+from repro.hardware.devices import get_device
+from repro.sim.mbo_cost import MBOCostModel
+
+#: Task registry by short name.
+_TASKS: Dict[str, Callable[[], FLTaskSpec]] = {
+    "vit": cifar10_vit,
+    "resnet50": imagenet_resnet50,
+    "lstm": imdb_lstm,
+}
+
+#: Controller names accepted by :func:`make_controller` / :func:`run_campaign`.
+CONTROLLER_NAMES: Tuple[str, ...] = (
+    "bofl",
+    "performant",
+    "oracle",
+    "random_search",
+    "linear_pace",
+    "ondemand",
+)
+
+_CAMPAIGN_CACHE: Dict[tuple, CampaignResult] = {}
+
+
+def clear_campaign_cache() -> None:
+    """Drop memoized campaign results (tests use this for isolation)."""
+    _CAMPAIGN_CACHE.clear()
+
+
+def make_controller(
+    name: str,
+    device: SimulatedDevice,
+    *,
+    seed: int = 0,
+    bofl_config: Optional[BoFLConfig] = None,
+    with_mbo_cost: bool = True,
+) -> PaceController:
+    """Instantiate a controller by name, bound to ``device``."""
+    mbo_cost = MBOCostModel(device.spec) if with_mbo_cost else None
+    if name == "bofl":
+        config = bofl_config if bofl_config is not None else BoFLConfig(seed=seed)
+        return BoFLController(device, config, mbo_cost=mbo_cost)
+    if name == "performant":
+        return PerformantController(device)
+    if name == "oracle":
+        return OracleController(device)
+    if name == "random_search":
+        config = bofl_config if bofl_config is not None else BoFLConfig(seed=seed)
+        return RandomSearchController(device, config, mbo_cost=mbo_cost)
+    if name == "linear_pace":
+        return LinearPaceController(device)
+    if name == "ondemand":
+        return OndemandGovernorController(device)
+    raise ConfigurationError(
+        f"unknown controller {name!r}; available: {', '.join(CONTROLLER_NAMES)}"
+    )
+
+
+def _task_by_name(name: str) -> FLTaskSpec:
+    try:
+        return _TASKS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown task {name!r}; available: {', '.join(sorted(_TASKS))}"
+        ) from None
+
+
+def run_campaign(
+    device_name: str,
+    task_name: str,
+    controller_name: str,
+    deadline_ratio: float,
+    *,
+    rounds: int = 100,
+    seed: int = 0,
+    bofl_config: Optional[BoFLConfig] = None,
+    use_cache: bool = True,
+) -> CampaignResult:
+    """Run (or fetch from cache) one full campaign.
+
+    Parameters mirror the paper's experiment grid: device in {agx, tx2},
+    task in {vit, resnet50, lstm}, controller in
+    :data:`CONTROLLER_NAMES`, ``deadline_ratio`` = ``T_max / T_min``.
+    """
+    key = (device_name, task_name, controller_name, deadline_ratio, rounds, seed,
+           bofl_config)
+    if use_cache and key in _CAMPAIGN_CACHE:
+        return _CAMPAIGN_CACHE[key]
+
+    spec = get_device(device_name)
+    task = _task_by_name(task_name)
+    # Device noise is paired across controllers: seed depends on the
+    # scenario, not the controller.  (zlib.crc32 is stable across processes,
+    # unlike the builtin string hash.)
+    scenario_seed = zlib.crc32(f"{device_name}/{task_name}/{seed}".encode()) % (2**31)
+    device = SimulatedDevice(spec, task.workload, seed=scenario_seed)
+    controller = make_controller(
+        controller_name, device, seed=seed, bofl_config=bofl_config
+    )
+
+    jobs = task.jobs_per_round(spec)
+    t_min = device.model.latency(spec.space.max_configuration()) * jobs
+    deadlines = UniformDeadlines(deadline_ratio).generate(
+        t_min, rounds, seed=scenario_seed + 1
+    )
+
+    result = CampaignResult(
+        controller=controller_name,
+        device=device_name,
+        task=task_name,
+        deadline_ratio=deadline_ratio,
+    )
+    for deadline in deadlines:
+        result.records.append(controller.run_round(jobs, deadline))
+
+    _annotate(result, controller)
+    if use_cache:
+        _CAMPAIGN_CACHE[key] = result
+    return result
+
+
+def _annotate(result: CampaignResult, controller: PaceController) -> None:
+    """Fill retrospective fields (final front, Table 3 Pareto counts)."""
+    if isinstance(controller, BoFLController):
+        front_configs, front_values = controller.store.pareto_set()
+        result.final_front = [(float(t), float(e)) for t, e in front_values]
+        front_set = set(front_configs)
+        for record in result.records:
+            record.explored_on_final_front = sum(
+                1 for c in record.explored if c in front_set
+            )
+    elif isinstance(controller, OracleController):
+        result.final_front = [
+            (float(t), float(e)) for t, e in controller.pareto_values
+        ]

@@ -1,0 +1,275 @@
+"""Cross-cutting value types shared by every subpackage.
+
+The central abstraction of the paper is the *job* — processing one minibatch
+of training data under a single DVFS configuration — and the pair of
+blackbox per-job metrics ``T(x)`` (latency, seconds) and ``E(x)`` (energy,
+Joules).  The types here carry those quantities between the hardware
+simulator, the Bayesian optimizer and the controller without any of them
+needing to know about each other.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Type aliases used in signatures throughout the package (documentation
+#: only; Python does not enforce them).
+Seconds = float
+Joules = float
+Watts = float
+GHz = float
+
+
+@dataclass(frozen=True, order=True)
+class DvfsConfiguration:
+    """One point of the DVFS space: (CPU, GPU, memory-controller) clocks.
+
+    Frequencies are stored in GHz.  Instances are immutable and hashable so
+    they can key observation dictionaries, and ordered lexicographically so
+    deterministic iteration orders are easy to produce.
+    """
+
+    cpu: GHz
+    gpu: GHz
+    mem: GHz
+
+    def __post_init__(self) -> None:
+        for name, value in (("cpu", self.cpu), ("gpu", self.gpu), ("mem", self.mem)):
+            if not (isinstance(value, (int, float)) and math.isfinite(value)):
+                raise ConfigurationError(f"{name} frequency must be finite, got {value!r}")
+            if value <= 0:
+                raise ConfigurationError(f"{name} frequency must be positive, got {value!r}")
+
+    def as_tuple(self) -> Tuple[GHz, GHz, GHz]:
+        """Return ``(cpu, gpu, mem)`` in GHz."""
+        return (self.cpu, self.gpu, self.mem)
+
+    def __iter__(self) -> Iterator[GHz]:
+        return iter(self.as_tuple())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(cpu={self.cpu:.3f}GHz, gpu={self.gpu:.3f}GHz, mem={self.mem:.3f}GHz)"
+
+
+@dataclass(frozen=True)
+class PerformanceSample:
+    """A measurement of the two blackbox objectives at one configuration.
+
+    ``latency`` and ``energy`` are *per-job* (per-minibatch) quantities, as
+    defined in §3.1 of the paper.  ``jobs_measured`` and ``duration`` record
+    how much work backed the measurement; longer measurements carry less
+    sensor noise (the motivation for the paper's ``tau`` reference
+    measurement duration).
+    """
+
+    config: DvfsConfiguration
+    latency: Seconds
+    energy: Joules
+    jobs_measured: int = 1
+    duration: Seconds = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency <= 0 or not math.isfinite(self.latency):
+            raise ConfigurationError(f"latency must be positive, got {self.latency!r}")
+        if self.energy <= 0 or not math.isfinite(self.energy):
+            raise ConfigurationError(f"energy must be positive, got {self.energy!r}")
+        if self.jobs_measured < 1:
+            raise ConfigurationError("jobs_measured must be >= 1")
+
+    @property
+    def objectives(self) -> Tuple[Seconds, Joules]:
+        """Return the objective vector ``(T(x), E(x))`` used by the MBO."""
+        return (self.latency, self.energy)
+
+    def merged_with(self, other: "PerformanceSample") -> "PerformanceSample":
+        """Combine two samples of the *same* configuration.
+
+        The result is the job-count weighted average, reflecting what a real
+        energy meter would report if the two measurement windows were
+        concatenated.
+        """
+        if other.config != self.config:
+            raise ConfigurationError(
+                f"cannot merge samples of different configs: {self.config} vs {other.config}"
+            )
+        total_jobs = self.jobs_measured + other.jobs_measured
+        w_self = self.jobs_measured / total_jobs
+        w_other = other.jobs_measured / total_jobs
+        return PerformanceSample(
+            config=self.config,
+            latency=self.latency * w_self + other.latency * w_other,
+            energy=self.energy * w_self + other.energy * w_other,
+            jobs_measured=total_jobs,
+            duration=self.duration + other.duration,
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of executing one job (one minibatch) on a device."""
+
+    config: DvfsConfiguration
+    latency: Seconds
+    energy: Joules
+    #: Simulated timestamp at which the job completed.
+    finished_at: Seconds = 0.0
+
+
+@dataclass
+class RoundBudget:
+    """Mutable per-round accounting used by the controller while executing.
+
+    Tracks how many jobs remain and how much time is left before the round
+    deadline, which is exactly the state the deadline-guardian check
+    (Eqn. 2 in the paper) consumes.
+    """
+
+    total_jobs: int
+    deadline: Seconds
+    jobs_done: int = 0
+    elapsed: Seconds = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_jobs < 1:
+            raise ConfigurationError("a round must contain at least one job")
+        if self.deadline <= 0:
+            raise ConfigurationError("deadline must be positive")
+
+    @property
+    def jobs_remaining(self) -> int:
+        return self.total_jobs - self.jobs_done
+
+    @property
+    def time_remaining(self) -> Seconds:
+        return self.deadline - self.elapsed
+
+    @property
+    def finished(self) -> bool:
+        return self.jobs_remaining <= 0
+
+    @property
+    def missed(self) -> bool:
+        """Whether time ran out with jobs still outstanding."""
+        return self.time_remaining < 0
+
+    def record_job(self, result: JobResult) -> None:
+        """Account one executed job against the budget."""
+        if self.finished:
+            raise ConfigurationError("all jobs in this round are already done")
+        self.jobs_done += 1
+        self.elapsed += result.latency
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """A (configuration, job count) term of an exploitation schedule."""
+
+    config: DvfsConfiguration
+    jobs: int
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ConfigurationError("schedule entry job count must be >= 0")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An exploitation plan: run ``entry.jobs`` jobs at each configuration.
+
+    Produced by the ILP planner (§4.4); consumed by the controller, which
+    executes entries in the listed order (fastest first, so that noise late
+    in the round cannot cause a miss).
+    """
+
+    entries: Tuple[ScheduleEntry, ...]
+    expected_latency: Seconds
+    expected_energy: Joules
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(entry.jobs for entry in self.entries)
+
+    def __iter__(self) -> Iterator[ScheduleEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class ObjectiveVector:
+    """An (latency, energy) point in performance space.
+
+    Thin wrapper used by Pareto utilities where no configuration is
+    attached (e.g. reference points).
+    """
+
+    latency: Seconds
+    energy: Joules
+
+    def as_tuple(self) -> Tuple[Seconds, Joules]:
+        return (self.latency, self.energy)
+
+    def dominates(self, other: "ObjectiveVector") -> bool:
+        """Pareto dominance for minimization of both coordinates (§3.2)."""
+        no_worse = self.latency <= other.latency and self.energy <= other.energy
+        strictly_better = self.latency < other.latency or self.energy < other.energy
+        return no_worse and strictly_better
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulates energy by category over a campaign.
+
+    Splits training energy from controller (MBO) overhead so that the
+    overhead analysis of Fig. 13 can be regenerated.
+    """
+
+    training: Joules = 0.0
+    mbo_overhead: Joules = 0.0
+    idle: Joules = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> Joules:
+        return self.training + self.mbo_overhead + self.idle + sum(self.extras.values())
+
+    def add(self, category: str, amount: Joules) -> None:
+        if amount < 0:
+            raise ConfigurationError("energy amounts must be non-negative")
+        if category == "training":
+            self.training += amount
+        elif category == "mbo_overhead":
+            self.mbo_overhead += amount
+        elif category == "idle":
+            self.idle += amount
+        else:
+            self.extras[category] = self.extras.get(category, 0.0) + amount
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite positive number and return it."""
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and value > 0):
+        raise ConfigurationError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def require_fraction(name: str, value: float, *, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (or (0, 1) if not inclusive)."""
+    ok = isinstance(value, (int, float)) and math.isfinite(value)
+    if ok:
+        ok = 0.0 <= value <= 1.0 if inclusive else 0.0 < value < 1.0
+    if not ok:
+        raise ConfigurationError(f"{name} must lie in the unit interval, got {value!r}")
+    return float(value)
+
+
+def require_nonnegative_int(name: str, value: int) -> int:
+    """Validate that ``value`` is an integer >= 0 and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ConfigurationError(f"{name} must be a non-negative integer, got {value!r}")
+    return value

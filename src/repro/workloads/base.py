@@ -1,0 +1,95 @@
+"""The :class:`WorkloadProfile` descriptor.
+
+A profile names a training workload, classifies it, and carries the
+per-device calibration targets that anchor its simulated performance
+surface.  Profiles are pure data; pair one with a device via
+:meth:`WorkloadProfile.performance_model` to obtain the ground-truth
+surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import WorkloadError
+from repro.hardware.devices import DeviceSpec
+from repro.hardware.perfmodel import AnalyticPerformanceModel, CalibrationTarget
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A neural-network training workload (one job = one minibatch).
+
+    Attributes
+    ----------
+    name:
+        Short identifier, e.g. ``"vit"``.
+    family:
+        Model family: ``"transformer"``, ``"cnn"`` or ``"rnn"``.
+    dataset:
+        The dataset the paper pairs the model with (CIFAR10, ImageNet,
+        IMDB); used for task naming and reporting.
+    description:
+        One-line human description.
+    targets:
+        Per-device calibration anchoring, keyed by device short name.
+    """
+
+    name: str
+    family: str
+    dataset: str
+    description: str
+    targets: Dict[str, CalibrationTarget] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("workload name must be non-empty")
+        if self.family not in ("transformer", "cnn", "rnn"):
+            raise WorkloadError(
+                f"unknown family {self.family!r}; expected transformer/cnn/rnn"
+            )
+
+    @property
+    def task_name(self) -> str:
+        """Paper-style task label, e.g. ``"CIFAR10-ViT"``."""
+        return f"{self.dataset}-{self.display_name}"
+
+    @property
+    def display_name(self) -> str:
+        pretty = {"vit": "ViT", "resnet50": "ResNet50", "lstm": "LSTM"}
+        return pretty.get(self.name, self.name)
+
+    def supports_device(self, device: DeviceSpec) -> bool:
+        """Whether calibration targets exist for ``device``."""
+        return device.name in self.targets
+
+    def target_for(self, device: DeviceSpec) -> CalibrationTarget:
+        """The calibration target for ``device`` (raises if absent)."""
+        try:
+            return self.targets[device.name]
+        except KeyError:
+            raise WorkloadError(
+                f"workload {self.name!r} has no calibration for device "
+                f"{device.name!r}; available: {sorted(self.targets)}"
+            ) from None
+
+    def performance_model(self, device: DeviceSpec) -> AnalyticPerformanceModel:
+        """Build the ground-truth performance surface on ``device``."""
+        return AnalyticPerformanceModel(device, self.target_for(device), self.name)
+
+    def with_target(self, device_name: str, target: CalibrationTarget) -> "WorkloadProfile":
+        """Return a copy of this profile with one more device calibration."""
+        targets = dict(self.targets)
+        targets[device_name] = target
+        return WorkloadProfile(
+            name=self.name,
+            family=self.family,
+            dataset=self.dataset,
+            description=self.description,
+            targets=targets,
+        )
+
+    def devices(self) -> Tuple[str, ...]:
+        """Device names this profile is calibrated for."""
+        return tuple(sorted(self.targets))

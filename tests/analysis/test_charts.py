@@ -1,0 +1,58 @@
+"""Unit tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import line_chart, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_uses_rising_glyphs(self):
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert out == "".join(sorted(out))
+
+    def test_constant_series_is_flat(self):
+        out = sparkline([5, 5, 5])
+        assert len(set(out)) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+
+class TestLineChart:
+    def test_contains_legend_and_axis(self):
+        out = line_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, height=5)
+        assert "* a" in out and "+ b" in out
+        assert "|" in out and "-+-" in out
+
+    def test_extremes_labelled(self):
+        out = line_chart({"a": [10.0, 90.0]}, height=5)
+        assert "90" in out and "10" in out
+
+    def test_markers_land_on_extreme_rows(self):
+        out = line_chart({"a": [0.0, 100.0]}, height=6)
+        rows = [line for line in out.split("\n") if "|" in line]
+        assert "*" in rows[0]  # the max lands on the top row
+        assert "*" in rows[-1]  # the min on the bottom row
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_rejects_empty_series_dict(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({})
+
+    def test_rejects_too_small_height(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [1, 2]}, height=2)
+
+    def test_width_matches_series_length(self):
+        out = line_chart({"a": list(range(17))}, height=4)
+        plot_rows = [line for line in out.split("\n") if line.rstrip().endswith("*") or "|" in line]
+        widths = {len(line.split("|", 1)[1]) for line in plot_rows if "|" in line}
+        assert max(widths) == 17

@@ -1,0 +1,75 @@
+"""Round-trip tests for campaign JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.analysis.io import (
+    campaign_from_dict,
+    campaign_to_dict,
+    load_campaign,
+    save_campaign,
+)
+from repro.errors import ConfigurationError
+from repro.sim import run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign("agx", "vit", "performant", 2.0, rounds=3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def bofl_campaign():
+    # a short BoFL run so records carry explored configs and MBO reports
+    return run_campaign("agx", "vit", "bofl", 2.0, rounds=8, seed=0)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self, bofl_campaign):
+        restored = campaign_from_dict(campaign_to_dict(bofl_campaign))
+        assert restored.controller == bofl_campaign.controller
+        assert restored.deadline_ratio == bofl_campaign.deadline_ratio
+        assert restored.energy_series() == bofl_campaign.energy_series()
+        assert restored.deadline_series() == bofl_campaign.deadline_series()
+        assert restored.explored_total == bofl_campaign.explored_total
+        assert restored.mbo_energy == pytest.approx(bofl_campaign.mbo_energy)
+        assert restored.final_front == bofl_campaign.final_front
+        for a, b in zip(restored.records, bofl_campaign.records):
+            assert a.explored == b.explored
+            assert a.guardian_triggered == b.guardian_triggered
+
+    def test_file_roundtrip(self, campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path)
+        restored = load_campaign(path)
+        assert restored.training_energy == pytest.approx(campaign.training_energy)
+        assert restored.rounds == campaign.rounds
+
+    def test_output_is_plain_json(self, campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert isinstance(payload["records"], list)
+
+    def test_mbo_reports_survive(self, bofl_campaign):
+        restored = campaign_from_dict(campaign_to_dict(bofl_campaign))
+        originals = [r.mbo for r in bofl_campaign.records if r.mbo]
+        restoreds = [r.mbo for r in restored.records if r.mbo]
+        assert len(originals) == len(restoreds) > 0
+        assert restoreds[0].suggestions == originals[0].suggestions
+
+
+class TestValidation:
+    def test_rejects_unknown_version(self, campaign):
+        payload = campaign_to_dict(campaign)
+        payload["format_version"] = 99
+        with pytest.raises(ConfigurationError):
+            campaign_from_dict(payload)
+
+    def test_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_campaign(path)

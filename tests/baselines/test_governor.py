@@ -1,0 +1,86 @@
+"""Tests for the ondemand-governor baseline."""
+
+import pytest
+
+from repro.baselines import OndemandGovernorController, PerformantController
+from repro.errors import ConfigurationError
+from repro.federated.deadlines import UniformDeadlines
+from repro.hardware import SimulatedDevice
+from tests.conftest import build_tiny_spec, build_tiny_workload
+
+JOBS = 60
+
+
+def device(seed=0):
+    return SimulatedDevice(build_tiny_spec(), build_tiny_workload(), seed=seed)
+
+
+def t_min(dev):
+    return dev.model.latency(dev.space.max_configuration()) * JOBS
+
+
+class TestGovernorMechanics:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OndemandGovernorController(device(), up_threshold=0.3, down_threshold=0.5)
+        with pytest.raises(ConfigurationError):
+            OndemandGovernorController(device(), up_threshold=1.2)
+
+    def test_downclocks_underutilized_units(self):
+        dev = device()
+        controller = OndemandGovernorController(dev)
+        controller.run_round(JOBS, deadline=1000.0)
+        # at x_max at least one unit idles below threshold, so the governor
+        # must have moved off the all-max configuration
+        assert dev.current_configuration != dev.space.max_configuration()
+
+    def test_utilization_telemetry_drives_steps(self):
+        dev = device()
+        controller = OndemandGovernorController(dev, up_threshold=0.99, down_threshold=0.98)
+        # thresholds force every unit to step down each job
+        controller.run_round(5, deadline=1000.0)
+        indices = controller._indices
+        max_indices = dev.space.indices_of(dev.space.max_configuration())
+        assert all(i < m for i, m in zip(indices, max_indices))
+
+    def test_indices_stay_in_bounds(self):
+        dev = device()
+        controller = OndemandGovernorController(dev, up_threshold=0.99, down_threshold=0.98)
+        for _ in range(3):
+            controller.run_round(JOBS, deadline=1000.0)
+        for axis, table in enumerate(dev.space.tables):
+            assert 0 <= controller._indices[axis] < len(table)
+
+
+class TestGovernorVersusDeadlines:
+    def test_deadline_blindness_causes_misses_when_tight(self):
+        dev = device()
+        controller = OndemandGovernorController(dev)
+        deadlines = UniformDeadlines(1.15).generate(t_min(dev), 8, seed=1)
+        records = [controller.run_round(JOBS, d) for d in deadlines]
+        assert any(r.missed for r in records)
+
+    def test_saves_energy_vs_performant_when_loose(self):
+        dev_g, dev_p = device(), device()
+        governor = OndemandGovernorController(dev_g)
+        performant = PerformantController(dev_p)
+        total_g = total_p = 0.0
+        for deadline in UniformDeadlines(4.0).generate(t_min(dev_g), 8, seed=1):
+            total_g += governor.run_round(JOBS, deadline).energy
+            total_p += performant.run_round(JOBS, deadline).energy
+        assert total_g < total_p
+
+    def test_all_jobs_execute_even_when_missing(self):
+        dev = device()
+        controller = OndemandGovernorController(dev)
+        record = controller.run_round(JOBS, deadline=t_min(dev) * 1.01)
+        assert record.jobs == JOBS
+
+
+class TestGovernorInRunner:
+    def test_available_through_run_campaign(self):
+        from repro.sim import run_campaign
+
+        result = run_campaign("agx", "vit", "ondemand", 2.0, rounds=2, seed=0)
+        assert result.controller == "ondemand"
+        assert result.training_energy > 0

@@ -1,0 +1,103 @@
+"""Unit tests for the exact 2-D EHVI and EI acquisition functions."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.acquisition import (
+    expected_hypervolume_improvement,
+    expected_improvement,
+)
+from repro.bayesopt.hypervolume import hypervolume_improvement_2d
+from repro.errors import OptimizationError
+
+FRONT = np.array([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]])
+REF = np.array([4.0, 4.0])
+
+
+def ehvi(mean, var, front=FRONT, ref=REF):
+    return expected_hypervolume_improvement(
+        np.atleast_2d(mean), np.atleast_2d(var), front, ref
+    )
+
+
+class TestDegenerateLimit:
+    """With vanishing variance, EHVI must equal the deterministic HVI."""
+
+    @pytest.mark.parametrize(
+        "point",
+        [
+            [0.5, 0.5],
+            [1.5, 1.5],
+            [2.5, 2.5],  # dominated -> 0
+            [0.5, 3.5],
+            [10.0, 10.0],  # outside reference box -> 0
+        ],
+    )
+    def test_matches_hvi(self, point):
+        value = ehvi(np.array([point]), np.full((1, 2), 1e-14))[0]
+        exact = hypervolume_improvement_2d(np.array([point]), FRONT, REF)
+        assert value == pytest.approx(exact, abs=1e-6)
+
+
+class TestQualitativeBehaviour:
+    def test_nonnegative_everywhere(self, rng):
+        means = rng.uniform(-1, 6, size=(100, 2))
+        variances = rng.uniform(0.01, 1.0, size=(100, 2))
+        values = ehvi(means, variances)
+        assert np.all(values >= 0)
+
+    def test_uncertainty_gives_dominated_points_value(self):
+        dominated = np.array([[2.5, 2.5]])
+        certain = ehvi(dominated, np.full((1, 2), 1e-12))[0]
+        uncertain = ehvi(dominated, np.full((1, 2), 1.0))[0]
+        assert certain == pytest.approx(0.0, abs=1e-9)
+        assert uncertain > 0.01
+
+    def test_better_mean_scores_higher(self):
+        good = ehvi(np.array([[0.5, 0.5]]), np.full((1, 2), 0.01))[0]
+        bad = ehvi(np.array([[3.5, 3.5]]), np.full((1, 2), 0.01))[0]
+        assert good > bad
+
+    def test_empty_front_equals_rectangle_expectation(self):
+        mean = np.array([[1.0, 1.0]])
+        var = np.full((1, 2), 1e-14)
+        value = expected_hypervolume_improvement(mean, var, np.zeros((0, 2)), REF)[0]
+        assert value == pytest.approx((4 - 1) * (4 - 1), rel=1e-6)
+
+    def test_monte_carlo_agreement(self, rng):
+        mean = np.array([1.6, 1.4])
+        std = np.array([0.4, 0.5])
+        analytic = ehvi(mean[None, :], (std**2)[None, :])[0]
+        draws = rng.normal(mean, std, size=(40_000, 2))
+        mc = np.mean(
+            [hypervolume_improvement_2d(d[None, :], FRONT, REF) for d in draws[:8000]]
+        )
+        assert analytic == pytest.approx(mc, rel=0.06)
+
+    def test_batch_evaluation_matches_loop(self, rng):
+        means = rng.uniform(0, 4, size=(10, 2))
+        variances = rng.uniform(0.01, 0.5, size=(10, 2))
+        batch = ehvi(means, variances)
+        singles = [ehvi(means[i], variances[i])[0] for i in range(10)]
+        assert batch == pytest.approx(np.array(singles))
+
+    def test_shape_validation(self):
+        with pytest.raises(OptimizationError):
+            expected_hypervolume_improvement(
+                np.zeros((3, 2)), np.zeros((2, 2)), FRONT, REF
+            )
+        with pytest.raises(OptimizationError):
+            expected_hypervolume_improvement(
+                np.zeros((3, 3)), np.zeros((3, 3)), FRONT, REF
+            )
+
+
+class TestExpectedImprovement:
+    def test_zero_variance_reduces_to_plain_improvement(self):
+        values = expected_improvement(np.array([1.0, 3.0]), np.array([1e-18, 1e-18]), best=2.0)
+        assert values[0] == pytest.approx(1.0, abs=1e-6)
+        assert values[1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_uncertainty_adds_value(self):
+        at_best = expected_improvement(np.array([2.0]), np.array([1.0]), best=2.0)[0]
+        assert at_best > 0.3  # sigma * phi(0) = 0.3989...

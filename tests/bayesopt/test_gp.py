@@ -1,0 +1,122 @@
+"""Unit tests for Gaussian-process regression."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.kernels import Matern52
+from repro.errors import NotFittedError, OptimizationError
+
+
+def toy_data(rng, n=25, noise=0.05):
+    x = rng.uniform(size=(n, 3))
+    y = np.sin(4 * x[:, 0]) + x[:, 1] ** 2 + noise * rng.normal(size=n)
+    return x, y
+
+
+class TestFitPredict:
+    def test_interpolates_training_data(self, rng):
+        x, y = toy_data(rng, noise=0.0)
+        gp = GaussianProcess(noise_variance=1e-6)
+        gp.fit(x, y)
+        mean, _ = gp.predict(x)
+        assert mean == pytest.approx(y, abs=0.05)
+
+    def test_variance_lower_at_training_points(self, rng):
+        x, y = toy_data(rng)
+        gp = GaussianProcess().fit(x, y)
+        _, var_train = gp.predict(x)
+        _, var_far = gp.predict(np.full((1, 3), 5.0))
+        assert var_train.max() < var_far[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GaussianProcess().predict(np.zeros((1, 3)))
+
+    def test_fit_validates_shapes(self, rng):
+        gp = GaussianProcess()
+        with pytest.raises(OptimizationError):
+            gp.fit(np.zeros((3, 3)), np.zeros(4))
+        with pytest.raises(OptimizationError):
+            gp.fit(np.zeros((0, 3)), np.zeros(0))
+        with pytest.raises(OptimizationError):
+            gp.fit(np.zeros((3, 2)), np.zeros(3))
+
+    def test_variance_nonnegative(self, rng):
+        x, y = toy_data(rng)
+        gp = GaussianProcess().fit(x, y)
+        _, var = gp.predict(rng.uniform(size=(50, 3)))
+        assert np.all(var >= 0)
+
+    def test_constant_targets_handled(self):
+        x = np.random.default_rng(0).uniform(size=(10, 3))
+        gp = GaussianProcess().fit(x, np.full(10, 3.5))
+        mean, _ = gp.predict(x[:3])
+        assert mean == pytest.approx(np.full(3, 3.5), abs=1e-6)
+
+
+class TestHyperparameterFit:
+    def test_mll_improves(self, rng):
+        x, y = toy_data(rng, n=30)
+        gp = GaussianProcess(Matern52(np.full(3, 3.0), variance=0.1))
+        gp.fit(x, y)
+        before = gp.log_marginal_likelihood()
+        after = gp.optimize_hyperparameters(rng, n_restarts=2)
+        assert after >= before - 1e-6
+
+    def test_generalization_after_fit(self, rng):
+        x, y = toy_data(rng, n=40)
+        gp = GaussianProcess().fit(x, y)
+        gp.optimize_hyperparameters(rng, n_restarts=1)
+        x_test = rng.uniform(size=(100, 3))
+        y_test = np.sin(4 * x_test[:, 0]) + x_test[:, 1] ** 2
+        mean, var = gp.predict(x_test)
+        rmse = np.sqrt(np.mean((mean - y_test) ** 2))
+        assert rmse < 0.25
+        # calibration: most test residuals within 3 posterior sigmas
+        z = np.abs(mean - y_test) / np.sqrt(var + gp.noise_variance)
+        assert np.mean(z < 3.0) > 0.9
+
+    def test_optimize_requires_fit(self, rng):
+        with pytest.raises(NotFittedError):
+            GaussianProcess().optimize_hyperparameters(rng)
+
+
+class TestConditioning:
+    def test_conditioned_on_adds_observation(self, rng):
+        x, y = toy_data(rng)
+        gp = GaussianProcess().fit(x, y)
+        x_new = np.array([[0.5, 0.5, 0.5]])
+        y_new = np.array([9.0])  # far from the surface
+        updated = gp.conditioned_on(x_new, y_new)
+        assert updated.n_observations == gp.n_observations + 1
+        mean_before, _ = gp.predict(x_new)
+        mean_after, _ = updated.predict(x_new)
+        assert abs(mean_after[0] - 9.0) < abs(mean_before[0] - 9.0)
+
+    def test_conditioning_leaves_original_untouched(self, rng):
+        x, y = toy_data(rng)
+        gp = GaussianProcess().fit(x, y)
+        n = gp.n_observations
+        gp.conditioned_on(np.array([[0.1, 0.2, 0.3]]), np.array([1.0]))
+        assert gp.n_observations == n
+
+    def test_conditioning_shrinks_local_variance(self, rng):
+        x, y = toy_data(rng)
+        gp = GaussianProcess().fit(x, y)
+        probe = np.array([[0.9, 0.9, 0.9]])
+        _, var_before = gp.predict(probe)
+        updated = gp.conditioned_on(probe, np.array([0.0]))
+        _, var_after = updated.predict(probe)
+        assert var_after[0] < var_before[0]
+
+
+class TestPosteriorSamples:
+    def test_sample_shape_and_spread(self, rng):
+        x, y = toy_data(rng)
+        gp = GaussianProcess().fit(x, y)
+        x_star = rng.uniform(size=(5, 3))
+        draws = gp.posterior_samples(x_star, n_samples=64, rng=rng)
+        assert draws.shape == (64, 5)
+        mean, var = gp.predict(x_star)
+        assert draws.mean(axis=0) == pytest.approx(mean, abs=4 * np.sqrt(var.max() / 64) + 0.1)

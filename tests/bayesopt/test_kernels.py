@@ -1,0 +1,97 @@
+"""Unit tests for covariance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.kernels import Matern52, RBF
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(params=[Matern52, RBF])
+def kernel(request):
+    return request.param(lengthscales=[0.5, 1.0, 2.0], variance=1.5)
+
+
+class TestKernelProperties:
+    def test_diagonal_equals_variance(self, kernel, rng):
+        x = rng.uniform(size=(6, 3))
+        gram = kernel(x, x)
+        assert np.allclose(np.diag(gram), kernel.variance)
+        assert np.allclose(kernel.diag(x), kernel.variance)
+
+    def test_symmetry(self, kernel, rng):
+        x = rng.uniform(size=(8, 3))
+        gram = kernel(x, x)
+        assert np.allclose(gram, gram.T)
+
+    def test_positive_semidefinite(self, kernel, rng):
+        x = rng.uniform(size=(15, 3))
+        gram = kernel(x, x)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() > -1e-8
+
+    def test_decays_with_distance(self, kernel):
+        a = np.zeros((1, 3))
+        near = np.full((1, 3), 0.1)
+        far = np.full((1, 3), 3.0)
+        assert kernel(a, near)[0, 0] > kernel(a, far)[0, 0]
+
+    def test_cross_matrix_shape(self, kernel, rng):
+        a = rng.uniform(size=(4, 3))
+        b = rng.uniform(size=(7, 3))
+        assert kernel(a, b).shape == (4, 7)
+
+    def test_ard_lengthscales_weight_dimensions(self, request):
+        kernel = Matern52(lengthscales=[0.1, 10.0, 10.0])
+        base = np.zeros((1, 3))
+        move_sensitive = np.array([[0.3, 0.0, 0.0]])
+        move_insensitive = np.array([[0.0, 0.3, 0.0]])
+        assert kernel(base, move_sensitive)[0, 0] < kernel(base, move_insensitive)[0, 0]
+
+
+class TestParameterVector:
+    def test_log_roundtrip(self, kernel):
+        theta = kernel.get_log_params()
+        clone = kernel.clone()
+        clone.set_log_params(theta + 0.3)
+        clone.set_log_params(theta)
+        assert np.allclose(clone.lengthscales, kernel.lengthscales)
+        assert clone.variance == pytest.approx(kernel.variance)
+
+    def test_n_params(self, kernel):
+        assert kernel.n_params == 4
+        assert kernel.get_log_params().shape == (4,)
+
+    def test_set_rejects_wrong_shape(self, kernel):
+        with pytest.raises(ConfigurationError):
+            kernel.set_log_params(np.zeros(2))
+
+    def test_clone_is_independent(self, kernel):
+        clone = kernel.clone()
+        clone.set_log_params(clone.get_log_params() + 1.0)
+        assert not np.allclose(clone.lengthscales, kernel.lengthscales)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_lengthscales(self):
+        with pytest.raises(ConfigurationError):
+            Matern52(lengthscales=[1.0, -1.0, 1.0])
+
+    def test_rejects_nonpositive_variance(self):
+        with pytest.raises(ConfigurationError):
+            RBF(lengthscales=[1.0], variance=0.0)
+
+    def test_rejects_empty_lengthscales(self):
+        with pytest.raises(ConfigurationError):
+            Matern52(lengthscales=[])
+
+
+class TestKernelShapes:
+    def test_matern_rougher_than_rbf_midrange(self):
+        # At moderate distance the Matérn kernel retains more correlation
+        # than the RBF (heavier tail), a standard qualitative check.
+        matern = Matern52(lengthscales=[1.0])
+        rbf = RBF(lengthscales=[1.0])
+        a = np.zeros((1, 1))
+        b = np.array([[2.0]])
+        assert matern(a, b)[0, 0] > rbf(a, b)[0, 0]

@@ -1,0 +1,179 @@
+"""Unit tests for Pareto utilities and exact 2-D hypervolume."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.hypervolume import (
+    hypervolume_2d,
+    hypervolume_improvement_2d,
+    reference_from_observations,
+)
+from repro.bayesopt.pareto import crowding_distance, dominates, pareto_front, pareto_mask
+from repro.errors import OptimizationError
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates([1, 1], [2, 2])
+        assert dominates([1, 2], [1, 3])
+
+    def test_no_self_dominance(self):
+        assert not dominates([1, 1], [1, 1])
+
+    def test_incomparable(self):
+        assert not dominates([1, 3], [3, 1])
+        assert not dominates([3, 1], [1, 3])
+
+
+class TestParetoMask:
+    def test_simple_front(self):
+        points = np.array([[1, 3], [2, 2], [3, 1], [3, 3], [2.5, 2.5]])
+        mask = pareto_mask(points)
+        assert list(mask) == [True, True, True, False, False]
+
+    def test_duplicates_all_kept(self):
+        points = np.array([[1, 1], [1, 1], [2, 2]])
+        mask = pareto_mask(points)
+        assert list(mask) == [True, True, False]
+
+    def test_same_y1_different_y2(self):
+        points = np.array([[1, 2], [1, 1]])
+        assert list(pareto_mask(points)) == [False, True]
+
+    def test_same_y2_different_y1(self):
+        points = np.array([[2, 1], [1, 1]])
+        assert list(pareto_mask(points)) == [False, True]
+
+    def test_single_point(self):
+        assert list(pareto_mask(np.array([[1.0, 2.0]]))) == [True]
+
+    def test_empty(self):
+        assert pareto_mask(np.zeros((0, 2))).shape == (0,)
+
+    def test_three_objectives_quadratic_path(self):
+        points = np.array([[1, 1, 1], [2, 2, 2], [1, 2, 0.5]])
+        mask = pareto_mask(points)
+        assert list(mask) == [True, False, True]
+
+    def test_rejects_one_objective(self):
+        with pytest.raises(OptimizationError):
+            pareto_mask(np.array([[1.0], [2.0]]))
+
+    def test_matches_bruteforce(self, rng):
+        points = rng.uniform(size=(60, 2))
+        mask_fast = pareto_mask(points)
+        brute = np.ones(60, dtype=bool)
+        for i in range(60):
+            for j in range(60):
+                if i != j and np.all(points[j] <= points[i]) and np.any(points[j] < points[i]):
+                    brute[i] = False
+        assert np.array_equal(mask_fast, brute)
+
+
+class TestParetoFront:
+    def test_sorted_by_first_objective(self, rng):
+        points = rng.uniform(size=(50, 2))
+        front = pareto_front(points)
+        assert np.all(np.diff(front[:, 0]) >= 0)
+        assert np.all(np.diff(front[:, 1]) <= 0)
+
+    def test_front_of_empty(self):
+        assert pareto_front(np.zeros((0, 2))).size == 0
+
+
+class TestCrowdingDistance:
+    def test_boundaries_are_infinite(self):
+        front = np.array([[1, 3], [2, 2], [3, 1]])
+        distances = crowding_distance(front)
+        assert np.isinf(distances[0]) and np.isinf(distances[-1])
+        assert np.isfinite(distances[1])
+
+    def test_denser_points_have_smaller_distance(self):
+        front = np.array([[0, 10], [1, 9], [1.1, 8.9], [10, 0]])
+        distances = crowding_distance(front)
+        # index 1 sits between two close neighbours; index 2 borders the
+        # huge gap to (10, 0) and is therefore less crowded.
+        assert distances[1] < distances[2]
+
+
+class TestHypervolume2D:
+    def test_known_staircase(self):
+        front = np.array([[1, 3], [2, 2], [3, 1]])
+        assert hypervolume_2d(front, [4, 4]) == pytest.approx(6.0)
+
+    def test_single_point_rectangle(self):
+        assert hypervolume_2d(np.array([[1, 1]]), [3, 4]) == pytest.approx(6.0)
+
+    def test_dominated_points_add_nothing(self):
+        front = np.array([[1, 1]])
+        with_dominated = np.array([[1, 1], [2, 2], [1.5, 3]])
+        ref = [4, 4]
+        assert hypervolume_2d(front, ref) == pytest.approx(
+            hypervolume_2d(with_dominated, ref)
+        )
+
+    def test_points_outside_reference_ignored(self):
+        front = np.array([[1, 1], [5, 0.5]])
+        assert hypervolume_2d(front, [4, 4]) == pytest.approx(9.0)
+
+    def test_empty_front(self):
+        assert hypervolume_2d(np.zeros((0, 2)), [1, 1]) == 0.0
+
+    def test_monotone_in_points(self, rng):
+        points = rng.uniform(0, 1, size=(20, 2))
+        ref = np.array([1.2, 1.2])
+        hv_partial = hypervolume_2d(points[:10], ref)
+        hv_full = hypervolume_2d(points, ref)
+        assert hv_full >= hv_partial - 1e-12
+
+    def test_matches_monte_carlo(self, rng):
+        points = rng.uniform(0, 1, size=(8, 2))
+        ref = np.array([1.0, 1.0])
+        exact = hypervolume_2d(points, ref)
+        samples = rng.uniform(0, 1, size=(200_000, 2))
+        dominated = np.zeros(len(samples), dtype=bool)
+        for p in points:
+            dominated |= np.all(samples >= p, axis=1)
+        assert exact == pytest.approx(dominated.mean(), abs=0.01)
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(OptimizationError):
+            hypervolume_2d(np.array([[1, 1]]), [1, 2, 3])
+
+
+class TestHypervolumeImprovement:
+    def test_dominated_batch_adds_zero(self):
+        front = np.array([[1, 1]])
+        batch = np.array([[2, 2]])
+        assert hypervolume_improvement_2d(batch, front, [4, 4]) == pytest.approx(0.0)
+
+    def test_dominating_point_adds_area(self):
+        front = np.array([[2, 2]])
+        batch = np.array([[1, 1]])
+        # HV goes from 4 to 9
+        assert hypervolume_improvement_2d(batch, front, [4, 4]) == pytest.approx(5.0)
+
+    def test_empty_batch(self):
+        assert hypervolume_improvement_2d(
+            np.zeros((0, 2)), np.array([[1, 1]]), [4, 4]
+        ) == 0.0
+
+    def test_empty_front(self):
+        assert hypervolume_improvement_2d(
+            np.array([[1, 1]]), np.zeros((0, 2)), [4, 4]
+        ) == pytest.approx(9.0)
+
+
+class TestReferencePoint:
+    def test_componentwise_worst(self):
+        points = np.array([[1, 5], [3, 2]])
+        assert reference_from_observations(points).tolist() == [3, 5]
+
+    def test_margin_pushes_out(self):
+        points = np.array([[1, 5], [3, 2]])
+        ref = reference_from_observations(points, margin=0.1)
+        assert ref[0] > 3 and ref[1] > 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(OptimizationError):
+            reference_from_observations(np.zeros((0, 2)))

@@ -1,0 +1,135 @@
+"""Shared fixtures.
+
+Controller and integration tests run against a deliberately small custom
+board (90 configurations) so full explore-then-exploit campaigns finish in
+well under a second; calibration/phenomenology tests use the real AGX/TX2
+specs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BoFLConfig
+from repro.hardware import (
+    ConfigurationSpace,
+    DeviceSpec,
+    FrequencyTable,
+    SimulatedDevice,
+    VoltageCurve,
+    jetson_agx,
+    jetson_tx2,
+)
+from repro.hardware.noise import MeasurementNoise, NoiselessMeasurement
+from repro.hardware.perfmodel import CalibrationTarget
+from repro.workloads import WorkloadProfile, vit
+
+
+def build_tiny_spec() -> DeviceSpec:
+    """A 6 x 5 x 3 = 90-configuration board for fast tests."""
+    space = ConfigurationSpace(
+        FrequencyTable.linspaced("cpu", 0.4, 2.0, 6),
+        FrequencyTable.linspaced("gpu", 0.2, 1.2, 5),
+        FrequencyTable.linspaced("mem", 0.5, 1.5, 3),
+    )
+    return DeviceSpec(
+        name="tiny",
+        long_name="Tiny test board",
+        cpu_description="test CPU",
+        gpu_description="test GPU",
+        mem_description="test memory",
+        space=space,
+        cpu_voltage=VoltageCurve(0.4, 2.0, 0.6, 1.1, gamma=1.4),
+        gpu_voltage=VoltageCurve(0.2, 1.2, 0.6, 1.1, gamma=1.4),
+        mem_voltage=VoltageCurve(0.5, 1.5, 0.8, 1.05),
+        static_watts=1.0,
+        idle_watts=(0.1, 0.12, 0.08),
+        waiting_fractions=(0.1, 0.25, 0.05),
+        relative_cpu_speed=1.0,
+    )
+
+
+def build_tiny_workload() -> WorkloadProfile:
+    """A workload calibrated for the tiny board (fast jobs: ~60 ms)."""
+    return WorkloadProfile(
+        name="tiny_net",
+        family="cnn",
+        dataset="TEST",
+        description="test workload",
+        targets={
+            "tiny": CalibrationTarget(
+                latency_at_max=0.06,
+                energy_at_max=0.9,
+                busy_shares=(0.3, 0.5, 0.2),
+                dynamic_split=(0.3, 0.5, 0.2),
+                serial_fraction=0.35,
+            )
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def agx_spec():
+    return jetson_agx()
+
+
+@pytest.fixture(scope="session")
+def tx2_spec():
+    return jetson_tx2()
+
+
+@pytest.fixture(scope="session")
+def vit_workload():
+    return vit()
+
+
+@pytest.fixture(scope="session")
+def agx_vit_model(agx_spec, vit_workload):
+    return vit_workload.performance_model(agx_spec)
+
+
+@pytest.fixture()
+def tiny_spec():
+    return build_tiny_spec()
+
+
+@pytest.fixture()
+def tiny_workload():
+    return build_tiny_workload()
+
+
+@pytest.fixture()
+def tiny_device(tiny_spec, tiny_workload):
+    return SimulatedDevice(tiny_spec, tiny_workload, seed=0)
+
+
+@pytest.fixture()
+def quiet_device(tiny_spec, tiny_workload):
+    """A tiny device with zero noise — deterministic job costs."""
+    return SimulatedDevice(
+        tiny_spec, tiny_workload, noise=NoiselessMeasurement(), seed=0
+    )
+
+
+@pytest.fixture()
+def fast_config():
+    """BoFL settings sized for the tiny board: short tau, tiny batches."""
+    return BoFLConfig(
+        tau=0.4,
+        initial_sample_fraction=0.06,  # -> 5 starting points of 90
+        min_explored_fraction=0.15,
+        max_batch_size=4,
+        fit_restarts=0,
+        seed=1,
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def mild_noise():
+    return MeasurementNoise(seed=3)

@@ -1,0 +1,117 @@
+"""Tests for the drift re-exploration extension (thermal throttling)."""
+
+import pytest
+
+from repro.core import BoFLConfig, BoFLController, Phase
+from repro.core.phases import PhaseTransition
+from repro.federated.deadlines import UniformDeadlines
+from repro.hardware import SimulatedDevice, ThermalModel
+from tests.conftest import build_tiny_spec, build_tiny_workload
+
+JOBS = 60
+
+
+def throttling_thermal():
+    return ThermalModel(
+        r_th=4.2,
+        tau_th=60.0,
+        t_ambient=25.0,
+        throttle_start=42.0,
+        throttle_full=58.0,
+        max_slowdown=1.35,
+    )
+
+
+def run_thermal_campaign(drift: bool, rounds: int = 30, seed: int = 0):
+    device = SimulatedDevice(
+        build_tiny_spec(), build_tiny_workload(), seed=seed,
+        thermal=throttling_thermal(),
+    )
+    config = BoFLConfig(
+        tau=0.4,
+        initial_sample_fraction=0.06,
+        min_explored_fraction=0.15,
+        max_batch_size=4,
+        fit_restarts=0,
+        seed=1,
+        drift_reexploration=drift,
+        drift_threshold=0.08,
+    )
+    controller = BoFLController(device, config)
+    t_min_cold = device.model.latency(device.space.max_configuration()) * JOBS
+    deadlines = UniformDeadlines(3.2, floor=1.8).generate(t_min_cold, rounds, seed=3)
+    records = [controller.run_round(JOBS, d) for d in deadlines]
+    return controller, records
+
+
+class TestPhaseRestart:
+    def test_restart_transition_is_legal(self):
+        transition = PhaseTransition(
+            5, Phase.EXPLOITATION, Phase.RANDOM_EXPLORATION
+        )
+        assert transition.is_restart
+
+    def test_forward_transitions_are_not_restarts(self):
+        transition = PhaseTransition(
+            1, Phase.RANDOM_EXPLORATION, Phase.PARETO_CONSTRUCTION
+        )
+        assert not transition.is_restart
+
+    def test_other_backward_moves_still_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTransition(1, Phase.PARETO_CONSTRUCTION, Phase.RANDOM_EXPLORATION)
+
+
+class TestDriftAdaptation:
+    def test_without_adaptation_the_model_goes_stale(self):
+        controller, records = run_thermal_campaign(drift=False)
+        assert controller.restarts == 0
+        # the realized exploitation latencies drift well past the plans
+        assert controller._drift_ewma > 0.1
+        # the stale plans force guardian sprints during exploitation
+        sprints = sum(
+            r.guardian_triggered for r in records if r.phase == "exploitation"
+        )
+        assert sprints >= 1
+
+    def test_with_adaptation_the_model_stays_fresh(self):
+        controller, records = run_thermal_campaign(drift=True)
+        assert controller.restarts >= 1
+        assert controller._drift_ewma < 0.1
+        sprints = sum(
+            r.guardian_triggered for r in records if r.phase == "exploitation"
+        )
+        assert sprints == 0
+
+    def test_restart_transitions_are_recorded(self):
+        controller, _ = run_thermal_campaign(drift=True)
+        restarts = [t for t in controller.transitions if t.is_restart]
+        assert len(restarts) == controller.restarts
+        # after a restart the controller works back up to exploitation
+        assert controller.phase in (
+            Phase.EXPLOITATION, Phase.PARETO_CONSTRUCTION, Phase.RANDOM_EXPLORATION,
+        )
+
+    def test_deadline_safety_holds_in_both_modes(self):
+        for drift in (False, True):
+            _, records = run_thermal_campaign(drift=drift)
+            assert all(not r.missed for r in records), f"drift={drift}"
+
+    def test_no_restarts_without_thermal_drift(self, fast_config):
+        device = SimulatedDevice(build_tiny_spec(), build_tiny_workload(), seed=0)
+        config = BoFLConfig(
+            tau=fast_config.tau,
+            initial_sample_fraction=fast_config.initial_sample_fraction,
+            min_explored_fraction=fast_config.min_explored_fraction,
+            max_batch_size=fast_config.max_batch_size,
+            fit_restarts=0,
+            seed=fast_config.seed,
+            drift_reexploration=True,
+            drift_threshold=0.08,
+        )
+        controller = BoFLController(device, config)
+        t_min = device.model.latency(device.space.max_configuration()) * JOBS
+        deadlines = UniformDeadlines(2.5).generate(t_min, 25, seed=7)
+        for deadline in deadlines:
+            controller.run_round(JOBS, deadline)
+        assert controller.restarts == 0  # stable hardware: never triggers

@@ -1,0 +1,199 @@
+"""Tests for the experiment registry and the cheap drivers.
+
+Campaign-heavy drivers (fig9-13, ablations) are exercised with tiny round
+counts; their full-size counterparts live in the benchmark suite.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments import (
+    ablations,
+    fig2_spread,
+    fig3_gpu_sweep,
+    fig4_cpu_sweep,
+    fig5_hardware,
+    fig9_energy,
+    fig11_pareto,
+    fig12_sensitivity,
+    fig13_overhead,
+    tab1_specs,
+    tab2_tasks,
+    tab3_walkthrough,
+)
+from repro.sim import clear_campaign_cache
+
+EXPECTED_IDS = {
+    "fig2", "fig3", "fig4", "fig5", "tab1", "tab2",
+    "fig9", "fig10", "fig11", "tab3", "fig12", "fig13",
+    "abl_guardian", "abl_acquisition", "abl_tau", "abl_exploit", "abl_parego",
+    "abl_thermal", "ext_accuracy", "ext_fleet", "ext_controllers",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_get_experiment(self):
+        exp = get_experiment("fig9")
+        assert callable(exp.run) and callable(exp.render)
+        assert exp.description
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+
+class TestStaticDrivers:
+    """Drivers that need no campaign simulation."""
+
+    def test_fig2_payload(self):
+        payload = fig2_spread.run()
+        assert len(payload["rows"]) == 3
+        for row in payload["rows"]:
+            assert row["latency_spread"] > 5.0
+            assert row["energy_spread"] > 2.5
+        assert "8x" in fig2_spread.render(payload)
+
+    def test_fig3_sweeps_both_cpu_clocks(self):
+        payload = fig3_gpu_sweep.run()
+        cpus = [s["cpu"] for s in payload["sweeps"]]
+        assert cpus == [pytest.approx(0.42), pytest.approx(2.26)]
+        assert "GPU" in fig3_gpu_sweep.render(payload)
+
+    def test_fig4_covers_three_models(self):
+        payload = fig4_cpu_sweep.run()
+        assert [s["workload"] for s in payload["series"]] == [
+            "vit", "resnet50", "lstm",
+        ]
+        assert all(0.6 <= f <= 1.75 for f in payload["cpu_freqs"])
+
+    def test_fig5_ratios_near_paper(self):
+        payload = fig5_hardware.run()
+        by_name = {r["workload"]: r for r in payload["rows"]}
+        assert by_name["vit"]["energy_ratio"] == pytest.approx(0.85, abs=0.02)
+        assert by_name["resnet50"]["latency_ratio"] == pytest.approx(0.32, abs=0.02)
+
+    def test_tab1_devices(self):
+        payload = tab1_specs.run()
+        assert payload["devices"]["agx"]["configurations"] == 2100
+        assert payload["devices"]["tx2"]["configurations"] == 936
+        assert "Table 1" in tab1_specs.render(payload)
+
+    def test_tab2_t_min_matches_paper(self):
+        payload = tab2_tasks.run()
+        for row in payload["rows"]:
+            for device_name in ("agx", "tx2"):
+                measured = row["t_min"][device_name]
+                paper = row["paper_t_min"][device_name]
+                assert measured == pytest.approx(paper, rel=0.02)
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    clear_campaign_cache()
+    yield
+    clear_campaign_cache()
+
+
+class TestCampaignDrivers:
+    """Smoke runs with tiny parameters; numbers validated in benchmarks."""
+
+    def test_fig9_driver_small(self):
+        payload = fig9_energy.run(ratio=2.0, tasks=("vit",), rounds=4, seed=0)
+        data = payload["tasks"]["vit"]
+        assert len(data["bofl"]) == 4
+        assert len(data["performant"]) == 4
+        assert data["missed"] == 0
+        out = fig9_energy.render(payload)
+        assert "Fig. 9" in out and "improvement" in out
+
+    def test_fig11_driver_small(self):
+        payload = fig11_pareto.run(tasks=("vit",), rounds=4, seed=0)
+        data = payload["tasks"]["vit"]
+        assert data["found_points"] >= 1
+        assert 0 < data["hv_ratio"] <= 1.1
+        assert "Pareto" in fig11_pareto.render(payload)
+
+    def test_tab3_driver_small(self):
+        payload = tab3_walkthrough.run(tasks=("vit",), rounds=4, seed=0)
+        data = payload["tasks"]["vit"]
+        assert data["total_explored"] >= 1
+        assert data["total_pareto"] <= data["total_explored"]
+        assert "# Exp" in tab3_walkthrough.render(payload)
+
+    def test_fig12_driver_small(self):
+        payload = fig12_sensitivity.run(
+            tasks=("vit",), ratios=(2.0,), rounds=4, seed=0
+        )
+        cell = payload["tasks"]["vit"][2.0]
+        assert -1.0 < cell["improvement"] < 1.0
+        assert "Fig. 12" in fig12_sensitivity.render(payload)
+
+    def test_fig13_driver_small(self):
+        payload = fig13_overhead.run(
+            devices=("agx",), tasks=("vit",), rounds=10, seed=0
+        )
+        agx = payload["per_device"]["agx"]
+        assert agx["runs"] >= 1
+        assert agx["mean_latency"] > 0
+        assert "MBO" in fig13_overhead.render(payload)
+
+    def test_fig13_driver_handles_no_mbo_rounds(self):
+        # With too few rounds for phase 2 the driver must degrade cleanly.
+        payload = fig13_overhead.run(
+            devices=("agx",), tasks=("vit",), rounds=2, seed=0
+        )
+        assert payload["per_device"]["agx"]["runs"] == 0
+
+    def test_ablation_guardian_small(self):
+        payload = ablations.run_guardian(rounds=3, seed=0)
+        assert set(payload["variants"]) == {"guardian_on", "guardian_off"}
+        assert "guardian" in ablations.render_guardian(payload)
+
+    def test_ablation_exploit_small(self):
+        payload = ablations.run_exploit(rounds=3, seed=0)
+        assert set(payload["variants"]) == {"ilp_mixture", "single_config"}
+        assert "ILP" in ablations.render_exploit(payload)
+
+    def test_ablation_thermal_small(self):
+        payload = ablations.run_thermal(rounds=3, seed=0)
+        assert set(payload["variants"]) == {"static", "adaptive"}
+        assert "thermal" in ablations.render_thermal(payload)
+
+    def test_ext_controllers_small(self):
+        from repro.experiments import ext_controllers
+
+        payload = ext_controllers.run(rounds=3, seed=0)
+        assert set(payload["results"]) == {
+            "bofl", "performant", "oracle", "random_search", "linear_pace", "ondemand",
+        }
+        assert "scoreboard" in ext_controllers.render(payload)
+
+    def test_ext_fleet_small(self):
+        from repro.experiments import ext_fleet
+
+        payload = ext_fleet.run(rounds=2, seed=0)
+        assert set(payload["results"]) == {"performant", "bofl"}
+        assert len(payload["results"]["bofl"]["per_client"]) == 10
+        assert "fleet" in ext_fleet.render(payload)
+
+    def test_ext_accuracy_small(self):
+        from repro.experiments import ext_accuracy
+
+        payload = ext_accuracy.run(rounds=2, seed=0)
+        performant = payload["results"]["performant"]
+        bofl = payload["results"]["bofl"]
+        # identical jobs -> identical learning, lower (or equal) energy
+        assert bofl["accuracy"] == performant["accuracy"]
+        assert "parity" in ext_accuracy.render(payload)
+
+    def test_ablation_parego_small(self):
+        payload = ablations.run_parego(n_initial=10, batches=1, batch_size=4, seed=0)
+        assert set(payload["variants"]) == {"ehvi", "parego", "random"}
+        for variant in payload["variants"].values():
+            assert 0.0 < variant["hv_ratio"] <= 1.05
+            assert variant["evaluations"] == 15
+        assert "acquisition" in ablations.render_parego(payload)

@@ -1,0 +1,94 @@
+"""Unit tests for aggregation rules and client selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.federated.aggregation import FedAvg, TrimmedMeanAggregator
+from repro.federated.selection import AllClientsSelector, RandomSelector
+
+
+def weights_like(*scalars):
+    return [[np.full((2, 2), s), np.full(3, s)] for s in scalars]
+
+
+class TestFedAvg:
+    def test_equal_weights_is_mean(self):
+        updates = weights_like(1.0, 3.0)
+        out = FedAvg().aggregate(updates, [1.0, 1.0])
+        assert np.allclose(out[0], 2.0)
+        assert np.allclose(out[1], 2.0)
+
+    def test_sample_weighted(self):
+        updates = weights_like(0.0, 4.0)
+        out = FedAvg().aggregate(updates, [3.0, 1.0])
+        assert np.allclose(out[0], 1.0)
+
+    def test_single_client_identity(self):
+        updates = weights_like(7.0)
+        out = FedAvg().aggregate(updates, [5.0])
+        assert np.allclose(out[0], 7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            FedAvg().aggregate([], [])
+
+    def test_rejects_weight_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            FedAvg().aggregate(weights_like(1.0, 2.0), [1.0])
+
+    def test_rejects_zero_total_weight(self):
+        with pytest.raises(ConfigurationError):
+            FedAvg().aggregate(weights_like(1.0, 2.0), [0.0, 0.0])
+
+    def test_rejects_shape_mismatch(self):
+        a = [np.zeros((2, 2))]
+        b = [np.zeros((3, 3))]
+        with pytest.raises(ConfigurationError):
+            FedAvg().aggregate([a, b], [1.0, 1.0])
+
+
+class TestTrimmedMean:
+    def test_discards_outliers(self):
+        updates = weights_like(1.0, 1.0, 1.0, 100.0, -100.0)
+        out = TrimmedMeanAggregator(trim=1).aggregate(updates, [1] * 5)
+        assert np.allclose(out[0], 1.0)
+
+    def test_requires_enough_clients(self):
+        with pytest.raises(ConfigurationError):
+            TrimmedMeanAggregator(trim=1).aggregate(weights_like(1.0, 2.0), [1, 1])
+
+    def test_trim_zero_is_plain_mean(self):
+        out = TrimmedMeanAggregator(trim=0).aggregate(weights_like(1.0, 3.0), [1, 1])
+        assert np.allclose(out[0], 2.0)
+
+
+class TestSelectors:
+    def test_all_clients(self):
+        clients = ["a", "b", "c"]
+        assert AllClientsSelector().select(clients, 0) == clients
+
+    def test_all_clients_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            AllClientsSelector().select([], 0)
+
+    def test_random_subset_size(self):
+        clients = list("abcdefgh")
+        selector = RandomSelector(participants_per_round=3, seed=0)
+        picked = selector.select(clients, 0)
+        assert len(picked) == 3
+        assert set(picked) <= set(clients)
+
+    def test_random_varies_across_rounds(self):
+        clients = list("abcdefgh")
+        selector = RandomSelector(3, seed=0)
+        rounds = [tuple(selector.select(clients, i)) for i in range(10)]
+        assert len(set(rounds)) > 1
+
+    def test_random_caps_at_pool_size(self):
+        selector = RandomSelector(10, seed=0)
+        assert len(selector.select(["a", "b"], 0)) == 2
+
+    def test_random_validates(self):
+        with pytest.raises(ConfigurationError):
+            RandomSelector(0)

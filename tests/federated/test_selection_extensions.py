@@ -1,0 +1,124 @@
+"""Tests for the energy-aware selector and client dropout (extensions)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.baselines import PerformantController
+from repro.errors import ConfigurationError
+from repro.federated.selection import EnergyAwareSelector
+from repro.federated.server import FederatedServer
+from repro.federated.client import FederatedClient
+from repro.federated.deadlines import StaticDeadlines
+from repro.federated.task import FLTaskSpec
+from repro.hardware import SimulatedDevice
+from tests.conftest import build_tiny_spec, build_tiny_workload
+
+
+@dataclass
+class FakeClient:
+    client_id: str
+
+
+class TestEnergyAwareSelector:
+    def test_prefers_cheap_clients(self):
+        selector = EnergyAwareSelector(2, epsilon=0.0, seed=0)
+        clients = [FakeClient(f"c{i}") for i in range(4)]
+        for cid, energy in (("c0", 100.0), ("c1", 10.0), ("c2", 50.0), ("c3", 200.0)):
+            selector.observe(cid, energy)
+        picked = {c.client_id for c in selector.select(clients, 0)}
+        assert picked == {"c1", "c2"}
+
+    def test_unseen_clients_rank_first(self):
+        selector = EnergyAwareSelector(1, epsilon=0.0, seed=0)
+        clients = [FakeClient("seen"), FakeClient("fresh")]
+        selector.observe("seen", 5.0)
+        picked = selector.select(clients, 0)
+        assert picked[0].client_id == "fresh"
+
+    def test_ewma_update(self):
+        selector = EnergyAwareSelector(1, smoothing=0.5)
+        selector.observe("c", 10.0)
+        selector.observe("c", 20.0)
+        assert selector.estimated_energy("c") == pytest.approx(15.0)
+
+    def test_epsilon_explores_expensive_clients(self):
+        selector = EnergyAwareSelector(2, epsilon=0.5, seed=1)
+        clients = [FakeClient(f"c{i}") for i in range(6)]
+        for i in range(6):
+            selector.observe(f"c{i}", float(i))
+        seen = set()
+        for round_index in range(60):
+            seen.update(c.client_id for c in selector.select(clients, round_index))
+        assert seen == {f"c{i}" for i in range(6)}  # nobody starves
+
+    def test_selection_size(self):
+        selector = EnergyAwareSelector(3, epsilon=0.3, seed=0)
+        clients = [FakeClient(f"c{i}") for i in range(8)]
+        assert len(selector.select(clients, 0)) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyAwareSelector(0)
+        with pytest.raises(ConfigurationError):
+            EnergyAwareSelector(2, epsilon=1.5)
+        with pytest.raises(ConfigurationError):
+            EnergyAwareSelector(2).observe("c", -1.0)
+
+
+def _make_clients(n):
+    task = FLTaskSpec(
+        workload=build_tiny_workload(),
+        batch_size=8,
+        epochs=2,
+        minibatches={"tiny": 6},
+        rounds=10,
+    )
+    clients = []
+    for i in range(n):
+        device = SimulatedDevice(build_tiny_spec(), build_tiny_workload(), seed=i)
+        clients.append(
+            FederatedClient(f"client-{i}", PerformantController(device), task)
+        )
+    return clients
+
+
+class TestDropout:
+    def test_no_dropout_by_default(self):
+        server = FederatedServer(
+            _make_clients(3), deadline_schedule=StaticDeadlines(3.0), seed=0
+        )
+        record = server.run_round(0, 3)
+        assert record.dropped == []
+        assert len(record.reports) == 3
+
+    def test_dropout_removes_participants(self):
+        server = FederatedServer(
+            _make_clients(4),
+            deadline_schedule=StaticDeadlines(3.0),
+            dropout_rate=0.5,
+            seed=1,
+        )
+        history = server.run(6)
+        dropped = sum(len(r.dropped) for r in history)
+        delivered = sum(len(r.reports) for r in history)
+        assert dropped > 0
+        assert dropped + delivered == 4 * 6
+
+    def test_dropout_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            FederatedServer(_make_clients(1), dropout_rate=1.0)
+
+    def test_energy_selector_integrates_with_server(self):
+        selector = EnergyAwareSelector(2, epsilon=0.0, seed=0)
+        server = FederatedServer(
+            _make_clients(4),
+            selector=selector,
+            deadline_schedule=StaticDeadlines(3.0),
+            seed=0,
+        )
+        server.run(3)
+        # the server fed round energies back into the selector
+        assert any(
+            selector.estimated_energy(f"client-{i}") > 0 for i in range(4)
+        )

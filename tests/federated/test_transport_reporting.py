@@ -1,0 +1,147 @@
+"""Unit tests for the transport model and reporting-deadline adapter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PerformantController
+from repro.core import BoFLController
+from repro.errors import ConfigurationError
+from repro.federated.reporting import ReportingDeadlineAdapter
+from repro.federated.transport import (
+    MODEL_SIZES_MBIT,
+    BandwidthEstimator,
+    LinkModel,
+    training_deadline_from_reporting,
+)
+from repro.hardware import SimulatedDevice
+from tests.conftest import build_tiny_spec, build_tiny_workload
+
+
+class TestLinkModel:
+    def test_paper_footnote7_arithmetic(self):
+        # 51.2 Mb over 5 Mbps ~ 10.2 s (+ setup latency).
+        link = LinkModel(bandwidth_mbps=5.0, variability=0.0, latency=0.0)
+        rng = np.random.default_rng(0)
+        assert link.transfer_time(MODEL_SIZES_MBIT["resnet50"], rng) == pytest.approx(
+            10.24
+        )
+
+    def test_latency_added(self):
+        link = LinkModel(bandwidth_mbps=10.0, variability=0.0, latency=0.5)
+        rng = np.random.default_rng(0)
+        assert link.transfer_time(10.0, rng) == pytest.approx(1.5)
+
+    def test_variability_spreads_draws(self):
+        link = LinkModel(bandwidth_mbps=5.0, variability=0.3)
+        rng = np.random.default_rng(0)
+        draws = [link.transfer_time(50.0, rng) for _ in range(50)]
+        assert np.std(draws) > 0.3
+
+    def test_variability_mean_is_unbiased_in_rate(self):
+        # the lognormal factor has mean 1, so mean effective bandwidth ~ nominal
+        link = LinkModel(bandwidth_mbps=5.0, variability=0.2, latency=0.0)
+        rng = np.random.default_rng(1)
+        rates = [50.0 / link.transfer_time(50.0, rng) for _ in range(3000)]
+        assert np.mean(rates) == pytest.approx(5.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkModel(bandwidth_mbps=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkModel(variability=-0.1)
+
+
+class TestBandwidthEstimator:
+    def test_converges_to_true_rate(self):
+        estimator = BandwidthEstimator(initial_mbps=1.0, smoothing=0.5)
+        for _ in range(20):
+            estimator.observe_transfer(50.0, 10.0)  # 5 Mbps
+        assert estimator.estimate_mbps == pytest.approx(5.0, rel=0.01)
+
+    def test_safe_estimate_is_conservative(self):
+        estimator = BandwidthEstimator(initial_mbps=5.0, conservatism=0.8)
+        assert estimator.safe_mbps == pytest.approx(4.0)
+        assert estimator.upload_time(40.0) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthEstimator(initial_mbps=0.0)
+        estimator = BandwidthEstimator()
+        with pytest.raises(ConfigurationError):
+            estimator.observe_transfer(0.0, 1.0)
+
+
+class TestDeadlineConversion:
+    def test_subtracts_predicted_upload(self):
+        estimator = BandwidthEstimator(initial_mbps=5.0, conservatism=1.0)
+        deadline = training_deadline_from_reporting(60.0, 50.0, estimator)
+        assert deadline == pytest.approx(60.0 - 10.0)
+
+    def test_floors_at_fraction_of_reporting_deadline(self):
+        estimator = BandwidthEstimator(initial_mbps=0.1, conservatism=1.0)
+        deadline = training_deadline_from_reporting(60.0, 500.0, estimator)
+        assert deadline == pytest.approx(6.0)  # the 10% floor
+
+    def test_explicit_minimum(self):
+        estimator = BandwidthEstimator(initial_mbps=0.1, conservatism=1.0)
+        deadline = training_deadline_from_reporting(
+            60.0, 500.0, estimator, minimum=20.0
+        )
+        assert deadline == pytest.approx(20.0)
+
+
+class TestReportingDeadlineAdapter:
+    JOBS = 40
+
+    def _adapter(self, controller_cls=PerformantController, **kwargs):
+        device = SimulatedDevice(build_tiny_spec(), build_tiny_workload(), seed=0)
+        controller = controller_cls(device)
+        return ReportingDeadlineAdapter(
+            controller,
+            model_size_mbit=20.0,
+            link=LinkModel(bandwidth_mbps=10.0, variability=0.05, latency=0.1),
+            seed=1,
+            **kwargs,
+        ), device
+
+    def test_round_reports_in_time_with_slack(self):
+        adapter, device = self._adapter()
+        t_min = device.model.latency(device.space.max_configuration()) * self.JOBS
+        record = adapter.run_round(self.JOBS, reporting_deadline=t_min * 3 + 5.0)
+        assert record.reported_in_time
+        assert record.upload_time > 0
+        assert record.training_deadline < record.reporting_deadline
+        assert record.total_elapsed == pytest.approx(
+            record.training.elapsed + record.upload_time
+        )
+
+    def test_estimator_learns_from_uploads(self):
+        adapter, device = self._adapter()
+        t_min = device.model.latency(device.space.max_configuration()) * self.JOBS
+        before = adapter.estimator.observations
+        for _ in range(5):
+            adapter.run_round(self.JOBS, reporting_deadline=t_min * 3 + 5.0)
+        assert adapter.estimator.observations == before + 5
+        # estimate has converged near the true 10 Mbps link
+        assert adapter.estimator.estimate_mbps == pytest.approx(10.0, rel=0.2)
+
+    def test_composes_with_bofl(self, fast_config):
+        device = SimulatedDevice(build_tiny_spec(), build_tiny_workload(), seed=0)
+        adapter = ReportingDeadlineAdapter(
+            BoFLController(device, fast_config),
+            model_size_mbit=20.0,
+            link=LinkModel(bandwidth_mbps=10.0, variability=0.05),
+            seed=2,
+        )
+        t_min = device.model.latency(device.space.max_configuration()) * self.JOBS
+        records = [
+            adapter.run_round(self.JOBS, reporting_deadline=t_min * 2.5 + 4.0)
+            for _ in range(10)
+        ]
+        assert all(r.reported_in_time for r in records)
+        assert all(not r.training.missed for r in records)
+
+    def test_rejects_bad_model_size(self):
+        device = SimulatedDevice(build_tiny_spec(), build_tiny_workload(), seed=0)
+        with pytest.raises(ConfigurationError):
+            ReportingDeadlineAdapter(PerformantController(device), model_size_mbit=0.0)

@@ -1,0 +1,98 @@
+"""Unit tests for the SimulatedDevice facade."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.hardware import SimulatedDevice
+
+
+class TestJobExecution:
+    def test_run_job_advances_clock_and_energy(self, quiet_device):
+        t0, e0 = quiet_device.clock.now, quiet_device.energy_consumed
+        result = quiet_device.run_job()
+        assert quiet_device.clock.now == pytest.approx(t0 + result.latency)
+        assert quiet_device.energy_consumed == pytest.approx(e0 + result.energy)
+        assert quiet_device.jobs_executed == 1
+
+    def test_noiseless_job_matches_model(self, quiet_device):
+        config = quiet_device.current_configuration
+        result = quiet_device.run_job()
+        assert result.latency == pytest.approx(quiet_device.model.latency(config), rel=1e-6)
+        assert result.energy == pytest.approx(quiet_device.model.energy(config), rel=1e-9)
+
+    def test_jobs_at_slower_config_take_longer(self, quiet_device):
+        fast = quiet_device.run_job().latency
+        quiet_device.set_configuration(quiet_device.space.min_configuration())
+        slow = quiet_device.run_job().latency
+        assert slow > fast * 2
+
+    def test_noisy_jobs_vary_but_slightly(self, tiny_device):
+        quiet_latency = tiny_device.model.latency(tiny_device.current_configuration)
+        draws = [tiny_device.run_job().latency for _ in range(20)]
+        assert len(set(draws)) > 1  # process noise present
+        for latency in draws:
+            assert latency == pytest.approx(quiet_latency, rel=0.05)
+
+
+class TestMeasurement:
+    def test_measure_configuration_runs_until_min_duration(self, quiet_device):
+        config = quiet_device.space.min_configuration()
+        sample, results = quiet_device.measure_configuration(config, min_duration=1.0)
+        assert sample.duration >= 1.0
+        assert sample.jobs_measured == len(results)
+        assert sample.config == config
+
+    def test_measure_caps_at_max_jobs(self, quiet_device):
+        config = quiet_device.space.max_configuration()
+        sample, results = quiet_device.measure_configuration(
+            config, min_duration=100.0, max_jobs=3
+        )
+        assert len(results) == 3
+
+    def test_zero_duration_still_runs_one_job(self, quiet_device):
+        sample, results = quiet_device.measure_configuration(
+            quiet_device.space.max_configuration(), min_duration=0.0
+        )
+        assert sample.jobs_measured == 1 and len(results) == 1
+
+    def test_cannot_reconfigure_inside_window(self, quiet_device):
+        quiet_device.open_measurement()
+        with pytest.raises(DeviceError):
+            quiet_device.set_configuration(quiet_device.space.min_configuration())
+        quiet_device.meter.abort()
+
+    def test_measurement_average_matches_jobs(self, quiet_device):
+        quiet_device.open_measurement()
+        results = [quiet_device.run_job() for _ in range(4)]
+        sample = quiet_device.close_measurement()
+        mean_energy = sum(r.energy for r in results) / 4
+        assert sample.energy == pytest.approx(mean_energy)
+
+    def test_short_window_noisier_than_long(self, tiny_spec, tiny_workload):
+        from repro.hardware import SimulatedDevice as Device
+        config_latency = tiny_workload.performance_model(tiny_spec).latency(
+            tiny_spec.space.max_configuration()
+        )
+        def measurement_error(min_duration, seed):
+            device = Device(tiny_spec, tiny_workload, seed=seed)
+            sample, _ = device.measure_configuration(
+                device.space.max_configuration(), min_duration
+            )
+            return abs(sample.energy / device.model.energy(sample.config) - 1.0)
+        short = [measurement_error(0.06, s) for s in range(30)]
+        long = [measurement_error(3.0, s) for s in range(30)]
+        assert sum(short) / len(short) > sum(long) / len(long)
+
+
+class TestIdle:
+    def test_idle_advances_clock_and_reports_floor_energy(self, quiet_device):
+        t0 = quiet_device.clock.now
+        energy = quiet_device.idle(2.0)
+        assert quiet_device.clock.now == pytest.approx(t0 + 2.0)
+        assert energy == pytest.approx(
+            quiet_device.model.power.floor_power() * 2.0
+        )
+
+    def test_idle_rejects_negative(self, quiet_device):
+        with pytest.raises(DeviceError):
+            quiet_device.idle(-1.0)

@@ -1,0 +1,72 @@
+"""Unit tests for the device registry and Table 1 fidelity."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.hardware.devices import available_devices, get_device, jetson_agx, jetson_tx2
+
+
+class TestTable1Fidelity:
+    """The paper's Table 1 numbers must be reproduced exactly."""
+
+    def test_agx_space_size(self):
+        assert jetson_agx().num_configurations == 2100
+
+    def test_tx2_space_size(self):
+        assert jetson_tx2().num_configurations == 936
+
+    def test_agx_frequency_tables(self):
+        spec = jetson_agx()
+        cpu, gpu, mem = spec.space.tables
+        assert (cpu.min, cpu.max, len(cpu)) == (pytest.approx(0.42), pytest.approx(2.26), 25)
+        assert (gpu.min, gpu.max, len(gpu)) == (pytest.approx(0.11), pytest.approx(1.38), 14)
+        assert (mem.min, mem.max, len(mem)) == (pytest.approx(0.20), pytest.approx(2.13), 6)
+
+    def test_tx2_frequency_tables(self):
+        spec = jetson_tx2()
+        cpu, gpu, mem = spec.space.tables
+        assert (cpu.min, cpu.max, len(cpu)) == (pytest.approx(0.34), pytest.approx(2.03), 12)
+        assert (gpu.min, gpu.max, len(gpu)) == (pytest.approx(0.11), pytest.approx(1.30), 13)
+        assert (mem.min, mem.max, len(mem)) == (pytest.approx(0.41), pytest.approx(1.87), 6)
+
+    def test_descriptions_match_paper(self):
+        agx, tx2 = jetson_agx(), jetson_tx2()
+        assert "ARM v8.2" in agx.cpu_description
+        assert "Volta" in agx.gpu_description
+        assert "Pascal" in tx2.gpu_description
+        assert "Denver2" in tx2.cpu_description
+
+    def test_summary_rows_cover_all_units(self):
+        rows = dict(jetson_agx().summary_rows())
+        assert rows["Unique configurations"] == "2100"
+        assert "25 steps" in rows["CPU frequencies"]
+
+
+class TestRegistry:
+    def test_available_devices(self):
+        assert available_devices() == ("agx", "tx2")
+
+    def test_get_device_case_insensitive(self):
+        assert get_device("AGX").name == "agx"
+
+    def test_get_device_unknown(self):
+        with pytest.raises(DeviceError):
+            get_device("orin")
+
+    def test_specs_are_fresh_instances(self):
+        assert get_device("agx") is not get_device("agx")
+
+
+class TestSpecValidation:
+    def test_tx2_is_slower_host(self):
+        assert jetson_tx2().relative_cpu_speed < jetson_agx().relative_cpu_speed
+
+    def test_waiting_fractions_in_unit_interval(self):
+        for spec in (jetson_agx(), jetson_tx2()):
+            assert all(0 <= b <= 1 for b in spec.waiting_fractions)
+
+    def test_gpu_gates_worst(self):
+        # GPUs clock-gate less effectively than CPUs in the model.
+        for spec in (jetson_agx(), jetson_tx2()):
+            cpu_wait, gpu_wait, mem_wait = spec.waiting_fractions
+            assert gpu_wait > cpu_wait > mem_wait

@@ -1,0 +1,121 @@
+"""Unit tests for the DVFS controller and telemetry instruments."""
+
+import pytest
+
+from repro.clock import SimulationClock
+from repro.errors import DeviceError, FrequencyError
+from repro.hardware.dvfs import KNOB_PATHS, DvfsController
+from repro.hardware.noise import MeasurementNoise, NoiselessMeasurement
+from repro.hardware.telemetry import EnergyMeter, EventTimer, PowerSensor
+from repro.types import DvfsConfiguration
+
+
+class TestDvfsController:
+    @pytest.fixture()
+    def controller(self, tiny_spec):
+        return DvfsController(tiny_spec, SimulationClock())
+
+    def test_starts_at_x_max(self, controller, tiny_spec):
+        assert controller.current == tiny_spec.space.max_configuration()
+
+    def test_apply_counts_switches_and_costs_time(self, controller, tiny_spec):
+        target = tiny_spec.space.min_configuration()
+        before = controller.clock.now
+        assert controller.apply(target) is True
+        assert controller.switch_count == 1
+        assert controller.clock.now == pytest.approx(
+            before + tiny_spec.dvfs_switch_latency
+        )
+
+    def test_noop_apply_is_free(self, controller):
+        before = controller.clock.now
+        assert controller.apply(controller.current) is False
+        assert controller.switch_count == 0
+        assert controller.clock.now == before
+
+    def test_rejects_off_table_configuration(self, controller):
+        with pytest.raises(FrequencyError):
+            controller.apply(DvfsConfiguration(0.123, 0.2, 0.5))
+
+    def test_sysfs_knob_roundtrip(self, controller, tiny_spec):
+        cpu_freq = tiny_spec.space.cpu.frequencies[0]
+        controller.write_knob(KNOB_PATHS[0], str(int(round(cpu_freq * 1e6))))
+        assert controller.current.cpu == pytest.approx(cpu_freq)
+        knobs = controller.read_knobs()
+        assert knobs[KNOB_PATHS[0]] == str(int(round(cpu_freq * 1e6)))
+
+    def test_write_knob_rejects_unknown_path(self, controller):
+        with pytest.raises(DeviceError):
+            controller.write_knob("/sys/not/a/knob", "1000000")
+
+    def test_write_knob_rejects_garbage_value(self, controller):
+        with pytest.raises(DeviceError):
+            controller.write_knob(KNOB_PATHS[0], "fast-please")
+
+    def test_write_knob_rejects_unsupported_frequency(self, controller):
+        with pytest.raises(FrequencyError):
+            controller.write_knob(KNOB_PATHS[0], "123456")
+
+    def test_reset_to_max(self, controller, tiny_spec):
+        controller.apply(tiny_spec.space.min_configuration())
+        controller.reset_to_max()
+        assert controller.current == tiny_spec.space.max_configuration()
+
+
+class TestEventTimer:
+    def test_tracks_truth_closely(self):
+        timer = EventTimer(MeasurementNoise(seed=0))
+        for latency in (0.01, 0.1, 1.0):
+            measured = timer.time(latency)
+            assert measured == pytest.approx(latency, rel=5e-3)
+
+
+class TestPowerSensor:
+    def test_quantized_to_resolution(self):
+        sensor = PowerSensor(NoiselessMeasurement())
+        reading = sensor.read(10.1234)
+        steps = round(reading / PowerSensor.RESOLUTION)
+        assert reading == pytest.approx(steps * PowerSensor.RESOLUTION)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(DeviceError):
+            PowerSensor(NoiselessMeasurement()).read(-1.0)
+
+
+class TestEnergyMeter:
+    @pytest.fixture()
+    def meter(self):
+        return EnergyMeter(NoiselessMeasurement())
+
+    def test_window_lifecycle(self, meter):
+        config = DvfsConfiguration(1.0, 1.0, 1.0)
+        meter.open(config)
+        meter.record_job(0.1, 2.0)
+        meter.record_job(0.3, 4.0)
+        sample = meter.close()
+        assert sample.config == config
+        assert sample.jobs_measured == 2
+        assert sample.latency == pytest.approx(0.2)
+        assert sample.energy == pytest.approx(3.0)
+        assert sample.duration == pytest.approx(0.4)
+
+    def test_cannot_open_twice(self, meter):
+        meter.open(DvfsConfiguration(1, 1, 1))
+        with pytest.raises(DeviceError):
+            meter.open(DvfsConfiguration(1, 1, 1))
+
+    def test_cannot_close_empty_window(self, meter):
+        meter.open(DvfsConfiguration(1, 1, 1))
+        with pytest.raises(DeviceError):
+            meter.close()
+
+    def test_record_requires_open_window(self, meter):
+        with pytest.raises(DeviceError):
+            meter.record_job(0.1, 1.0)
+
+    def test_abort_discards_window(self, meter):
+        meter.open(DvfsConfiguration(1, 1, 1))
+        meter.record_job(0.1, 1.0)
+        meter.abort()
+        assert not meter.is_open
+        meter.open(DvfsConfiguration(1, 1, 1))  # reusable after abort

@@ -1,0 +1,78 @@
+"""Unit tests for the measurement/process noise models."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.noise import MeasurementNoise, NoiselessMeasurement
+
+
+class TestDeterminism:
+    def test_same_key_same_draw(self, mild_noise):
+        a = mild_noise.perturb_job([1, 2], 0.1, 2.0)
+        b = mild_noise.perturb_job([1, 2], 0.1, 2.0)
+        assert a == b
+
+    def test_different_keys_differ(self, mild_noise):
+        a = mild_noise.perturb_job([1, 2], 0.1, 2.0)
+        b = mild_noise.perturb_job([1, 3], 0.1, 2.0)
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = MeasurementNoise(seed=1).perturb_job([0], 0.1, 2.0)
+        b = MeasurementNoise(seed=2).perturb_job([0], 0.1, 2.0)
+        assert a != b
+
+    def test_job_and_measurement_streams_independent(self, mild_noise):
+        job = mild_noise.perturb_job([5], 0.1, 2.0)
+        meas = mild_noise.perturb_measurement([5], 0.1, 2.0, duration=5.0)
+        assert job != meas
+
+
+class TestErrorScaling:
+    def test_short_windows_are_noisier(self, mild_noise):
+        assert mild_noise.error_scale(0.2) > mild_noise.error_scale(5.0)
+
+    def test_reference_duration_is_scale_one(self, mild_noise):
+        assert mild_noise.error_scale(mild_noise.reference_duration) == pytest.approx(1.0)
+
+    def test_scale_capped(self, mild_noise):
+        assert mild_noise.error_scale(1e-9) <= mild_noise.max_error_scale * (
+            mild_noise.settle_penalty
+        )
+
+    def test_long_windows_never_below_one(self, mild_noise):
+        assert mild_noise.error_scale(1e6) == pytest.approx(1.0)
+
+    def test_settling_overlap_inflates_error(self, mild_noise):
+        clean = mild_noise.error_scale(2.0, settling_overlap=0.0)
+        dirty = mild_noise.error_scale(2.0, settling_overlap=0.5)
+        assert dirty > clean
+
+    def test_empirical_std_shrinks_with_duration(self):
+        noise = MeasurementNoise(seed=0)
+        def spread(duration):
+            draws = [
+                noise.perturb_measurement([i], 1.0, 1.0, duration)[1]
+                for i in range(300)
+            ]
+            return np.std(draws)
+        assert spread(0.3) > 1.5 * spread(5.0)
+
+
+class TestBounds:
+    def test_factors_stay_positive(self):
+        noise = MeasurementNoise(seed=0, sensor_energy_std=0.5, max_error_scale=6.0)
+        for i in range(200):
+            lat, en = noise.perturb_measurement([i], 1.0, 1.0, duration=0.01)
+            assert lat > 0 and en > 0
+
+    def test_rejects_negative_settle_time(self):
+        with pytest.raises(ValueError):
+            MeasurementNoise(settle_time=-1.0)
+
+
+class TestNoiseless:
+    def test_identity(self):
+        noise = NoiselessMeasurement()
+        assert noise.perturb_job([1], 0.25, 3.0) == (0.25, 3.0)
+        assert noise.perturb_measurement([1], 0.25, 3.0, 0.1) == (0.25, 3.0)

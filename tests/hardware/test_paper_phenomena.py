@@ -1,0 +1,182 @@
+"""The §2.2 phenomenology: the calibrated surfaces must show every effect
+the paper measures in Figs. 2-5 and anchor to Table 2.
+
+These are the load-bearing tests of the hardware substitution: if they
+pass, the blackbox the controller optimizes has the same qualitative
+structure as the physical testbeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.devices import jetson_agx, jetson_tx2
+from repro.workloads.zoo import lstm, resnet50, vit
+
+AGX = jetson_agx()
+TX2 = jetson_tx2()
+
+
+def agx_model(workload):
+    return workload.performance_model(AGX)
+
+
+class TestFig2Spreads:
+    """'8x faster training speed and 4x less energy consumption'."""
+
+    @pytest.mark.parametrize("workload", [vit, resnet50, lstm])
+    def test_latency_spread_large(self, workload):
+        latencies, _ = agx_model(workload()).profile_space()
+        assert latencies.max() / latencies.min() > 5.0
+
+    @pytest.mark.parametrize("workload", [vit, resnet50, lstm])
+    def test_energy_spread_large(self, workload):
+        _, energies = agx_model(workload()).profile_space()
+        assert energies.max() / energies.min() > 2.5
+
+
+class TestFig3NonLinearity:
+    """ViT vs GPU frequency at CPU 0.42 / 2.26 GHz."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return agx_model(vit())
+
+    def test_slow_cpu_caps_gpu_speedup(self, model):
+        space = AGX.space
+        # At the slow CPU, doubling the GPU clock barely helps ...
+        slow_low = model.latency(space.snap(0.42, 0.7, space.mem.max))
+        slow_high = model.latency(space.snap(0.42, 1.38, space.mem.max))
+        # ... while at the fast CPU it helps a lot.
+        fast_low = model.latency(space.snap(2.26, 0.7, space.mem.max))
+        fast_high = model.latency(space.snap(2.26, 1.38, space.mem.max))
+        assert slow_low / slow_high < 1.45  # diminishing returns
+        assert fast_low / fast_high > 1.6  # strong returns
+
+    def test_slow_cpu_halves_speed_at_high_gpu(self, model):
+        space = AGX.space
+        slow = model.latency(space.snap(0.42, 1.38, space.mem.max))
+        fast = model.latency(space.snap(2.26, 1.38, space.mem.max))
+        assert slow / fast > 1.5  # "slows down the training speed by half"
+
+    def test_energy_advantage_of_slow_cpu_shrinks_with_gpu_clock(self, model):
+        space = AGX.space
+        advantage = {}
+        for gpu in (0.7, 1.38):
+            slow = model.energy(space.snap(0.42, gpu, space.mem.max))
+            fast = model.energy(space.snap(2.26, gpu, space.mem.max))
+            advantage[gpu] = fast - slow
+        assert advantage[0.7] > 0.3  # slow CPU clearly better at low GPU clock
+        assert advantage[1.38] < 0.15  # "saves no more energy" at high GPU clock
+        assert advantage[1.38] < advantage[0.7]
+
+    def test_energy_non_monotone_in_gpu_frequency(self, model):
+        space = AGX.space
+        energies = [
+            model.energy(space.snap(2.26, g, space.mem.max))
+            for g in space.gpu.frequencies
+        ]
+        diffs = np.diff(energies)
+        assert np.any(diffs < 0) and np.any(diffs > 0)
+
+
+class TestFig4ModelDependence:
+    """Different networks respond to the CPU axis differently."""
+
+    def test_resnet_latency_nearly_flat_in_cpu(self):
+        model = agx_model(resnet50())
+        space = AGX.space
+        slow = model.latency(space.snap(0.65, space.gpu.max, space.mem.max))
+        fast = model.latency(space.snap(1.72, space.gpu.max, space.mem.max))
+        assert slow / fast < 1.2
+
+    def test_lstm_latency_halves_with_cpu(self):
+        model = agx_model(lstm())
+        space = AGX.space
+        slow = model.latency(space.snap(0.65, space.gpu.max, space.mem.max))
+        fast = model.latency(space.snap(1.72, space.gpu.max, space.mem.max))
+        assert slow / fast > 1.8
+
+    def test_vit_latency_nearly_flat_over_plotted_range(self):
+        model = agx_model(vit())
+        space = AGX.space
+        slow = model.latency(space.snap(0.65, space.gpu.max, space.mem.max))
+        fast = model.latency(space.snap(1.72, space.gpu.max, space.mem.max))
+        assert slow / fast < 1.3
+
+    def test_resnet_energy_increases_with_cpu(self):
+        model = agx_model(resnet50())
+        space = AGX.space
+        low = model.energy(space.snap(0.65, space.gpu.max, space.mem.max))
+        high = model.energy(space.snap(1.72, space.gpu.max, space.mem.max))
+        assert high > low
+
+    def test_lstm_energy_decreases_with_cpu(self):
+        model = agx_model(lstm())
+        space = AGX.space
+        low = model.energy(space.snap(0.65, space.gpu.max, space.mem.max))
+        high = model.energy(space.snap(1.72, space.gpu.max, space.mem.max))
+        assert high < low
+
+
+class TestFig5HardwareDependence:
+    """AGX/TX2 ratios at x_max (energy per Fig. 5; latency per Table 2)."""
+
+    @pytest.mark.parametrize(
+        "workload,energy_ratio",
+        [(vit, 0.85), (resnet50, 0.70), (lstm, 0.80)],
+    )
+    def test_energy_ratios(self, workload, energy_ratio):
+        profile = workload()
+        e_agx = profile.performance_model(AGX).energy(AGX.space.max_configuration())
+        e_tx2 = profile.performance_model(TX2).energy(TX2.space.max_configuration())
+        assert e_agx / e_tx2 == pytest.approx(energy_ratio, rel=0.02)
+
+    def test_improvement_not_uniform_across_models(self):
+        ratios = {}
+        for profile in (vit(), resnet50(), lstm()):
+            t_agx = profile.performance_model(AGX).latency(AGX.space.max_configuration())
+            t_tx2 = profile.performance_model(TX2).latency(TX2.space.max_configuration())
+            ratios[profile.name] = t_agx / t_tx2
+        assert ratios["resnet50"] < ratios["vit"] < ratios["lstm"]
+
+
+class TestTable2Anchors:
+    """T_min = W * T(x_max) must match Table 2 on both devices."""
+
+    @pytest.mark.parametrize(
+        "workload,device,jobs,t_min",
+        [
+            (vit, AGX, 200, 37.2),
+            (resnet50, AGX, 180, 46.9),
+            (lstm, AGX, 160, 46.1),
+            (vit, TX2, 75, 36.0),
+            (resnet50, TX2, 60, 49.2),
+            (lstm, TX2, 80, 55.6),
+        ],
+    )
+    def test_t_min(self, workload, device, jobs, t_min):
+        model = workload().performance_model(device)
+        measured = model.latency(device.space.max_configuration()) * jobs
+        assert measured == pytest.approx(t_min, rel=1e-6)
+
+
+class TestPaperEnergyBands:
+    """Performant per-round energy must match the Figs. 9-10 levels."""
+
+    @pytest.mark.parametrize(
+        "workload,jobs,round_energy",
+        [(vit, 200, 870.0), (resnet50, 180, 1100.0), (lstm, 160, 1000.0)],
+    )
+    def test_performant_round_energy(self, workload, jobs, round_energy):
+        model = workload().performance_model(AGX)
+        energy = model.energy(AGX.space.max_configuration()) * jobs
+        assert energy == pytest.approx(round_energy, rel=0.02)
+
+    @pytest.mark.parametrize("workload", [vit, resnet50, lstm])
+    def test_energy_optimum_depth_matches_paper(self, workload):
+        # The paper's fronts bottom out at roughly 70-80% of E(x_max).
+        model = agx_model(workload())
+        _, energies = model.profile_space()
+        x_max_energy = model.energy(AGX.space.max_configuration())
+        ratio = energies.min() / x_max_energy
+        assert 0.60 < ratio < 0.85

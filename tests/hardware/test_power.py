@@ -1,0 +1,134 @@
+"""Unit tests for the voltage/power models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.power import DevicePowerModel, UnitPowerModel, VoltageCurve
+
+
+@pytest.fixture()
+def curve():
+    return VoltageCurve(0.5, 2.0, 0.6, 1.2)
+
+
+class TestVoltageCurve:
+    def test_endpoints(self, curve):
+        assert curve.voltage(0.5) == pytest.approx(0.6)
+        assert curve.voltage(2.0) == pytest.approx(1.2)
+
+    def test_monotone_in_frequency(self, curve):
+        freqs = np.linspace(0.5, 2.0, 20)
+        volts = curve.voltage(freqs)
+        assert np.all(np.diff(volts) >= 0)
+
+    def test_clamps_outside_range(self, curve):
+        assert curve.voltage(0.1) == pytest.approx(0.6)
+        assert curve.voltage(5.0) == pytest.approx(1.2)
+
+    def test_switching_factor_superlinear(self, curve):
+        # f * V(f)^2 must grow faster than f itself.
+        low = curve.switching_factor(1.0)
+        high = curve.switching_factor(2.0)
+        assert high / low > 2.0
+
+    def test_gamma_makes_midrange_cheaper(self):
+        linear = VoltageCurve(0.5, 2.0, 0.6, 1.2, gamma=1.0)
+        convex = VoltageCurve(0.5, 2.0, 0.6, 1.2, gamma=2.0)
+        mid = 1.25
+        assert convex.voltage(mid) < linear.voltage(mid)
+        # endpoints are unchanged by gamma
+        assert convex.voltage(0.5) == pytest.approx(linear.voltage(0.5))
+        assert convex.voltage(2.0) == pytest.approx(linear.voltage(2.0))
+
+    def test_vectorized_matches_scalar(self, curve):
+        freqs = np.array([0.5, 1.0, 1.7])
+        vec = curve.voltage(freqs)
+        assert vec == pytest.approx([curve.voltage(f) for f in freqs])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(f_min=2.0, f_max=1.0, v_min=0.6, v_max=1.2),
+            dict(f_min=0.5, f_max=2.0, v_min=1.3, v_max=1.2),
+            dict(f_min=0.5, f_max=2.0, v_min=0.6, v_max=1.2, gamma=0.0),
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            VoltageCurve(**kwargs)
+
+
+class TestUnitPowerModel:
+    def test_busy_power_includes_idle_floor(self, curve):
+        unit = UnitPowerModel(curve, k=2.0, idle_watts=0.5)
+        assert unit.busy_power(1.0) == pytest.approx(
+            0.5 + 2.0 * curve.switching_factor(1.0)
+        )
+
+    def test_dynamic_power_scales_with_k(self, curve):
+        small = UnitPowerModel(curve, k=1.0, idle_watts=0.0)
+        big = UnitPowerModel(curve, k=3.0, idle_watts=0.0)
+        assert big.dynamic_power(1.5) == pytest.approx(3 * small.dynamic_power(1.5))
+
+    def test_rejects_bad_parameters(self, curve):
+        with pytest.raises(ConfigurationError):
+            UnitPowerModel(curve, k=0.0, idle_watts=0.1)
+        with pytest.raises(ConfigurationError):
+            UnitPowerModel(curve, k=1.0, idle_watts=-0.1)
+        with pytest.raises(ConfigurationError):
+            UnitPowerModel(curve, k=1.0, idle_watts=0.1, waiting_fraction=1.5)
+
+
+class TestDevicePowerModel:
+    @pytest.fixture()
+    def model(self, curve):
+        return DevicePowerModel(
+            static_watts=1.0,
+            cpu=UnitPowerModel(curve, 1.0, 0.1, waiting_fraction=0.1),
+            gpu=UnitPowerModel(curve, 2.0, 0.2, waiting_fraction=0.25),
+            mem=UnitPowerModel(curve, 0.5, 0.05, waiting_fraction=0.05),
+        )
+
+    def test_floor_power(self, model):
+        assert model.floor_power() == pytest.approx(1.0 + 0.1 + 0.2 + 0.05)
+
+    def test_job_energy_manual_check(self, model, curve):
+        freqs = (1.0, 1.0, 1.0)
+        busy = (0.5, 1.0, 0.2)
+        duration = 1.0
+        expected = model.floor_power() * duration
+        for unit, t in zip((model.cpu, model.gpu, model.mem), busy):
+            expected += unit.dynamic_power(1.0) * (
+                t + unit.waiting_fraction * (duration - t)
+            )
+        assert model.job_energy(freqs, busy, duration) == pytest.approx(expected)
+
+    def test_longer_job_same_busy_costs_more(self, model):
+        freqs = (1.0, 1.0, 1.0)
+        busy = (0.2, 0.4, 0.1)
+        assert model.job_energy(freqs, busy, 1.0) > model.job_energy(freqs, busy, 0.5)
+
+    def test_average_power_is_energy_over_time(self, model):
+        freqs = (1.5, 0.8, 1.0)
+        busy = (0.3, 0.6, 0.2)
+        duration = 0.8
+        assert model.average_power(freqs, busy, duration) == pytest.approx(
+            model.job_energy(freqs, busy, duration) / duration
+        )
+
+    def test_vectorized_broadcasting(self, model):
+        f = np.array([1.0, 1.5])
+        busy = (np.array([0.2, 0.3]), np.array([0.5, 0.4]), np.array([0.1, 0.1]))
+        duration = np.array([0.6, 0.7])
+        out = model.job_energy((f, f, f), busy, duration)
+        assert out.shape == (2,)
+        scalar0 = model.job_energy(
+            (1.0, 1.0, 1.0), (0.2, 0.5, 0.1), 0.6
+        )
+        assert out[0] == pytest.approx(scalar0)
+
+    def test_rejects_negative_static(self, curve):
+        unit = UnitPowerModel(curve, 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            DevicePowerModel(-0.1, unit, unit, unit)

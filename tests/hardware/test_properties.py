@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for the hardware surfaces.
+
+Invariants that must hold for any in-space configuration and any valid
+calibration — the physics sanity of the simulated testbed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.perfmodel import AnalyticPerformanceModel, CalibrationTarget
+from tests.conftest import build_tiny_spec, build_tiny_workload
+
+SPEC = build_tiny_spec()
+MODEL = build_tiny_workload().performance_model(SPEC)
+CONFIGS = SPEC.space.all_configurations()
+
+config_indices = st.integers(0, len(CONFIGS) - 1)
+
+
+@given(index=config_indices)
+@settings(max_examples=90, deadline=None)
+def test_latency_at_least_overhead_plus_bottleneck(index):
+    config = CONFIGS[index]
+    busy = MODEL.busy_times(config)
+    assert MODEL.latency(config) >= max(busy) - 1e-12
+
+
+@given(index=config_indices)
+@settings(max_examples=90, deadline=None)
+def test_energy_at_least_floor_times_latency(index):
+    config = CONFIGS[index]
+    latency = MODEL.latency(config)
+    floor = MODEL.power.floor_power()
+    assert MODEL.energy(config) >= floor * latency - 1e-12
+
+
+@given(index=config_indices, axis=st.integers(0, 2))
+@settings(max_examples=90, deadline=None)
+def test_raising_one_clock_never_slows_a_job(index, axis):
+    config = CONFIGS[index]
+    table = SPEC.space.tables[axis]
+    step = SPEC.space.indices_of(config)[axis]
+    if step + 1 >= len(table):
+        return
+    clocks = list(config.as_tuple())
+    clocks[axis] = table.frequencies[step + 1]
+    faster = SPEC.space.snap(*clocks)
+    assert MODEL.latency(faster) <= MODEL.latency(config) + 1e-12
+
+
+@given(index=config_indices)
+@settings(max_examples=60, deadline=None)
+def test_average_power_within_physical_envelope(index):
+    config = CONFIGS[index]
+    power = MODEL.energy(config) / MODEL.latency(config)
+    floor = MODEL.power.floor_power()
+    x_max = SPEC.space.max_configuration()
+    peak = MODEL.energy(x_max) / MODEL.latency(x_max)
+    assert floor - 1e-9 <= power <= peak * 3.0
+
+
+def _simplex3(draw):
+    """Three positive shares summing to one exactly."""
+    raw = np.array([draw(st.floats(0.1, 1.0)) for _ in range(3)])
+    raw = raw / raw.sum()
+    return (float(raw[0]), float(raw[1]), float(1.0 - raw[0] - raw[1]))
+
+
+@st.composite
+def calibration_targets(draw):
+    latency = draw(st.floats(0.02, 0.5))
+    floor = SPEC.static_watts + sum(SPEC.idle_watts)
+    energy = draw(st.floats(floor * latency * 1.3, floor * latency * 20))
+    return CalibrationTarget(
+        latency_at_max=latency,
+        energy_at_max=energy,
+        busy_shares=_simplex3(draw),
+        dynamic_split=_simplex3(draw),
+        serial_fraction=draw(st.floats(0.0, 0.9)),
+    )
+
+
+@given(target=calibration_targets())
+@settings(max_examples=40, deadline=None)
+def test_any_valid_calibration_hits_its_anchors(target):
+    model = AnalyticPerformanceModel(SPEC, target)
+    x_max = SPEC.space.max_configuration()
+    assert model.latency(x_max) == pytest.approx(target.latency_at_max, rel=1e-6)
+    assert model.energy(x_max) == pytest.approx(target.energy_at_max, rel=1e-6)
+
+
+@given(target=calibration_targets())
+@settings(max_examples=25, deadline=None)
+def test_x_max_is_globally_fastest_for_any_calibration(target):
+    model = AnalyticPerformanceModel(SPEC, target)
+    latencies, energies = model.profile_space()
+    x_max_idx = SPEC.space.flat_index_of(SPEC.space.max_configuration())
+    assert latencies[x_max_idx] == pytest.approx(latencies.min())
+    assert np.all(energies > 0)

@@ -1,0 +1,126 @@
+"""Unit tests for the thermal model and its device integration."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import SimulatedDevice, ThermalModel
+from repro.hardware.noise import NoiselessMeasurement
+from tests.conftest import build_tiny_spec, build_tiny_workload
+
+
+def model(**kwargs):
+    defaults = dict(
+        r_th=2.0, tau_th=100.0, t_ambient=25.0,
+        throttle_start=60.0, throttle_full=80.0, max_slowdown=1.5,
+    )
+    defaults.update(kwargs)
+    return ThermalModel(**defaults)
+
+
+class TestThermalDynamics:
+    def test_starts_at_ambient(self):
+        assert model().temperature == 25.0
+
+    def test_steady_state(self):
+        assert model().steady_state(10.0) == pytest.approx(45.0)
+
+    def test_exponential_approach(self):
+        thermal = model()
+        thermal.update(power=10.0, duration=100.0)  # one time constant
+        expected = 45.0 + (25.0 - 45.0) * math.exp(-1.0)
+        assert thermal.temperature == pytest.approx(expected)
+
+    def test_converges_to_steady_state(self):
+        thermal = model()
+        thermal.update(power=10.0, duration=10_000.0)
+        assert thermal.temperature == pytest.approx(45.0, abs=1e-6)
+
+    def test_cools_when_power_drops(self):
+        thermal = model()
+        thermal.update(power=30.0, duration=1_000.0)
+        hot = thermal.temperature
+        thermal.update(power=0.0, duration=50.0)
+        assert thermal.temperature < hot
+
+    def test_update_is_composable(self):
+        # two half-steps equal one full step (exact integration)
+        a, b = model(), model()
+        a.update(10.0, 40.0)
+        b.update(10.0, 20.0)
+        b.update(10.0, 20.0)
+        assert a.temperature == pytest.approx(b.temperature)
+
+    def test_reset(self):
+        thermal = model()
+        thermal.update(20.0, 500.0)
+        thermal.reset()
+        assert thermal.temperature == 25.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            model(r_th=0.0)
+        with pytest.raises(ConfigurationError):
+            model(throttle_start=90.0, throttle_full=80.0)
+        with pytest.raises(ConfigurationError):
+            model(max_slowdown=0.9)
+        with pytest.raises(ConfigurationError):
+            model().update(power=-1.0, duration=1.0)
+
+
+class TestThrottleCurve:
+    def test_no_throttle_when_cool(self):
+        assert model().throttle_factor() == 1.0
+
+    def test_full_throttle_when_hot(self):
+        thermal = model()
+        thermal.temperature = 95.0
+        assert thermal.throttle_factor() == pytest.approx(1.5)
+
+    def test_linear_ramp(self):
+        thermal = model()
+        thermal.temperature = 70.0  # halfway between 60 and 80
+        assert thermal.throttle_factor() == pytest.approx(1.25)
+
+
+class TestDeviceIntegration:
+    def _device(self, thermal):
+        return SimulatedDevice(
+            build_tiny_spec(),
+            build_tiny_workload(),
+            noise=NoiselessMeasurement(),
+            thermal=thermal,
+            seed=0,
+        )
+
+    def test_jobs_heat_the_board(self):
+        thermal = model()
+        device = self._device(thermal)
+        for _ in range(50):
+            device.run_job()
+        assert thermal.temperature > 25.0
+
+    def test_hot_board_runs_slower_and_costs_more(self):
+        cold = self._device(None)
+        hot_thermal = model()
+        hot_thermal.temperature = 95.0
+        hot = self._device(hot_thermal)
+        cold_job = cold.run_job()
+        hot_job = hot.run_job()
+        assert hot_job.latency == pytest.approx(cold_job.latency * 1.5, rel=1e-6)
+        assert hot_job.energy == pytest.approx(cold_job.energy * 1.5, rel=1e-6)
+
+    def test_idle_cools_a_hot_board(self):
+        thermal = model()
+        thermal.temperature = 85.0
+        device = self._device(thermal)
+        device.idle(300.0)
+        assert thermal.temperature < 85.0
+
+    def test_no_thermal_means_no_effect(self):
+        device = self._device(None)
+        job = device.run_job()
+        assert job.latency == pytest.approx(
+            device.model.latency(device.current_configuration)
+        )

@@ -1,0 +1,106 @@
+"""Property-based tests on the controller's safety invariants.
+
+Hypothesis drives randomized (but feasible) deadline sequences and device
+seeds; the invariants must hold for every draw:
+
+* no feasible round is ever missed (the Eqn. 2 guarantee);
+* every round runs exactly its W jobs;
+* phases only move forward (no restarts without the drift extension);
+* energy is positive and bounded by the all-at-worst-configuration cost.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BoFLConfig, BoFLController, Phase
+from repro.hardware import SimulatedDevice
+from tests.conftest import build_tiny_spec, build_tiny_workload
+
+JOBS = 50
+
+
+def build_controller(seed):
+    device = SimulatedDevice(build_tiny_spec(), build_tiny_workload(), seed=seed)
+    config = BoFLConfig(
+        tau=0.4,
+        initial_sample_fraction=0.06,
+        min_explored_fraction=0.12,
+        max_batch_size=4,
+        fit_restarts=0,
+        seed=seed,
+    )
+    return BoFLController(device, config)
+
+
+@st.composite
+def deadline_ratio_sequences(draw):
+    n = draw(st.integers(4, 10))
+    return [draw(st.floats(1.06, 4.0)) for _ in range(n)]
+
+
+@given(ratios=deadline_ratio_sequences(), device_seed=st.integers(0, 50))
+@settings(max_examples=20, deadline=None)
+def test_feasible_rounds_never_miss(ratios, device_seed):
+    controller = build_controller(device_seed)
+    t_min = (
+        controller.device.model.latency(controller.device.space.max_configuration())
+        * JOBS
+    )
+    for ratio in ratios:
+        record = controller.run_round(JOBS, ratio * t_min)
+        assert not record.missed
+        assert record.jobs == JOBS
+
+
+@given(ratios=deadline_ratio_sequences(), device_seed=st.integers(0, 50))
+@settings(max_examples=15, deadline=None)
+def test_job_conservation_and_energy_bounds(ratios, device_seed):
+    controller = build_controller(device_seed)
+    device = controller.device
+    t_min = device.model.latency(device.space.max_configuration()) * JOBS
+    _, energies = device.model.profile_space()
+    worst_round = energies.max() * JOBS * 1.1  # + noise headroom
+    total_jobs = 0
+    for ratio in ratios:
+        record = controller.run_round(JOBS, ratio * t_min)
+        total_jobs += record.jobs
+        assert 0 < record.energy < worst_round
+    assert device.jobs_executed == total_jobs
+
+
+@given(ratios=deadline_ratio_sequences(), device_seed=st.integers(0, 30))
+@settings(max_examples=15, deadline=None)
+def test_phases_monotone_without_drift_extension(ratios, device_seed):
+    controller = build_controller(device_seed)
+    t_min = (
+        controller.device.model.latency(controller.device.space.max_configuration())
+        * JOBS
+    )
+    order = {Phase.RANDOM_EXPLORATION: 1, Phase.PARETO_CONSTRUCTION: 2, Phase.EXPLOITATION: 3}
+    last = 0
+    for ratio in ratios:
+        controller.run_round(JOBS, ratio * t_min)
+        rank = order[controller.phase]
+        assert rank >= last
+        last = rank
+    assert not any(t.is_restart for t in controller.transitions)
+
+
+@given(device_seed=st.integers(0, 30))
+@settings(max_examples=10, deadline=None)
+def test_observed_front_is_mutually_nondominated(device_seed):
+    controller = build_controller(device_seed)
+    t_min = (
+        controller.device.model.latency(controller.device.space.max_configuration())
+        * JOBS
+    )
+    for _ in range(8):
+        controller.run_round(JOBS, 2.5 * t_min)
+    front = controller.pareto_front()
+    for i in range(front.shape[0]):
+        for j in range(front.shape[0]):
+            if i == j:
+                continue
+            dominated = np.all(front[j] <= front[i]) and np.any(front[j] < front[i])
+            assert not dominated

@@ -1,0 +1,171 @@
+"""End-to-end integration: a full BoFL campaign on the tiny board must
+show the paper's headline behaviour — explore, construct, exploit, save
+energy, never miss a deadline — and compose correctly with the FL stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OracleController, PerformantController
+from repro.core import BoFLController, Phase
+from repro.federated import (
+    FederatedClient,
+    FederatedServer,
+    FLTaskSpec,
+    StaticDeadlines,
+)
+from repro.federated.deadlines import UniformDeadlines
+from repro.hardware import SimulatedDevice
+from repro.hardware.noise import MeasurementNoise
+from repro.ml import MLPClassifier, make_blobs_classification, partition_iid
+from tests.conftest import build_tiny_spec, build_tiny_workload
+
+JOBS = 60
+ROUNDS = 25
+
+
+@pytest.fixture(scope="module")
+def campaign(fast_config_module):
+    """One shared full campaign (BoFL + both baselines, paired)."""
+    # The tiny board's jobs are ~60 ms and tau is 0.4 s, so the noise
+    # model's reference window is scaled to match (a 5 s reference would
+    # amplify sensor error 3.5x and test the noise model, not the system).
+    devices = {
+        name: SimulatedDevice(
+            build_tiny_spec(),
+            build_tiny_workload(),
+            seed=4,
+            noise=MeasurementNoise(seed=4, reference_duration=0.4),
+        )
+        for name in ("bofl", "performant", "oracle")
+    }
+    controllers = {
+        "bofl": BoFLController(devices["bofl"], fast_config_module),
+        "performant": PerformantController(devices["performant"]),
+        "oracle": OracleController(devices["oracle"]),
+    }
+    t_min = devices["bofl"].model.latency(
+        devices["bofl"].space.max_configuration()
+    ) * JOBS
+    deadlines = UniformDeadlines(2.5).generate(t_min, ROUNDS, seed=11)
+    records = {
+        name: [controller.run_round(JOBS, d) for d in deadlines]
+        for name, controller in controllers.items()
+    }
+    return controllers, records
+
+
+@pytest.fixture(scope="module")
+def fast_config_module():
+    from repro.core.config import BoFLConfig
+
+    return BoFLConfig(
+        tau=0.4,
+        initial_sample_fraction=0.06,
+        min_explored_fraction=0.22,
+        max_batch_size=5,
+        fit_restarts=1,
+        seed=1,
+    )
+
+
+class TestHeadlineBehaviour:
+    def test_no_deadline_misses_anywhere(self, campaign):
+        _, records = campaign
+        for name, recs in records.items():
+            assert all(not r.missed for r in recs), name
+
+    def test_bofl_between_oracle_and_performant(self, campaign):
+        _, records = campaign
+        total = {
+            name: sum(r.energy for r in recs) for name, recs in records.items()
+        }
+        assert total["oracle"] <= total["bofl"] * 1.02
+        assert total["bofl"] < total["performant"]
+
+    def test_meaningful_improvement(self, campaign):
+        _, records = campaign
+        bofl = sum(r.energy for r in records["bofl"])
+        performant = sum(r.energy for r in records["performant"])
+        improvement = 1 - bofl / performant
+        assert 0.05 < improvement < 0.5
+
+    def test_modest_regret(self, campaign):
+        _, records = campaign
+        bofl = sum(r.energy for r in records["bofl"])
+        oracle = sum(r.energy for r in records["oracle"])
+        assert bofl / oracle - 1 < 0.25
+
+    def test_reaches_exploitation(self, campaign):
+        controllers, records = campaign
+        assert controllers["bofl"].phase is Phase.EXPLOITATION
+        exploit_rounds = [r for r in records["bofl"] if r.phase == "exploitation"]
+        assert len(exploit_rounds) > ROUNDS / 2
+
+    def test_exploitation_energy_tracks_oracle(self, campaign):
+        _, records = campaign
+        pairs = [
+            (b.energy, o.energy)
+            for b, o in zip(records["bofl"], records["oracle"])
+            if b.phase == "exploitation"
+        ]
+        bofl_total = sum(b for b, _ in pairs)
+        oracle_total = sum(o for _, o in pairs)
+        assert bofl_total / oracle_total - 1 < 0.15
+
+    def test_searched_front_approximates_truth(self, campaign):
+        from repro.analysis import hypervolume_ratio
+        from repro.bayesopt.hypervolume import reference_from_observations
+
+        controllers, _ = campaign
+        bofl = controllers["bofl"]
+        oracle = controllers["oracle"]
+        found_configs, _ = bofl.store.pareto_set()
+        model = bofl.device.model
+        found_true = np.array([model.objectives(c) for c in found_configs])
+        true_front = oracle.true_front
+        reference = reference_from_observations(
+            np.vstack([found_true, true_front]), margin=0.05
+        )
+        assert hypervolume_ratio(found_true, true_front, reference) > 0.85
+
+
+class TestFederationComposition:
+    def test_bofl_clients_train_a_real_model(self, fast_config_module):
+        data = make_blobs_classification(360, n_features=8, n_classes=3, seed=0)
+        rng = np.random.default_rng(0)
+        shards = partition_iid(data, 3, rng)
+        task = FLTaskSpec(
+            workload=build_tiny_workload(),
+            batch_size=12,
+            epochs=2,
+            minibatches={"tiny": 10},
+            rounds=6,
+        )
+        global_model = MLPClassifier(8, [12], 3, seed=0)
+        clients = []
+        for i, shard in enumerate(shards):
+            device = SimulatedDevice(build_tiny_spec(), build_tiny_workload(), seed=i)
+            controller = BoFLController(device, fast_config_module)
+            clients.append(
+                FederatedClient(
+                    f"client-{i}",
+                    controller,
+                    task,
+                    model=global_model.clone_architecture(seed=i),
+                    data=shard,
+                    seed=i,
+                )
+            )
+        server = FederatedServer(
+            clients,
+            global_model=global_model,
+            deadline_schedule=StaticDeadlines(3.0),
+            eval_data=data,
+            seed=0,
+        )
+        history = server.run(6)
+        final_accuracy = history[-1].global_accuracy
+        assert final_accuracy is not None and final_accuracy > 0.8
+        assert server.total_energy > 0
+        assert all(not report.record.missed for h in history for report in h.reports)

@@ -1,0 +1,90 @@
+"""Smoke tests for every runnable example.
+
+Each example is imported as a module, its scale knobs shrunk, and its
+``main()`` executed — so the published entry points cannot silently rot.
+Output is captured and checked for the example's headline lines.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(autouse=True)
+def _fresh_campaign_cache():
+    from repro.sim import clear_campaign_cache
+
+    clear_campaign_cache()
+    yield
+    clear_campaign_cache()
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart")
+        module.ROUNDS = 4
+        module.main()
+        out = capsys.readouterr().out
+        assert "energy improvement" in out
+        assert "deadline misses         : 0" in out
+
+    def test_custom_device(self, capsys):
+        module = load_example("custom_device")
+        module.ROUNDS = 6
+        module.main()
+        out = capsys.readouterr().out
+        assert "288 DVFS configurations" in out
+        assert "steady-state saving" in out
+
+    def test_pareto_exploration(self, capsys):
+        module = load_example("pareto_exploration")
+        module.N_INITIAL = 12
+        module.BATCHES = 2
+        module.BATCH_SIZE = 6
+        module.main()
+        out = capsys.readouterr().out
+        assert "hypervolume ratio" in out
+        assert "Searched Pareto front" in out
+
+    def test_deadline_sensitivity(self, capsys):
+        module = load_example("deadline_sensitivity")
+        module.ROUNDS = 4
+        module.RATIOS = (1.5, 3.0)
+        module.main()
+        out = capsys.readouterr().out
+        assert "T_max/T_min" in out
+
+    def test_federated_training(self, capsys):
+        module = load_example("federated_training")
+        module.ROUNDS = 3
+        module.main()
+        out = capsys.readouterr().out
+        assert "Final global accuracy" in out
+
+    def test_reporting_deadlines(self, capsys):
+        module = load_example("reporting_deadlines")
+        module.ROUNDS = 4
+        module.main()
+        out = capsys.readouterr().out
+        assert "rounds reported in time" in out
+
+    def test_thermal_adaptation(self, capsys):
+        module = load_example("thermal_adaptation")
+        module.ROUNDS = 5
+        module.main()
+        out = capsys.readouterr().out
+        assert "static BoFL" in out
+        assert "adaptive" in out

@@ -1,0 +1,131 @@
+"""Failure injection: hostile deadlines, heavy noise, disabled safety nets.
+
+The controller must stay deadline-safe under everything except an
+explicitly disabled guardian, and must degrade gracefully (sprint at
+x_max) rather than crash when physics makes a round unwinnable.
+"""
+
+import pytest
+
+from repro.core import BoFLConfig, BoFLController
+from repro.federated.deadlines import UniformDeadlines
+from repro.hardware import SimulatedDevice
+from repro.hardware.noise import MeasurementNoise
+from tests.conftest import build_tiny_spec, build_tiny_workload
+
+JOBS = 60
+
+
+def controller_with(config, seed=0, noise=None):
+    device = SimulatedDevice(
+        build_tiny_spec(), build_tiny_workload(), seed=seed, noise=noise
+    )
+    return BoFLController(device, config)
+
+
+def t_min_of(controller):
+    return (
+        controller.device.model.latency(controller.device.space.max_configuration())
+        * JOBS
+    )
+
+
+class TestHostileDeadlines:
+    def test_barely_feasible_deadlines_never_missed(self, fast_config):
+        controller = controller_with(fast_config)
+        deadline = t_min_of(controller) * 1.06
+        records = [controller.run_round(JOBS, deadline) for _ in range(8)]
+        assert all(not r.missed for r in records)
+        # with zero slack there is no room to explore beyond x_max
+        assert sum(r.explored_count for r in records) <= 2
+
+    def test_infeasible_deadline_degrades_not_crashes(self, fast_config):
+        controller = controller_with(fast_config)
+        impossible = t_min_of(controller) * 0.5
+        record = controller.run_round(JOBS, impossible)
+        assert record.missed  # physics: nothing can meet it
+        assert record.jobs == JOBS  # but every job still ran
+
+    def test_alternating_feast_and_famine(self, fast_config):
+        controller = controller_with(fast_config)
+        t_min = t_min_of(controller)
+        for i in range(12):
+            deadline = t_min * (3.0 if i % 2 == 0 else 1.1)
+            record = controller.run_round(JOBS, deadline)
+            assert not record.missed
+
+
+class TestDisabledGuardian:
+    def test_guardian_off_causes_misses_under_tight_deadlines(self):
+        config = BoFLConfig(
+            tau=0.8,
+            initial_sample_fraction=0.10,
+            min_explored_fraction=0.2,
+            fit_restarts=0,
+            guardian_enabled=False,
+            seed=0,
+        )
+        controller = controller_with(config)
+        deadline = t_min_of(controller) * 1.12
+        records = [controller.run_round(JOBS, deadline) for _ in range(6)]
+        assert any(r.missed for r in records)
+
+    def test_guardian_on_prevents_those_misses(self):
+        config = BoFLConfig(
+            tau=0.8,
+            initial_sample_fraction=0.10,
+            min_explored_fraction=0.2,
+            fit_restarts=0,
+            guardian_enabled=True,
+            seed=0,
+        )
+        controller = controller_with(config)
+        deadline = t_min_of(controller) * 1.12
+        records = [controller.run_round(JOBS, deadline) for _ in range(6)]
+        assert all(not r.missed for r in records)
+
+
+class TestHeavyNoise:
+    def test_survives_noisy_sensors(self, fast_config):
+        noise = MeasurementNoise(
+            seed=9,
+            process_latency_std=0.02,
+            process_energy_std=0.05,
+            sensor_latency_std=0.02,
+            sensor_energy_std=0.08,
+        )
+        controller = controller_with(fast_config, noise=noise)
+        deadlines = UniformDeadlines(2.0).generate(t_min_of(controller), 15, seed=3)
+        records = [controller.run_round(JOBS, d) for d in deadlines]
+        assert all(not r.missed for r in records)
+        assert controller.explored_count >= 6
+
+    def test_noise_does_not_break_schedules(self, fast_config):
+        noise = MeasurementNoise(seed=5, sensor_energy_std=0.10)
+        controller = controller_with(fast_config, noise=noise)
+        deadlines = UniformDeadlines(3.0).generate(t_min_of(controller), 20, seed=3)
+        for deadline in deadlines:
+            record = controller.run_round(JOBS, deadline)
+            assert record.jobs == JOBS
+            assert not record.missed
+
+
+class TestVariableRoundShapes:
+    def test_varying_job_counts_per_round(self, fast_config):
+        controller = controller_with(fast_config)
+        t_job = controller.device.model.latency(
+            controller.device.space.max_configuration()
+        )
+        for jobs in (10, 120, 35, 60, 5):
+            record = controller.run_round(jobs, jobs * t_job * 2.0)
+            assert record.jobs == jobs
+            assert not record.missed
+
+    def test_single_job_rounds(self, fast_config):
+        controller = controller_with(fast_config)
+        t_job = controller.device.model.latency(
+            controller.device.space.max_configuration()
+        )
+        record = controller.run_round(1, t_job * 5)
+        assert record.jobs == 1
+        assert not record.missed

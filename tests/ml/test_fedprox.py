@@ -1,0 +1,112 @@
+"""Tests for FedProx proximal local training."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ml.data import make_blobs_classification
+from repro.ml.fedprox import FedProxTrainer
+from repro.ml.models import MLPClassifier
+from repro.ml.optim import SGD
+from repro.ml.training import LocalTrainer, accuracy
+
+
+def make_setup(mu=0.1, seed=0, samples=96):
+    data = make_blobs_classification(samples, n_features=8, n_classes=3, seed=seed)
+    model = MLPClassifier(8, [8], 3, seed=seed)
+    trainer = FedProxTrainer(
+        model, data, batch_size=32, mu=mu, optimizer=SGD(0.05), seed=seed
+    )
+    return model, data, trainer
+
+
+class TestFedProxMechanics:
+    def test_mu_zero_equals_fedavg_exactly(self):
+        data = make_blobs_classification(96, n_features=8, n_classes=3, seed=0)
+        plain_model = MLPClassifier(8, [8], 3, seed=0)
+        prox_model = MLPClassifier(8, [8], 3, seed=0)
+        plain = LocalTrainer(plain_model, data, 32, optimizer=SGD(0.05), seed=0)
+        prox = FedProxTrainer(prox_model, data, 32, mu=0.0, optimizer=SGD(0.05), seed=0)
+        plain.start_round(2)
+        prox.start_round(2)
+        while plain.jobs_remaining:
+            plain.train_job()
+            prox.train_job()
+        for a, b in zip(plain_model.get_weights(), prox_model.get_weights()):
+            assert np.allclose(a, b)
+
+    def test_proximal_term_limits_drift(self):
+        # With a large mu the local model stays near the anchor.
+        drift = {}
+        for mu in (0.0, 5.0):
+            model, data, trainer = make_setup(mu=mu, seed=1)
+            anchor = model.get_weights()
+            trainer.set_global_weights(anchor)
+            trainer.start_round(3)
+            while trainer.jobs_remaining:
+                trainer.train_job()
+            drift[mu] = sum(
+                float(np.sum((w - a) ** 2))
+                for w, a in zip(model.get_weights(), anchor)
+            )
+        assert drift[5.0] < drift[0.0]
+
+    def test_loss_includes_penalty(self):
+        model, _, trainer = make_setup(mu=10.0, seed=2)
+        trainer.set_global_weights([np.zeros_like(w) for w in model.get_weights()])
+        trainer.start_round(1)
+        loss = trainer.train_job()
+        # weights are far from the all-zeros anchor, so the penalty is large
+        assert loss > 1.0
+
+    def test_anchor_defaults_to_round_start_weights(self):
+        model, _, trainer = make_setup(mu=0.5, seed=3)
+        trainer.start_round(1)
+        assert trainer._anchor is not None
+        for anchor, weight in zip(trainer._anchor, model.get_weights()):
+            assert anchor.shape == weight.shape
+
+    def test_set_global_weights_validates_shapes(self):
+        _, _, trainer = make_setup()
+        with pytest.raises(ConfigurationError):
+            trainer.set_global_weights([np.zeros((2, 2))])
+
+    def test_rejects_negative_mu(self):
+        data = make_blobs_classification(64, n_features=8, n_classes=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            FedProxTrainer(MLPClassifier(8, [4], 2), data, 32, mu=-0.1)
+
+    def test_train_job_requires_round(self):
+        _, _, trainer = make_setup()
+        with pytest.raises(ConfigurationError):
+            trainer.train_job()
+
+
+class TestFedProxLearning:
+    def test_still_learns_with_moderate_mu(self):
+        model, data, trainer = make_setup(mu=0.05, seed=4, samples=300)
+        for _ in range(4):
+            trainer.set_global_weights(model.get_weights())
+            trainer.start_round(2)
+            while trainer.jobs_remaining:
+                trainer.train_job()
+        assert accuracy(model, data) > 0.85
+
+    def test_composes_with_pace_control(self, fast_config):
+        """FedProx gradients ride on BoFL-paced jobs unchanged."""
+        from repro.core import BoFLController
+        from repro.hardware import SimulatedDevice
+        from tests.conftest import build_tiny_spec, build_tiny_workload
+
+        model, data, trainer = make_setup(mu=0.1, seed=5)
+        device = SimulatedDevice(build_tiny_spec(), build_tiny_workload(), seed=0)
+        controller = BoFLController(device, fast_config)
+        jobs = trainer.start_round(2)
+        before = [w.copy() for w in model.get_weights()]
+        t_min = device.model.latency(device.space.max_configuration()) * jobs
+        record = controller.run_round(jobs, t_min * 2.5, on_job=trainer.train_job)
+        assert not record.missed
+        assert trainer.jobs_remaining == 0
+        assert any(
+            not np.allclose(a, b) for a, b in zip(before, model.get_weights())
+        )

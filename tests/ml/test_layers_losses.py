@@ -1,0 +1,183 @@
+"""Unit tests for layers and losses, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ml.layers import Dense, Dropout, ReLU, Sequential, Tanh
+from repro.ml.losses import binary_cross_entropy, softmax_cross_entropy
+
+
+def numerical_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        up = f()
+        x[idx] = orig - eps
+        down = f()
+        x[idx] = orig
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(4, 3, rng)
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(6, 4))
+        target = rng.normal(size=(6, 3))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x, training=True) - target) ** 2)
+
+        out = layer.forward(x, training=True)
+        layer.backward(out - target)
+        num_w = numerical_grad(loss, layer.weight)
+        num_b = numerical_grad(loss, layer.bias)
+        assert np.allclose(layer.grad_weight, num_w, atol=1e-4)
+        assert np.allclose(layer.grad_bias, num_b, atol=1e-4)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = Dense(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x, training=True) - target) ** 2)
+
+        out = layer.forward(x, training=True)
+        grad_in = layer.backward(out - target)
+        assert np.allclose(grad_in, numerical_grad(loss, x), atol=1e-4)
+
+    def test_backward_requires_training_forward(self, rng):
+        layer = Dense(2, 2, rng)
+        layer.forward(rng.normal(size=(1, 2)), training=False)
+        with pytest.raises(ConfigurationError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            Dense(0, 3)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [ReLU, Tanh])
+    def test_gradient_matches_numerical(self, layer_cls, rng):
+        layer = layer_cls()
+        x = rng.normal(size=(5, 3)) + 0.1  # avoid ReLU kink at exactly 0
+        target = rng.normal(size=(5, 3))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x, training=True) - target) ** 2)
+
+        out = layer.forward(x, training=True)
+        grad_in = layer.backward(out - target)
+        assert np.allclose(grad_in, numerical_grad(loss, x), atol=1e-4)
+
+    def test_relu_clips_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        assert out.tolist() == [[0.0, 2.0]]
+
+    def test_tanh_bounded(self, rng):
+        out = Tanh().forward(rng.normal(size=(10, 4)) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        layer = Dropout(0.5, rng)
+        x = rng.normal(size=(4, 4))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_preserves_expectation_in_training(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_rejects_rate_one(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+
+
+class TestSequential:
+    def test_collects_parameters(self, rng):
+        net = Sequential([Dense(4, 3, rng), ReLU(), Dense(3, 2, rng)])
+        assert len(net.parameters) == 4  # two weights + two biases
+
+    def test_end_to_end_gradient(self, rng):
+        net = Sequential([Dense(3, 4, rng), Tanh(), Dense(4, 2, rng)])
+        x = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 2))
+
+        def loss():
+            return 0.5 * np.sum((net.forward(x, training=True) - target) ** 2)
+
+        out = net.forward(x, training=True)
+        net.backward(out - target)
+        first_dense = net.layers[0]
+        num = numerical_grad(loss, first_dense.weight)
+        assert np.allclose(first_dense.grad_weight, num, atol=1e-4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Sequential([])
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-4
+
+    def test_uniform_prediction_log_k(self):
+        logits = np.zeros((3, 4))
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss == pytest.approx(np.log(4))
+
+    def test_gradient_matches_numerical(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+
+        def loss():
+            return softmax_cross_entropy(logits, labels)[0]
+
+        _, grad = softmax_cross_entropy(logits, labels)
+        assert np.allclose(grad, numerical_grad(loss, logits), atol=1e-5)
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ConfigurationError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_rejects_label_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0]))
+
+
+class TestBinaryCrossEntropy:
+    def test_gradient_matches_numerical(self, rng):
+        logits = rng.normal(size=(5, 1))
+        labels = np.array([0, 1, 1, 0, 1])
+
+        def loss():
+            return binary_cross_entropy(logits, labels)[0]
+
+        _, grad = binary_cross_entropy(logits, labels)
+        assert np.allclose(grad, numerical_grad(loss, logits), atol=1e-5)
+
+    def test_extreme_logits_stable(self):
+        loss, grad = binary_cross_entropy(np.array([[500.0], [-500.0]]), np.array([1, 0]))
+        assert np.isfinite(loss) and np.all(np.isfinite(grad))
+        assert loss < 1e-6
+
+    def test_rejects_nonbinary_labels(self):
+        with pytest.raises(ConfigurationError):
+            binary_cross_entropy(np.zeros((2, 1)), np.array([0, 2]))

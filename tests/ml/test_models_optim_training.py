@@ -1,0 +1,197 @@
+"""Unit tests for models, SGD, datasets and the local trainer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ml.data import (
+    Dataset,
+    make_blobs_classification,
+    make_text_sentiment,
+    partition_dirichlet,
+    partition_iid,
+)
+from repro.ml.models import MLPClassifier
+from repro.ml.optim import SGD
+from repro.ml.training import LocalTrainer, accuracy
+
+
+class TestSGD:
+    def test_plain_step(self):
+        params = [np.array([1.0, 2.0])]
+        grads = [np.array([0.5, -0.5])]
+        SGD(learning_rate=0.1).step(params, grads)
+        assert params[0] == pytest.approx([0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        params = [np.array([0.0])]
+        grads = [np.array([1.0])]
+        opt.step(params, grads)
+        first = params[0].copy()
+        opt.step(params, grads)
+        second_step = params[0] - first
+        assert abs(second_step[0]) > abs(first[0])  # momentum builds speed
+
+    def test_weight_decay_pulls_toward_zero(self):
+        params = [np.array([10.0])]
+        SGD(learning_rate=0.1, weight_decay=0.5).step(params, [np.array([0.0])])
+        assert params[0][0] < 10.0
+
+    def test_reset_clears_velocity(self):
+        opt = SGD(0.1, momentum=0.9)
+        params = [np.array([0.0])]
+        opt.step(params, [np.array([1.0])])
+        opt.reset()
+        params2 = [np.array([0.0])]
+        opt.step(params2, [np.array([1.0])])
+        assert params2[0][0] == pytest.approx(-0.1)
+
+    def test_validates_construction(self):
+        with pytest.raises(ConfigurationError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            SGD(momentum=1.0)
+        with pytest.raises(ConfigurationError):
+            SGD(weight_decay=-0.1)
+
+    def test_rejects_mismatched_lists(self):
+        with pytest.raises(ConfigurationError):
+            SGD().step([np.zeros(2)], [])
+
+
+class TestMLPClassifier:
+    def test_weights_roundtrip(self):
+        model = MLPClassifier(8, [6], 3, seed=0)
+        weights = model.get_weights()
+        other = MLPClassifier(8, [6], 3, seed=1)
+        other.set_weights(weights)
+        x = np.random.default_rng(0).normal(size=(4, 8))
+        assert np.allclose(model.predict_proba(x), other.predict_proba(x))
+
+    def test_set_weights_validates_shapes(self):
+        model = MLPClassifier(8, [6], 3)
+        bad = model.get_weights()
+        bad[0] = np.zeros((2, 2))
+        with pytest.raises(ConfigurationError):
+            model.set_weights(bad)
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        model = MLPClassifier(5, [4], 3)
+        probs = model.predict_proba(rng.normal(size=(6, 5)))
+        assert probs.sum(axis=1) == pytest.approx(np.ones(6))
+
+    def test_learns_separable_problem(self):
+        data = make_blobs_classification(600, n_features=8, n_classes=3, seed=0)
+        model = MLPClassifier(8, [16], 3, seed=0)
+        trainer = LocalTrainer(model, data, batch_size=32, seed=0)
+        for _ in range(5):
+            trainer.start_round(1)
+            while trainer.jobs_remaining:
+                trainer.train_job()
+        assert accuracy(model, data) > 0.9
+
+    def test_clone_architecture_same_shapes(self):
+        model = MLPClassifier(8, [6, 4], 3, seed=0)
+        clone = model.clone_architecture(seed=9)
+        assert [p.shape for p in clone.parameters] == [p.shape for p in model.parameters]
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(4, [4], 1)
+
+
+class TestDatasets:
+    def test_blobs_shapes_and_labels(self):
+        data = make_blobs_classification(100, n_features=16, n_classes=5, seed=0)
+        assert data.x.shape == (100, 16)
+        assert data.n_classes == 5
+
+    def test_text_sentiment_signal_exists(self):
+        data = make_text_sentiment(500, vocabulary=32, seed=0)
+        positive = data.x[data.y == 1].mean(axis=0)
+        negative = data.x[data.y == 0].mean(axis=0)
+        # positive-leaning words occur more in positive documents
+        assert positive[0] > negative[0]
+
+    def test_batches_cover_everything(self, rng):
+        data = make_blobs_classification(55, seed=0)
+        batches = data.batches(10, rng)
+        assert sum(len(b) for b in batches) == 55
+        assert len(batches) == 6  # tail batch kept
+
+    def test_subset(self):
+        data = make_blobs_classification(20, seed=0)
+        sub = data.subset(np.array([0, 5, 7]))
+        assert len(sub) == 3
+
+    def test_dataset_validates_alignment(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+
+class TestPartitioning:
+    def test_iid_partition_sizes(self, rng):
+        data = make_blobs_classification(100, seed=0)
+        shards = partition_iid(data, 7, rng)
+        assert sum(len(s) for s in shards) == 100
+        assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+    def test_dirichlet_partition_covers_everything(self, rng):
+        data = make_blobs_classification(300, n_classes=5, seed=0)
+        shards = partition_dirichlet(data, 5, alpha=0.5, rng=rng)
+        assert sum(len(s) for s in shards) == 300
+        assert all(len(s) >= 1 for s in shards)
+
+    def test_dirichlet_low_alpha_skews_labels(self, rng):
+        data = make_blobs_classification(2000, n_classes=10, seed=0)
+        skewed = partition_dirichlet(data, 10, alpha=0.1, rng=np.random.default_rng(0))
+        uniform = partition_dirichlet(data, 10, alpha=100.0, rng=np.random.default_rng(0))
+
+        def mean_class_count(shards):
+            return np.mean([len(np.unique(s.y)) for s in shards])
+
+        assert mean_class_count(skewed) < mean_class_count(uniform)
+
+    def test_partition_validates(self, rng):
+        data = make_blobs_classification(10, seed=0)
+        with pytest.raises(ConfigurationError):
+            partition_iid(data, 11, rng)
+        with pytest.raises(ConfigurationError):
+            partition_dirichlet(data, 3, alpha=0.0, rng=rng)
+
+
+class TestLocalTrainer:
+    @pytest.fixture()
+    def trainer(self):
+        data = make_blobs_classification(96, n_features=8, n_classes=3, seed=0)
+        model = MLPClassifier(8, [8], 3, seed=0)
+        return LocalTrainer(model, data, batch_size=32, seed=0)
+
+    def test_minibatches_per_epoch(self, trainer):
+        assert trainer.minibatches_per_epoch == 3
+
+    def test_start_round_queues_w_jobs(self, trainer):
+        assert trainer.start_round(epochs=4) == 12
+        assert trainer.jobs_remaining == 12
+
+    def test_train_job_consumes_queue(self, trainer):
+        trainer.start_round(1)
+        loss = trainer.train_job()
+        assert trainer.jobs_remaining == 2
+        assert trainer.jobs_run == 1
+        assert loss == trainer.last_loss
+
+    def test_train_job_requires_queue(self, trainer):
+        with pytest.raises(ConfigurationError):
+            trainer.train_job()
+
+    def test_rejects_shard_smaller_than_batch(self):
+        data = make_blobs_classification(10, seed=0)
+        with pytest.raises(ConfigurationError):
+            LocalTrainer(MLPClassifier(32, [4], 10), data, batch_size=32)
+
+    def test_accuracy_requires_data(self):
+        model = MLPClassifier(4, [4], 2)
+        with pytest.raises(ConfigurationError):
+            accuracy(model, Dataset(np.zeros((0, 4)), np.zeros(0, dtype=int)))

@@ -1,0 +1,54 @@
+"""Tests for the multi-seed sweep harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.sweep import SummaryStat, sweep_campaign
+
+
+class TestSummaryStat:
+    def test_of_values(self):
+        stat = SummaryStat.of([1.0, 2.0, 3.0])
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.minimum == 1.0 and stat.maximum == 3.0
+        assert stat.n == 3
+        assert stat.std == pytest.approx(1.0)
+
+    def test_single_value_has_zero_std(self):
+        stat = SummaryStat.of([5.0])
+        assert stat.std == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            SummaryStat.of([])
+
+
+class TestSweepCampaign:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        # short rounds with the cheap controllers dominate the runtime; the
+        # BoFL runs are the cost — keep them small.
+        return sweep_campaign(
+            "agx", "vit", 2.0, rounds=6, seeds=(0, 1), use_cache=True
+        )
+
+    def test_aggregates_both_metrics(self, sweep):
+        assert sweep.improvement.n == 2
+        assert sweep.regret.n == 2
+        assert -1.0 < sweep.improvement.mean < 1.0
+
+    def test_keeps_per_seed_campaigns(self, sweep):
+        assert set(sweep.campaigns) == {0, 1}
+        assert set(sweep.campaigns[0]) == {"bofl", "performant", "oracle"}
+
+    def test_seed_variation_exists(self, sweep):
+        a = sweep.campaigns[0]["bofl"].training_energy
+        b = sweep.campaigns[1]["bofl"].training_energy
+        assert a != b  # different deadline draws and noise
+
+    def test_no_misses_counted(self, sweep):
+        assert sweep.missed_total == 0
+
+    def test_rejects_empty_seed_list(self):
+        with pytest.raises(ConfigurationError):
+            sweep_campaign("agx", "vit", 2.0, rounds=2, seeds=())

@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses_overrides(self):
+        args = build_parser().parse_args(["run", "fig9", "--rounds", "5", "--ratio", "3.0"])
+        assert args.experiment == "fig9"
+        assert args.rounds == 5
+        assert args.ratio == 3.0
+
+    def test_campaign_validates_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--controller", "dqn"])
+
+
+class TestCommands:
+    def test_list_shows_all_artifacts(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for artifact in ("fig2", "fig9", "fig12", "tab3", "abl_guardian"):
+            assert artifact in out
+
+    def test_run_static_experiment(self, capsys):
+        assert main(["run", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "AGX" in out and "TX2" in out
+
+    def test_run_campaign_experiment_with_overrides(self, capsys):
+        assert main(["run", "tab1"]) == 0
+        assert "2100" in capsys.readouterr().out
+
+    def test_run_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_campaign_summary(self, capsys):
+        code = main(
+            ["campaign", "--controller", "performant", "--rounds", "2", "--task", "lstm"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "training energy" in out
+        assert "missed rounds" in out

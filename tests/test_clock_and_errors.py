@@ -1,0 +1,52 @@
+"""Unit tests for the simulation clock and the exception hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+from repro.clock import SimulationClock
+from repro.errors import ConfigurationError, DeadlineMissError, ReproError
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimulationClock(start=5.0)
+        assert clock.advance(1.5) == pytest.approx(6.5)
+        assert clock.now == pytest.approx(6.5)
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            SimulationClock().advance(-0.1)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = SimulationClock(start=10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigurationError):
+            SimulationClock(start=-1.0)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not ReproError:
+                assert issubclass(obj, ReproError), name
+
+    def test_deadline_miss_error_carries_context(self):
+        err = DeadlineMissError(round_index=3, deadline=10.0, elapsed=11.5)
+        assert err.round_index == 3
+        assert "round 3" in str(err)
+        assert "11.5" in str(err)
+
+    def test_specific_errors_are_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise errors.FrequencyError("nope")
+        assert issubclass(errors.InfeasibleError, errors.OptimizationError)
+        assert issubclass(errors.FrequencyError, errors.ConfigurationError)

@@ -1,0 +1,80 @@
+"""The package's public surface: imports, __all__, quick_campaign."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quick_campaign_defaults(self):
+        result = repro.quick_campaign(controller="performant", rounds=2)
+        assert result.rounds == 2
+        assert result.training_energy > 0
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.hardware",
+            "repro.workloads",
+            "repro.bayesopt",
+            "repro.ilp",
+            "repro.ml",
+            "repro.federated",
+            "repro.core",
+            "repro.baselines",
+            "repro.sim",
+            "repro.analysis",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackage_alls_resolve(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__, f"{module} has no module docstring"
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestDocumentationCoverage:
+    """Every public callable on the top-level API must carry a docstring."""
+
+    def test_public_objects_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+    def test_core_classes_documented(self):
+        from repro.core import (
+            BoFLConfig,
+            BoFLController,
+            DeadlineGuardian,
+            ExploitationPlanner,
+            ObservationStore,
+            StoppingCondition,
+        )
+
+        for cls in (
+            BoFLConfig,
+            BoFLController,
+            DeadlineGuardian,
+            ExploitationPlanner,
+            ObservationStore,
+            StoppingCondition,
+        ):
+            assert cls.__doc__
+            public_methods = [
+                name
+                for name in vars(cls)
+                if not name.startswith("_") and callable(getattr(cls, name))
+            ]
+            for method in public_methods:
+                assert getattr(cls, method).__doc__, f"{cls.__name__}.{method}"

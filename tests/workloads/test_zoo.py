@@ -1,0 +1,77 @@
+"""Unit tests for workload profiles and the zoo registry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hardware.perfmodel import CalibrationTarget
+from repro.workloads import (
+    WorkloadProfile,
+    available_workloads,
+    bert_tiny,
+    get_workload,
+    lstm,
+    mobilenet_v2,
+    resnet50,
+    vit,
+)
+from repro.workloads.zoo import PAPER_WORKLOADS
+
+
+class TestRegistry:
+    def test_available_contains_paper_workloads(self):
+        names = available_workloads()
+        for name in PAPER_WORKLOADS:
+            assert name in names
+
+    def test_get_workload_case_insensitive(self):
+        assert get_workload("ViT").name == "vit"
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            get_workload("gpt4")
+
+    @pytest.mark.parametrize(
+        "factory", [vit, resnet50, lstm, mobilenet_v2, bert_tiny]
+    )
+    def test_all_profiles_cover_both_devices(self, factory):
+        profile = factory()
+        assert profile.devices() == ("agx", "tx2")
+
+
+class TestProfileSemantics:
+    def test_task_names_match_paper(self):
+        assert vit().task_name == "CIFAR10-ViT"
+        assert resnet50().task_name == "ImageNet-ResNet50"
+        assert lstm().task_name == "IMDB-LSTM"
+
+    def test_families(self):
+        assert vit().family == "transformer"
+        assert resnet50().family == "cnn"
+        assert lstm().family == "rnn"
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(name="x", family="gan", dataset="D", description="d")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile(name="", family="cnn", dataset="D", description="d")
+
+    def test_target_for_unknown_device_raises(self, tiny_spec):
+        with pytest.raises(WorkloadError):
+            vit().target_for(tiny_spec)
+
+    def test_supports_device(self, agx_spec, tiny_spec):
+        assert vit().supports_device(agx_spec)
+        assert not vit().supports_device(tiny_spec)
+
+    def test_with_target_adds_device(self, tiny_spec):
+        target = CalibrationTarget(0.1, 2.0, (0.3, 0.5, 0.2), (0.3, 0.5, 0.2), 0.3)
+        extended = vit().with_target("tiny", target)
+        assert extended.supports_device(tiny_spec)
+        assert not vit().supports_device(tiny_spec)  # original untouched
+
+    def test_performance_model_builds(self, agx_spec):
+        model = vit().performance_model(agx_spec)
+        assert model.workload_name == "vit"
+        assert model.device is agx_spec
