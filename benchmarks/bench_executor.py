@@ -1,0 +1,109 @@
+"""Parallel campaign executor: correctness and speedup demonstration.
+
+The acceptance contract of the execution engine, asserted end to end:
+
+1. a 4-seed ``sweep_campaign`` with ``workers=4`` produces results
+   identical to the serial run;
+2. it completes in measurably less wall-clock time;
+3. a second invocation is served entirely from the persistent on-disk
+   cache and is faster still.
+
+These are real timing assertions, so this module lives with the
+benchmarks (the tier-1 unit suite keeps its determinism-only siblings in
+``tests/sim/test_executor.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.sim import (
+    CampaignExecutor,
+    PersistentCampaignCache,
+    clear_campaign_cache,
+    sweep_campaign,
+)
+
+SWEEP = dict(rounds=12, seeds=(0, 1, 2, 3))
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("campaign-cache")
+
+
+def test_parallel_sweep_matches_serial_and_is_faster(publish, cache_dir):
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("needs >= 2 cores for a meaningful speedup assertion")
+
+    clear_campaign_cache()
+    serial, serial_seconds = _timed(
+        lambda: sweep_campaign("agx", "vit", 2.0, use_cache=False, **SWEEP)
+    )
+
+    clear_campaign_cache()
+    cache = PersistentCampaignCache(cache_dir)
+    executor = CampaignExecutor(workers=4, cache=cache)
+    parallel, parallel_seconds = _timed(
+        lambda: sweep_campaign("agx", "vit", 2.0, executor=executor, **SWEEP)
+    )
+
+    # 1. Identical results, cell by cell.
+    assert parallel.seeds == serial.seeds
+    for seed in serial.seeds:
+        for name in ("bofl", "performant", "oracle"):
+            assert parallel.campaigns[seed][name] == serial.campaigns[seed][name], (
+                seed, name,
+            )
+    assert parallel.improvement == serial.improvement
+    assert parallel.regret == serial.regret
+
+    # 2. Measurably faster: 4 workers on 4 independent seeds must beat the
+    # serial loop comfortably even with pool startup overhead.
+    assert parallel_seconds < 0.8 * serial_seconds, (
+        f"parallel {parallel_seconds:.2f}s vs serial {serial_seconds:.2f}s"
+    )
+
+    # 3. A fresh invocation (cold in-memory cache) is served from disk.
+    clear_campaign_cache()
+    executor2 = CampaignExecutor(workers=4, cache=cache)
+    cached, cached_seconds = _timed(
+        lambda: sweep_campaign("agx", "vit", 2.0, executor=executor2, **SWEEP)
+    )
+    assert cached.improvement == serial.improvement
+    assert all(t.source == "disk" for t in executor2.timings)
+    assert cached_seconds < parallel_seconds / 4
+
+    publish(
+        "executor",
+        "\n".join(
+            [
+                "Parallel campaign executor — 4-seed agx/vit sweep, 12 rounds",
+                f"serial          : {serial_seconds:8.2f}s",
+                f"workers=4       : {parallel_seconds:8.2f}s "
+                f"({serial_seconds / parallel_seconds:.2f}x)",
+                f"persistent cache: {cached_seconds:8.2f}s "
+                f"({cache.stats().entries} entries)",
+            ]
+        ),
+    )
+
+
+def test_executor_timings_are_observable(cache_dir):
+    cache = PersistentCampaignCache(cache_dir)
+    executor = CampaignExecutor(workers=2, cache=cache)
+    events = []
+    executor.progress = lambda done, total, timing: events.append((done, total, timing))
+    sweep_campaign("agx", "vit", 2.0, rounds=12, seeds=(0, 1), executor=executor)
+    assert [e[0] for e in events] == list(range(1, 7))
+    assert all(total == 6 for _, total, _ in events)
+    assert {t.source for _, _, t in events} <= {"memory", "disk", "computed"}

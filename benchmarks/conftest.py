@@ -8,15 +8,54 @@ representative computational kernel via the ``benchmark`` fixture.
 
 Rendered outputs are also written to ``benchmarks/out/<id>.txt`` so
 EXPERIMENTS.md can reference the exact regenerated rows.
+
+Set ``REPRO_BENCH_WORKERS=N`` (N > 1, or 0 for all cores) to precompute
+every registered campaign grid through the parallel executor before the
+benchmark modules run; the drivers then find all campaigns memoized.
+Results are identical to serial execution — only wall-clock changes.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
+import sys
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def pytest_sessionstart(session):
+    """Optionally warm the campaign caches in parallel (opt-in via env)."""
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "")
+    if not raw:
+        return
+    workers = None if raw == "0" else int(raw)
+    if workers == 1:
+        return
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.sim.executor import CampaignExecutor
+
+    specs, seen = [], set()
+    for experiment in EXPERIMENTS.values():
+        if experiment.grid is None:
+            continue
+        for spec in experiment.grid():
+            if spec.key() not in seen:
+                seen.add(spec.key())
+                specs.append(spec)
+
+    def progress(done, total, timing):
+        print(f"[prefetch {done}/{total}] {timing.render()}", file=sys.stderr)
+
+    executor = CampaignExecutor(workers=workers, progress=progress)
+    report = executor.run(specs)
+    print(
+        f"prefetched {len(specs)} campaigns in {report.wall_seconds:.1f}s "
+        f"on {executor.workers} workers",
+        file=sys.stderr,
+    )
 
 
 @pytest.fixture(scope="session")

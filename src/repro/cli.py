@@ -1,12 +1,20 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands:
+Five subcommands:
 
 * ``list`` — enumerate the reproducible paper artifacts;
 * ``run <experiment>`` — regenerate one table/figure and print its rows
-  (e.g. ``python -m repro run fig12 --rounds 40``);
+  (e.g. ``python -m repro run fig12 --rounds 40 --workers 8``);
 * ``campaign`` — run a single controller campaign and print its summary
-  (e.g. ``python -m repro campaign --controller bofl --task lstm``).
+  (e.g. ``python -m repro campaign --controller bofl --task lstm``);
+* ``sweep`` — run a multi-seed campaign sweep, optionally in parallel
+  (e.g. ``python -m repro sweep --task vit --seeds 0 1 2 3 --workers 4``);
+* ``cache`` — inspect or clear the persistent campaign result cache.
+
+``--workers N`` fans campaign grids out over worker processes through
+:class:`repro.sim.CampaignExecutor`; results are identical to the serial
+path.  ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) enables the durable
+on-disk result cache so repeated invocations skip recomputation.
 """
 
 from __future__ import annotations
@@ -17,8 +25,15 @@ from typing import List, Optional
 
 from repro._version import __version__
 from repro.analysis.tables import render_kv
-from repro.experiments import EXPERIMENTS, get_experiment
-from repro.sim.runner import CONTROLLER_NAMES, run_campaign
+from repro.experiments import EXPERIMENTS, get_experiment, warm_experiment_cache
+from repro.sim import (
+    CampaignExecutor,
+    PersistentCampaignCache,
+    install_persistent_cache,
+    run_campaign,
+    sweep_campaign,
+)
+from repro.sim.runner import CONTROLLER_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,6 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rounds", type=int, default=None, help="override round count")
     run.add_argument("--ratio", type=float, default=None, help="override T_max/T_min")
     run.add_argument("--seed", type=int, default=0)
+    _add_parallel_options(run)
 
     campaign = commands.add_parser("campaign", help="run one controller campaign")
     campaign.add_argument("--device", default="agx", choices=("agx", "tx2"))
@@ -45,13 +61,72 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--ratio", type=float, default=2.0)
     campaign.add_argument("--rounds", type=int, default=40)
     campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument(
+        "--cache-dir", default=None, help="persistent result cache directory"
+    )
+
+    sweep = commands.add_parser("sweep", help="multi-seed sweep (BoFL vs baselines)")
+    sweep.add_argument("--device", default="agx", choices=("agx", "tx2"))
+    sweep.add_argument("--task", default="vit", choices=("vit", "resnet50", "lstm"))
+    sweep.add_argument("--ratio", type=float, default=2.0)
+    sweep.add_argument("--rounds", type=int, default=40)
+    sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2], metavar="SEED"
+    )
+    _add_parallel_options(sweep)
+
+    cache = commands.add_parser("cache", help="persistent result cache maintenance")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro/campaigns)",
+    )
     return parser
+
+
+def _add_parallel_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for campaign grids (default 1 = serial; "
+        "0 = all cores)",
+    )
+    subparser.add_argument(
+        "--cache-dir", default=None, help="persistent result cache directory"
+    )
+    subparser.add_argument(
+        "--progress", action="store_true",
+        help="print per-campaign timing records to stderr",
+    )
+
+
+def _setup_persistence(args: argparse.Namespace) -> None:
+    """Install the durable cache when a directory was requested."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        install_persistent_cache(PersistentCampaignCache(cache_dir))
+
+
+def _progress_printer(enabled: bool):
+    if not enabled:
+        return None
+
+    def _print(done: int, total: int, timing) -> None:
+        print(f"[{done}/{total}] {timing.render()}", file=sys.stderr)
+
+    return _print
+
+
+def _normalize_workers(workers: int) -> Optional[int]:
+    """CLI convention: 0 means "all cores" (executor's ``None``)."""
+    return None if workers == 0 else workers
 
 
 def _cmd_list() -> str:
     lines = ["Reproducible artifacts:"]
     for experiment_id in sorted(EXPERIMENTS):
-        lines.append(f"  {experiment_id:16s} {EXPERIMENTS[experiment_id].description}")
+        experiment = EXPERIMENTS[experiment_id]
+        parallel = " [parallelizable]" if experiment.grid is not None else ""
+        lines.append(f"  {experiment_id:16s} {experiment.description}{parallel}")
     return "\n".join(lines)
 
 
@@ -64,6 +139,14 @@ def _cmd_run(args: argparse.Namespace) -> str:
         kwargs["ratio"] = args.ratio
     if args.seed:
         kwargs["seed"] = args.seed
+    workers = _normalize_workers(args.workers)
+    if workers is None or workers > 1:
+        warm_experiment_cache(
+            args.experiment,
+            workers=workers,
+            progress=_progress_printer(args.progress),
+            **kwargs,
+        )
     payload = experiment.run(**kwargs)
     return experiment.render(payload)
 
@@ -90,6 +173,40 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     return render_kv(pairs, title="Campaign summary")
 
 
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    workers = _normalize_workers(args.workers)
+    executor = CampaignExecutor(
+        workers=workers, progress=_progress_printer(args.progress)
+    )
+    result = sweep_campaign(
+        args.device,
+        args.task,
+        args.ratio,
+        rounds=args.rounds,
+        seeds=tuple(args.seeds),
+        executor=executor,
+    )
+    pairs = [
+        ("device / task", f"{result.device} / {result.task}"),
+        ("deadline ratio", result.deadline_ratio),
+        ("rounds x seeds", f"{result.rounds} x {len(result.seeds)}"),
+        ("seeds", ", ".join(str(s) for s in result.seeds)),
+        ("improvement vs Performant", str(result.improvement)),
+        ("regret vs Oracle", str(result.regret)),
+        ("missed rounds (BoFL, total)", result.missed_total),
+        ("workers", executor.workers),
+    ]
+    return render_kv(pairs, title="Sweep summary")
+
+
+def _cmd_cache(args: argparse.Namespace) -> str:
+    cache = PersistentCampaignCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        return f"removed {removed} cached campaign(s) from {cache.directory}"
+    return cache.stats().render()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -97,9 +214,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "list":
             print(_cmd_list())
         elif args.command == "run":
+            _setup_persistence(args)
             print(_cmd_run(args))
         elif args.command == "campaign":
+            _setup_persistence(args)
             print(_cmd_campaign(args))
+        elif args.command == "sweep":
+            _setup_persistence(args)
+            print(_cmd_sweep(args))
+        elif args.command == "cache":
+            print(_cmd_cache(args))
     except Exception as error:  # surface library errors as clean CLI errors
         print(f"error: {error}", file=sys.stderr)
         return 1

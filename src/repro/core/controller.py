@@ -273,12 +273,19 @@ class BoFLController(PaceController):
                     + self.config.drift_smoothing * deviation
                 )
         # Rounding or drift may leave a few unplanned jobs; finish them at
-        # the fastest observed configuration.
+        # the fastest observed configuration.  These results must reach the
+        # guardian exactly like planned jobs do: leftovers appear on the
+        # noisy rounds, which is when the T(x_max) running mean and the
+        # worst-job reserve most need fresh samples.
         if not budget.finished:
             fastest = self.store.fastest().config
             self.device.set_configuration(fastest)
             while not budget.finished:
-                self._run_one_job(budget, on_job)
+                result = self._run_one_job(budget, on_job)
+                if fastest == self._x_max:
+                    self.guardian.observe_xmax_job(result.latency)
+                else:
+                    self.guardian.observe_job_latency(result.latency)
                 record.exploited_jobs += 1
 
     def _run_exploitation_round(

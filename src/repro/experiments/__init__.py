@@ -7,6 +7,10 @@ benchmarks, tests and the EXPERIMENTS.md generator share one source of
 truth.
 """
 
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    warm_experiment_cache,
+)
 
-__all__ = ["EXPERIMENTS", "get_experiment"]
+__all__ = ["EXPERIMENTS", "get_experiment", "warm_experiment_cache"]

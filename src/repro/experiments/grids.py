@@ -1,0 +1,89 @@
+"""Campaign grids behind each experiment driver.
+
+A driver's ``run()`` consumes campaigns through the in-process memo, so
+the cheapest way to parallelize an artifact is to know — declaratively —
+which campaigns it will ask for and warm the cache through the
+:class:`~repro.sim.executor.CampaignExecutor` first.  Each function here
+mirrors the corresponding driver's defaults exactly: warming with a grid
+then running the driver serially is result-identical to the serial run.
+
+Drivers whose campaigns depend on internal config variations (the
+ablations) are deliberately absent; they fall back to serial execution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.executor import CampaignSpec, expand_grid
+from repro.sim.runner import CONTROLLER_NAMES
+
+_TASKS = ("vit", "resnet50", "lstm")
+_TRIO = ("bofl", "performant", "oracle")
+
+
+def fig9_grid(
+    ratio: float = 2.0, rounds: int = 40, seed: int = 0
+) -> List[CampaignSpec]:
+    """Figs. 9/10: the controller trio per task at one deadline ratio."""
+    return expand_grid(
+        devices=("agx",), tasks=_TASKS, controllers=_TRIO,
+        ratios=(ratio,), seeds=(seed,), rounds=rounds,
+    )
+
+
+def fig10_grid(
+    ratio: float = 4.0, rounds: int = 40, seed: int = 0
+) -> List[CampaignSpec]:
+    return fig9_grid(ratio=ratio, rounds=rounds, seed=seed)
+
+
+def fig11_grid(
+    ratio: float = 2.0, rounds: int = 40, seed: int = 0
+) -> List[CampaignSpec]:
+    """Fig. 11: BoFL's searched front vs the Oracle front per task."""
+    return expand_grid(
+        devices=("agx",), tasks=_TASKS, controllers=("bofl", "oracle"),
+        ratios=(ratio,), seeds=(seed,), rounds=rounds,
+    )
+
+
+def tab3_grid(
+    ratio: float = 2.0, rounds: int = 40, seed: int = 0
+) -> List[CampaignSpec]:
+    """Table 3: the BoFL exploration walkthrough per task."""
+    return expand_grid(
+        devices=("agx",), tasks=_TASKS, controllers=("bofl",),
+        ratios=(ratio,), seeds=(seed,), rounds=rounds,
+    )
+
+
+def fig12_grid(
+    ratio: Optional[float] = None, rounds: int = 100, seed: int = 0
+) -> List[CampaignSpec]:
+    """Fig. 12: the trio per task over the deadline-ratio sweep."""
+    ratios = (ratio,) if ratio is not None else (2.0, 2.5, 3.0, 3.5, 4.0)
+    return expand_grid(
+        devices=("agx",), tasks=_TASKS, controllers=_TRIO,
+        ratios=ratios, seeds=(seed,), rounds=rounds,
+    )
+
+
+def fig13_grid(
+    ratio: float = 2.0, rounds: int = 100, seed: int = 0
+) -> List[CampaignSpec]:
+    """Fig. 13: BoFL campaigns on both devices (MBO overhead)."""
+    return expand_grid(
+        devices=("agx", "tx2"), tasks=_TASKS, controllers=("bofl",),
+        ratios=(ratio,), seeds=(seed,), rounds=rounds,
+    )
+
+
+def ext_controllers_grid(
+    ratio: float = 2.0, rounds: int = 40, seed: int = 0
+) -> List[CampaignSpec]:
+    """Extension scoreboard: every controller on agx/vit."""
+    return expand_grid(
+        devices=("agx",), tasks=("vit",), controllers=CONTROLLER_NAMES,
+        ratios=(ratio,), seeds=(seed,), rounds=rounds,
+    )

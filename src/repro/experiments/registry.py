@@ -8,9 +8,10 @@ by tooling that regenerates EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.experiments import grids
 from repro.experiments import (
     ablations,
     ext_accuracy,
@@ -32,12 +33,18 @@ from repro.experiments import (
 
 @dataclass(frozen=True)
 class Experiment:
-    """A registered paper artifact reproduction."""
+    """A registered paper artifact reproduction.
+
+    ``grid`` (optional) enumerates the campaigns ``run`` will request,
+    with the same keyword defaults; artifacts without one simply cannot be
+    warmed in parallel and execute serially.
+    """
 
     id: str
     description: str
     run: Callable[..., dict]
     render: Callable[[dict], str]
+    grid: Optional[Callable[..., list]] = None
 
 
 def _fig10_run(**kwargs) -> dict:
@@ -89,36 +96,42 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "Per-round energy, T_max/T_min = 2 (BoFL/Performant/Oracle)",
             fig9_energy.run,
             fig9_energy.render,
+            grid=grids.fig9_grid,
         ),
         Experiment(
             "fig10",
             "Per-round energy, T_max/T_min = 4 (BoFL/Performant/Oracle)",
             _fig10_run,
             fig9_energy.render,
+            grid=grids.fig10_grid,
         ),
         Experiment(
             "fig11",
             "BoFL searched Pareto front vs actual front",
             fig11_pareto.run,
             fig11_pareto.render,
+            grid=grids.fig11_grid,
         ),
         Experiment(
             "tab3",
             "Explorations and Pareto points per round",
             tab3_walkthrough.run,
             tab3_walkthrough.render,
+            grid=grids.tab3_grid,
         ),
         Experiment(
             "fig12",
             "Sensitivity to deadline length (improvement & regret)",
             fig12_sensitivity.run,
             fig12_sensitivity.render,
+            grid=grids.fig12_grid,
         ),
         Experiment(
             "fig13",
             "MBO module overhead",
             fig13_overhead.run,
             fig13_overhead.render,
+            grid=grids.fig13_grid,
         ),
         Experiment(
             "abl_guardian",
@@ -173,6 +186,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "Extension: all-controller energy scoreboard",
             ext_controllers.run,
             ext_controllers.render,
+            grid=grids.ext_controllers_grid,
         ),
     )
 }
@@ -187,3 +201,30 @@ def get_experiment(experiment_id: str) -> Experiment:
             f"unknown experiment {experiment_id!r}; available: "
             f"{', '.join(sorted(EXPERIMENTS))}"
         ) from None
+
+
+def warm_experiment_cache(
+    experiment_id: str,
+    *,
+    workers: Optional[int] = None,
+    progress=None,
+    **grid_kwargs,
+) -> List:
+    """Precompute an artifact's campaigns in parallel.
+
+    Expands the experiment's grid (keyword overrides mirror its ``run``
+    signature: ``ratio``, ``rounds``, ``seed``), executes it through a
+    :class:`~repro.sim.executor.CampaignExecutor`, and primes the runner's
+    in-process cache so the subsequent serial ``run()`` is pure lookups.
+    Returns the per-campaign timing records; experiments without a grid
+    warm nothing and return an empty list.
+    """
+    from repro.sim.executor import CampaignExecutor
+
+    experiment = get_experiment(experiment_id)
+    if experiment.grid is None:
+        return []
+    specs = experiment.grid(**grid_kwargs)
+    executor = CampaignExecutor(workers=workers, progress=progress)
+    report = executor.run(specs)
+    return report.timings

@@ -16,7 +16,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.ilp.model import IntegerProgram, LinearProgram, Solution, SolutionStatus
+from repro.ilp.model import IntegerProgram, Solution, SolutionStatus
 from repro.ilp.simplex import solve_lp
 
 _INT_TOL = 1e-6

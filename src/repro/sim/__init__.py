@@ -1,28 +1,69 @@
-"""Experiment harness: MBO cost model and campaign runner.
+"""Experiment harness: MBO cost model, campaign runner and executor.
 
 :func:`run_campaign` is the workhorse behind every evaluation figure: it
 wires a device, task, deadline schedule and controller together, runs the
 requested number of FL rounds under simulated time, and returns a
 :class:`~repro.core.records.CampaignResult`.  Results are memoized
-in-process so benchmark modules can share campaigns.
+in-process so benchmark modules can share campaigns; a durable
+:class:`PersistentCampaignCache` can be installed underneath the memo, and
+:class:`CampaignExecutor` fans whole campaign grids out over worker
+processes with results identical to the serial path.
 """
 
+from repro.sim.cache import (
+    CACHE_DIR_ENV,
+    CACHE_SCHEMA_VERSION,
+    CacheStats,
+    PersistentCampaignCache,
+    cache_key_hash,
+    default_cache_dir,
+)
+from repro.sim.executor import (
+    CampaignExecutor,
+    CampaignSpec,
+    CampaignTiming,
+    ExecutionReport,
+    execute_campaigns,
+    expand_grid,
+    resolve_workers,
+)
 from repro.sim.mbo_cost import MBOCostModel
 from repro.sim.runner import (
     CONTROLLER_NAMES,
+    campaign_key,
     clear_campaign_cache,
+    get_persistent_cache,
+    install_persistent_cache,
     make_controller,
+    prime_campaign_cache,
     run_campaign,
 )
 from repro.sim.sweep import SummaryStat, SweepResult, sweep_campaign
 
 __all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
     "CONTROLLER_NAMES",
+    "CacheStats",
+    "CampaignExecutor",
+    "CampaignSpec",
+    "CampaignTiming",
+    "ExecutionReport",
     "MBOCostModel",
+    "PersistentCampaignCache",
     "SummaryStat",
     "SweepResult",
+    "cache_key_hash",
+    "campaign_key",
     "clear_campaign_cache",
+    "default_cache_dir",
+    "execute_campaigns",
+    "expand_grid",
+    "get_persistent_cache",
+    "install_persistent_cache",
     "make_controller",
+    "prime_campaign_cache",
+    "resolve_workers",
     "run_campaign",
     "sweep_campaign",
 ]

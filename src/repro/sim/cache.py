@@ -1,0 +1,255 @@
+"""Persistent on-disk campaign result cache.
+
+The in-memory memo in :mod:`repro.sim.runner` dies with the process; this
+module provides the durable layer underneath it.  Entries are JSON files
+keyed by a stable content hash of the full campaign key — device, task,
+controller, deadline ratio, rounds, seed and every :class:`BoFLConfig`
+field — plus a schema version, so a change to either the result format or
+the config surface invalidates old entries instead of silently serving
+stale results.
+
+Layout (one file per campaign)::
+
+    <cache_dir>/
+        a3f91c...e2.json    # {"schema": 1, "key": {...}, "campaign": {...}}
+
+Writes are atomic (temp file + ``os.replace``), reads treat any corrupt or
+mismatched file as a miss, and eviction is LRU by file mtime (reads touch
+their entry) bounded by ``max_entries`` and optionally ``max_bytes``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.analysis.io import campaign_from_dict, campaign_to_dict
+from repro.core.config import BoFLConfig
+from repro.core.records import CampaignResult
+from repro.errors import ConfigurationError
+
+#: Bump whenever the campaign key layout or the serialized result format
+#: changes; older entries then read as misses and are rewritten.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: The in-process campaign key: (device, task, controller, ratio, rounds,
+#: seed, BoFLConfig-or-None) — the same tuple the runner memoizes on.
+CampaignKey = Tuple[str, str, str, float, int, int, Optional[BoFLConfig]]
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro/campaigns``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro" / "campaigns"
+
+
+def cache_token(key: CampaignKey) -> dict:
+    """A JSON-stable representation of a campaign key.
+
+    ``BoFLConfig`` is expanded field by field so that adding a knob (or
+    changing a default) produces a different token — the persistent cache
+    must never conflate configs that the in-memory key distinguishes.
+    """
+    device, task, controller, ratio, rounds, seed, config = key
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "device": device,
+        "task": task,
+        "controller": controller,
+        "deadline_ratio": float(ratio),
+        "rounds": int(rounds),
+        "seed": int(seed),
+        "bofl_config": None if config is None else dataclasses.asdict(config),
+    }
+
+
+def cache_key_hash(key: CampaignKey) -> str:
+    """A stable hex digest of :func:`cache_token` (the entry filename stem)."""
+    canonical = json.dumps(cache_token(key), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of a persistent cache."""
+
+    directory: str
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+    writes: int
+    evictions: int
+
+    def render(self) -> str:
+        lines = [
+            f"cache directory : {self.directory}",
+            f"entries         : {self.entries}",
+            f"size            : {self.total_bytes / 1024:.1f} KiB",
+            f"session hits    : {self.hits}",
+            f"session misses  : {self.misses}",
+            f"session writes  : {self.writes}",
+            f"session evicted : {self.evictions}",
+        ]
+        return "\n".join(lines)
+
+
+class PersistentCampaignCache:
+    """Durable campaign-result store under one directory.
+
+    Safe to share between processes: writes are atomic renames and readers
+    ignore files they cannot parse.  Hit/miss/write counters are per
+    instance (session telemetry), while entry/byte counts are read from
+    disk on demand.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path, None] = None,
+        *,
+        max_entries: int = 4096,
+        max_bytes: Optional[int] = None,
+    ):
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        if max_bytes is not None and max_bytes <= 0:
+            raise ConfigurationError(f"max_bytes must be positive, got {max_bytes}")
+        self.directory = pathlib.Path(directory) if directory else default_cache_dir()
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, key: CampaignKey) -> pathlib.Path:
+        return self.directory / f"{cache_key_hash(key)}.json"
+
+    def _entries(self) -> list:
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            (p for p in self.directory.glob("*.json") if p.is_file()),
+            key=lambda p: p.stat().st_mtime,
+        )
+
+    # -- read/write ----------------------------------------------------------
+
+    def get(self, key: CampaignKey) -> Optional[CampaignResult]:
+        """Load the cached result for ``key``, or None on any kind of miss."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA_VERSION
+            or payload.get("key") != cache_token(key)
+        ):
+            self.misses += 1
+            return None
+        try:
+            result = campaign_from_dict(payload["campaign"])
+        except (ConfigurationError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        self.hits += 1
+        return result
+
+    def put(self, key: CampaignKey, result: CampaignResult) -> pathlib.Path:
+        """Atomically persist ``result`` under ``key`` and enforce bounds."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": cache_token(key),
+            "campaign": campaign_to_dict(result),
+        }
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        self._evict()
+        return path
+
+    def _evict(self) -> None:
+        """Drop oldest entries until within max_entries / max_bytes."""
+        entries = self._entries()
+        sizes = {p: p.stat().st_size for p in entries}
+        total = sum(sizes.values())
+        while entries and (
+            len(entries) > self.max_entries
+            or (self.max_bytes is not None and total > self.max_bytes)
+        ):
+            victim = entries.pop(0)
+            try:
+                victim.unlink()
+            except OSError:
+                continue
+            total -= sizes[victim]
+            self.evictions += 1
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def stats(self) -> CacheStats:
+        entries = self._entries()
+        return CacheStats(
+            directory=str(self.directory),
+            entries=len(entries),
+            total_bytes=sum(p.stat().st_size for p in entries),
+            hits=self.hits,
+            misses=self.misses,
+            writes=self.writes,
+            evictions=self.evictions,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PersistentCampaignCache({str(self.directory)!r}, "
+            f"max_entries={self.max_entries}, max_bytes={self.max_bytes})"
+        )

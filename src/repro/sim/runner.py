@@ -9,6 +9,7 @@ physical testbed.
 
 from __future__ import annotations
 
+import copy
 import zlib
 from typing import Callable, Dict, Optional, Tuple
 
@@ -47,12 +48,72 @@ CONTROLLER_NAMES: Tuple[str, ...] = (
     "ondemand",
 )
 
+#: The per-process memo.  Values are private copies: lookups return a
+#: defensive deepcopy so callers can mutate their result (``_annotate``
+#: does, and analysis code reasonably might) without corrupting the cache
+#: for every later caller.
 _CAMPAIGN_CACHE: Dict[tuple, CampaignResult] = {}
+
+#: Optional durable layer underneath the in-memory memo (see
+#: :mod:`repro.sim.cache`); ``None`` keeps the runner disk-free.
+_PERSISTENT_CACHE = None
+
+
+def campaign_key(
+    device_name: str,
+    task_name: str,
+    controller_name: str,
+    deadline_ratio: float,
+    rounds: int,
+    seed: int,
+    bofl_config: Optional[BoFLConfig] = None,
+) -> tuple:
+    """The canonical cache key for one campaign.
+
+    Shared by the in-memory memo, the persistent cache and the parallel
+    executor so all three agree on what "the same campaign" means.
+    """
+    return (
+        device_name,
+        task_name,
+        controller_name,
+        float(deadline_ratio),
+        int(rounds),
+        int(seed),
+        bofl_config,
+    )
 
 
 def clear_campaign_cache() -> None:
     """Drop memoized campaign results (tests use this for isolation)."""
     _CAMPAIGN_CACHE.clear()
+
+
+def install_persistent_cache(cache) -> None:
+    """Install (or with ``None`` remove) the process-wide durable cache.
+
+    ``cache`` is a :class:`repro.sim.cache.PersistentCampaignCache` (or any
+    object with its ``get``/``put`` interface).  Once installed,
+    :func:`run_campaign` falls back to it on in-memory misses and writes
+    fresh results through to it.
+    """
+    global _PERSISTENT_CACHE
+    _PERSISTENT_CACHE = cache
+
+
+def get_persistent_cache():
+    """The currently installed durable cache, or ``None``."""
+    return _PERSISTENT_CACHE
+
+
+def prime_campaign_cache(key: tuple, result: CampaignResult) -> None:
+    """Insert an externally computed result into the in-memory memo.
+
+    Used by the parallel executor to make results computed in worker
+    processes visible to subsequent in-process :func:`run_campaign` calls.
+    A private copy is stored, mirroring the fresh-result path.
+    """
+    _CAMPAIGN_CACHE[key] = copy.deepcopy(result)
 
 
 def make_controller(
@@ -110,10 +171,19 @@ def run_campaign(
     task in {vit, resnet50, lstm}, controller in
     :data:`CONTROLLER_NAMES`, ``deadline_ratio`` = ``T_max / T_min``.
     """
-    key = (device_name, task_name, controller_name, deadline_ratio, rounds, seed,
-           bofl_config)
-    if use_cache and key in _CAMPAIGN_CACHE:
-        return _CAMPAIGN_CACHE[key]
+    key = campaign_key(
+        device_name, task_name, controller_name, deadline_ratio, rounds, seed,
+        bofl_config,
+    )
+    if use_cache:
+        cached = _CAMPAIGN_CACHE.get(key)
+        if cached is not None:
+            return copy.deepcopy(cached)
+        if _PERSISTENT_CACHE is not None:
+            loaded = _PERSISTENT_CACHE.get(key)
+            if loaded is not None:
+                _CAMPAIGN_CACHE[key] = loaded
+                return copy.deepcopy(loaded)
 
     spec = get_device(device_name)
     task = _task_by_name(task_name)
@@ -143,7 +213,9 @@ def run_campaign(
 
     _annotate(result, controller)
     if use_cache:
-        _CAMPAIGN_CACHE[key] = result
+        _CAMPAIGN_CACHE[key] = copy.deepcopy(result)
+        if _PERSISTENT_CACHE is not None:
+            _PERSISTENT_CACHE.put(key, result)
     return result
 
 

@@ -18,6 +18,7 @@ from repro.analysis.metrics import improvement_vs_performant, regret_vs_oracle
 from repro.core.config import BoFLConfig
 from repro.core.records import CampaignResult
 from repro.errors import ConfigurationError
+from repro.sim.executor import CampaignExecutor, expand_grid
 from repro.sim.runner import run_campaign
 
 
@@ -72,33 +73,63 @@ def sweep_campaign(
     seeds: Sequence[int] = (0, 1, 2),
     bofl_config: Optional[BoFLConfig] = None,
     use_cache: bool = True,
+    workers: int = 1,
+    executor: Optional[CampaignExecutor] = None,
 ) -> SweepResult:
     """Run BoFL + Performant + Oracle over several seeds and aggregate.
 
     Each seed draws its own deadline sequence and noise stream (still
     paired across the three controllers within the seed).
+
+    ``workers > 1`` (or an explicit ``executor``) fans the per-seed
+    campaigns out over worker processes; each work unit derives its
+    scenario seed exactly as the serial path does, so the aggregate is
+    identical either way.
     """
+    # Normalize up front: a generator would pass the emptiness check, get
+    # consumed by the campaign loop, and then record an empty seed tuple.
+    seeds = tuple(seeds)
     if not seeds:
         raise ConfigurationError("need at least one seed")
+    if executor is None and workers != 1:
+        executor = CampaignExecutor(workers=workers)
+
+    controllers = ("bofl", "performant", "oracle")
+    campaigns: Dict[int, Dict[str, CampaignResult]] = {}
+    if executor is not None:
+        specs = expand_grid(
+            devices=(device,),
+            tasks=(task,),
+            controllers=controllers,
+            ratios=(deadline_ratio,),
+            seeds=seeds,
+            rounds=rounds,
+            bofl_config=bofl_config,
+        )
+        report = executor.run(specs, use_cache=use_cache)
+        for spec, result in zip(specs, report.results):
+            campaigns.setdefault(spec.seed, {})[spec.controller] = result
+    else:
+        for seed in seeds:
+            campaigns[seed] = {
+                name: run_campaign(
+                    device,
+                    task,
+                    name,
+                    deadline_ratio,
+                    rounds=rounds,
+                    seed=seed,
+                    bofl_config=bofl_config if name == "bofl" else None,
+                    use_cache=use_cache,
+                )
+                for name in controllers
+            }
+
     improvements: List[float] = []
     regrets: List[float] = []
     missed = 0
-    campaigns: Dict[int, Dict[str, CampaignResult]] = {}
     for seed in seeds:
-        per_seed = {
-            name: run_campaign(
-                device,
-                task,
-                name,
-                deadline_ratio,
-                rounds=rounds,
-                seed=seed,
-                bofl_config=bofl_config if name == "bofl" else None,
-                use_cache=use_cache,
-            )
-            for name in ("bofl", "performant", "oracle")
-        }
-        campaigns[seed] = per_seed
+        per_seed = campaigns[seed]
         improvements.append(
             improvement_vs_performant(per_seed["bofl"], per_seed["performant"])
         )

@@ -1,7 +1,6 @@
 """Unit tests for BoFL's building blocks: config, observations, guardian,
 measurement policy, exploitation planner, stopping rule, phases."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import BoFLConfig

@@ -199,3 +199,64 @@ class TestDeterminism:
         energies_a = [r.energy for r in run_campaign(a, 5)]
         energies_b = [r.energy for r in run_campaign(b, 5)]
         assert energies_a != energies_b
+
+
+class TestGuardianSeesLeftoverJobs:
+    """Regression: jobs left over after a planned schedule run at the
+    fastest observed configuration, and their results must feed the
+    guardian exactly like planned jobs do — previously they were dropped,
+    so the T(x_max) running mean and the worst-job reserve went stale on
+    precisely the noisy rounds that produce leftovers."""
+
+    @staticmethod
+    def _seeded_controller(fast_config, config):
+        from repro.types import PerformanceSample
+
+        controller = fresh_controller(fast_config)
+        latency = controller.device.model.latency(config)
+        energy = controller.device.model.energy(config)
+        controller.store.add(
+            PerformanceSample(
+                config=config, latency=latency, energy=energy, duration=latency
+            )
+        )
+        controller.guardian.update_t_xmax(
+            controller.device.model.latency(
+                controller.device.space.max_configuration()
+            )
+        )
+        return controller
+
+    @staticmethod
+    def _run_leftovers(controller, jobs=3):
+        from repro.core.records import RoundRecord
+        from repro.types import RoundBudget, Schedule
+
+        # An exhausted plan: every job becomes a leftover.
+        schedule = Schedule(entries=(), expected_latency=0.0, expected_energy=0.0)
+        budget = RoundBudget(total_jobs=jobs, deadline=60.0)
+        record = RoundRecord(
+            round_index=0, phase="exploitation", deadline=60.0, jobs=jobs
+        )
+        controller._execute_schedule(schedule, budget, record, None)
+        assert budget.finished
+        assert record.exploited_jobs == jobs
+        return record
+
+    def test_leftovers_at_x_max_feed_the_running_mean(self, fast_config):
+        config = build_tiny_spec().space.max_configuration()
+        controller = self._seeded_controller(fast_config, config)
+        count_before = controller.guardian._t_xmax_count
+        self._run_leftovers(controller, jobs=3)
+        assert controller.guardian._t_xmax_count == count_before + 3
+
+    def test_leftovers_elsewhere_feed_the_worst_job_reserve(self, fast_config):
+        # Fastest observed configuration is a slow one (only observation),
+        # so its job latencies exceed everything the guardian has seen and
+        # must enlarge the reserve.
+        space = build_tiny_spec().space
+        slow = min(space, key=lambda c: (c.cpu, c.gpu, c.mem))
+        controller = self._seeded_controller(fast_config, slow)
+        reserve_before = controller.guardian.reserve
+        self._run_leftovers(controller, jobs=2)
+        assert controller.guardian.reserve > reserve_before

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import DeviceError
-from repro.hardware import SimulatedDevice
 
 
 class TestJobExecution:

@@ -5,7 +5,6 @@ explicitly disabled guardian, and must degrade gracefully (sprint at
 x_max) rather than crash when physics makes a round unwinnable.
 """
 
-import pytest
 
 from repro.core import BoFLConfig, BoFLController
 from repro.federated.deadlines import UniformDeadlines

@@ -1,0 +1,184 @@
+"""Tests for the persistent on-disk campaign cache."""
+
+import json
+
+import pytest
+
+from repro.core.config import BoFLConfig
+from repro.errors import ConfigurationError
+from repro.sim import (
+    PersistentCampaignCache,
+    campaign_key,
+    clear_campaign_cache,
+    get_persistent_cache,
+    install_persistent_cache,
+    run_campaign,
+)
+from repro.sim.cache import CACHE_SCHEMA_VERSION, cache_key_hash, cache_token
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    clear_campaign_cache()
+    install_persistent_cache(None)
+    yield
+    clear_campaign_cache()
+    install_persistent_cache(None)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return PersistentCampaignCache(tmp_path / "campaigns")
+
+
+def _key(seed=0, rounds=3, config=None):
+    return campaign_key("agx", "vit", "performant", 2.0, rounds, seed, config)
+
+
+def _result(seed=0, rounds=3):
+    return run_campaign(
+        "agx", "vit", "performant", 2.0, rounds=rounds, seed=seed, use_cache=False
+    )
+
+
+class TestKeyHashing:
+    def test_hash_is_stable_and_hex(self):
+        assert cache_key_hash(_key()) == cache_key_hash(_key())
+        int(cache_key_hash(_key()), 16)
+
+    def test_hash_distinguishes_every_key_field(self):
+        base = cache_key_hash(_key())
+        assert cache_key_hash(_key(seed=1)) != base
+        assert cache_key_hash(_key(rounds=4)) != base
+        assert cache_key_hash(_key(config=BoFLConfig(seed=0))) != base
+
+    def test_hash_distinguishes_config_fields(self):
+        a = cache_key_hash(_key(config=BoFLConfig(tau=5.0)))
+        b = cache_key_hash(_key(config=BoFLConfig(tau=4.0)))
+        assert a != b
+
+    def test_token_embeds_schema_version(self):
+        assert cache_token(_key())["schema"] == CACHE_SCHEMA_VERSION
+
+
+class TestRoundTrip:
+    def test_get_on_empty_cache_misses(self, cache):
+        assert cache.get(_key()) is None
+        assert cache.stats().misses == 1
+
+    def test_put_get_round_trip_is_equal(self, cache):
+        result = _result()
+        cache.put(_key(), result)
+        loaded = cache.get(_key())
+        assert loaded == result
+        assert loaded is not result
+
+    def test_bofl_round_trip_preserves_fronts_and_mbo(self, cache):
+        result = run_campaign(
+            "agx", "vit", "bofl", 2.0, rounds=5, seed=0, use_cache=False
+        )
+        key = campaign_key("agx", "vit", "bofl", 2.0, 5, 0, None)
+        cache.put(key, result)
+        assert cache.get(key) == result
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cache.put(_key(), _result())
+        cache.path_for(_key()).write_text("{ not json")
+        assert cache.get(_key()) is None
+
+    def test_schema_mismatch_is_a_miss(self, cache):
+        cache.put(_key(), _result())
+        path = cache.path_for(_key())
+        payload = json.loads(path.read_text())
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert cache.get(_key()) is None
+
+    def test_key_token_mismatch_is_a_miss(self, cache):
+        cache.put(_key(), _result())
+        path = cache.path_for(_key())
+        payload = json.loads(path.read_text())
+        payload["key"]["seed"] = 999
+        path.write_text(json.dumps(payload))
+        assert cache.get(_key()) is None
+
+
+class TestEvictionAndMaintenance:
+    def test_max_entries_evicts_oldest(self, tmp_path):
+        cache = PersistentCampaignCache(tmp_path, max_entries=2)
+        import os
+
+        for seed in range(3):
+            path = cache.put(_key(seed=seed), _result(seed=seed))
+            # Strictly order mtimes (filesystem timestamps can tie).
+            os.utime(path, (1000 + seed, 1000 + seed))
+            cache._evict()
+        assert len(cache) == 2
+        assert cache.get(_key(seed=0)) is None
+        assert cache.get(_key(seed=2)) is not None
+
+    def test_max_bytes_bounds_total_size(self, tmp_path):
+        probe = PersistentCampaignCache(tmp_path / "probe")
+        entry_bytes = probe.put(_key(), _result()).stat().st_size
+        cache = PersistentCampaignCache(
+            tmp_path / "bounded", max_bytes=int(entry_bytes * 1.5)
+        )
+        cache.put(_key(seed=0), _result(seed=0))
+        cache.put(_key(seed=1), _result(seed=1))
+        assert len(cache) == 1
+
+    def test_clear_removes_everything(self, cache):
+        cache.put(_key(seed=0), _result(seed=0))
+        cache.put(_key(seed=1), _result(seed=1))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_stats_counts_entries_and_traffic(self, cache):
+        cache.put(_key(), _result())
+        cache.get(_key())
+        cache.get(_key(seed=9))
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.total_bytes > 0
+        assert (stats.hits, stats.misses, stats.writes) == (1, 1, 1)
+        assert "entries" in stats.render()
+
+    def test_validates_bounds(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            PersistentCampaignCache(tmp_path, max_entries=0)
+        with pytest.raises(ConfigurationError):
+            PersistentCampaignCache(tmp_path, max_bytes=0)
+
+
+class TestRunnerIntegration:
+    def test_install_get_uninstall(self, cache):
+        install_persistent_cache(cache)
+        assert get_persistent_cache() is cache
+        install_persistent_cache(None)
+        assert get_persistent_cache() is None
+
+    def test_run_campaign_writes_through_and_reads_back(self, cache):
+        install_persistent_cache(cache)
+        first = run_campaign("agx", "vit", "performant", 2.0, rounds=3, seed=0)
+        assert cache.stats().writes == 1
+        clear_campaign_cache()  # kill the in-memory layer
+        second = run_campaign("agx", "vit", "performant", 2.0, rounds=3, seed=0)
+        assert second == first
+        assert cache.stats().hits == 1
+
+    def test_disk_hit_repopulates_memory_layer(self, cache):
+        install_persistent_cache(cache)
+        run_campaign("agx", "vit", "performant", 2.0, rounds=3, seed=0)
+        clear_campaign_cache()
+        run_campaign("agx", "vit", "performant", 2.0, rounds=3, seed=0)
+        hits_after_disk = cache.stats().hits
+        run_campaign("agx", "vit", "performant", 2.0, rounds=3, seed=0)
+        assert cache.stats().hits == hits_after_disk  # served from memory
+
+    def test_use_cache_false_never_touches_disk(self, cache):
+        install_persistent_cache(cache)
+        run_campaign(
+            "agx", "vit", "performant", 2.0, rounds=3, seed=0, use_cache=False
+        )
+        stats = cache.stats()
+        assert (stats.writes, stats.hits, stats.misses) == (0, 0, 0)

@@ -71,13 +71,34 @@ class TestRunCampaign:
         oracle = run_campaign("agx", "vit", "oracle", 2.0, rounds=4, seed=0)
         assert performant.deadline_series() == oracle.deadline_series()
 
-    def test_cache_returns_same_object(self):
+    def test_cache_returns_equal_private_copies(self):
         a = run_campaign("agx", "vit", "performant", 2.0, rounds=3, seed=0)
         b = run_campaign("agx", "vit", "performant", 2.0, rounds=3, seed=0)
-        assert a is b
+        # Equal results, but never the same object: each caller gets a
+        # defensive copy so mutations cannot corrupt the cache.
+        assert a == b
+        assert a is not b
         clear_campaign_cache()
         c = run_campaign("agx", "vit", "performant", 2.0, rounds=3, seed=0)
-        assert c is not a
+        assert c == a
+
+    def test_mutating_a_result_does_not_corrupt_the_cache(self):
+        # Regression: the cache used to hand out its internal object by
+        # reference, so a caller clearing records (as _annotate mutates
+        # fresh results) poisoned every later lookup.
+        first = run_campaign("agx", "vit", "performant", 2.0, rounds=3, seed=0)
+        first.records.clear()
+        first.final_front = [(0.0, 0.0)]
+        second = run_campaign("agx", "vit", "performant", 2.0, rounds=3, seed=0)
+        assert second.rounds == 3
+        assert second.final_front != [(0.0, 0.0)]
+
+    def test_fresh_result_mutation_does_not_corrupt_the_cache(self):
+        first = run_campaign("agx", "vit", "oracle", 2.0, rounds=3, seed=5)
+        record = first.records.pop()  # mutate the freshly computed object
+        second = run_campaign("agx", "vit", "oracle", 2.0, rounds=3, seed=5)
+        assert second.rounds == 3
+        assert second.records[-1] == record
 
     def test_cache_bypass(self):
         a = run_campaign("agx", "vit", "performant", 2.0, rounds=3, seed=0)

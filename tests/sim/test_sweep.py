@@ -52,3 +52,45 @@ class TestSweepCampaign:
     def test_rejects_empty_seed_list(self):
         with pytest.raises(ConfigurationError):
             sweep_campaign("agx", "vit", 2.0, rounds=2, seeds=())
+
+    def test_rejects_empty_generator(self):
+        with pytest.raises(ConfigurationError):
+            sweep_campaign("agx", "vit", 2.0, rounds=2, seeds=(s for s in ()))
+
+    def test_accepts_a_seed_generator(self):
+        # Regression: a generator used to pass the emptiness check, get
+        # consumed by the campaign loop, and leave an empty seed tuple in
+        # the SweepResult.
+        result = sweep_campaign(
+            "agx", "vit", 2.0, rounds=2, seeds=(s for s in (0, 1)),
+        )
+        assert result.seeds == (0, 1)
+        assert result.improvement.n == 2
+        assert set(result.campaigns) == {0, 1}
+
+
+class TestParallelSweep:
+    def test_parallel_sweep_matches_serial(self):
+        from repro.sim import CampaignExecutor, clear_campaign_cache
+
+        clear_campaign_cache()
+        serial = sweep_campaign(
+            "agx", "vit", 2.0, rounds=4, seeds=(0, 1), use_cache=False
+        )
+        clear_campaign_cache()
+        executor = CampaignExecutor(workers=2)
+        parallel = sweep_campaign(
+            "agx", "vit", 2.0, rounds=4, seeds=(0, 1), executor=executor
+        )
+        assert parallel.improvement == serial.improvement
+        assert parallel.regret == serial.regret
+        assert parallel.missed_total == serial.missed_total
+        for seed in (0, 1):
+            for name in ("bofl", "performant", "oracle"):
+                assert parallel.campaigns[seed][name] == serial.campaigns[seed][name]
+
+    def test_workers_argument_builds_an_executor(self):
+        result = sweep_campaign(
+            "agx", "vit", 2.0, rounds=2, seeds=(0,), workers=2
+        )
+        assert result.improvement.n == 1
