@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import re
 import sys
 
 import pytest
@@ -56,6 +57,26 @@ def pytest_sessionstart(session):
         f"on {executor.workers} workers",
         file=sys.stderr,
     )
+
+
+@pytest.fixture(autouse=True)
+def obs_trace(request):
+    """Record a per-test observability trace when ``REPRO_OBS_DIR`` is set.
+
+    The benchmark-regression CI job sets the variable and uploads the
+    JSONL files as failure diagnostics; locally (unset) this is a no-op
+    and benchmarks run with observability disabled, as always.
+    """
+    trace_dir = os.environ.get("REPRO_OBS_DIR")
+    if not trace_dir:
+        yield
+        return
+    from repro import obs
+
+    with obs.session() as session:
+        yield
+    safe = re.sub(r"[^\w.-]+", "_", request.node.nodeid)
+    session.log.dump_jsonl(pathlib.Path(trace_dir) / f"{safe}.jsonl")
 
 
 @pytest.fixture(scope="session")

@@ -16,7 +16,10 @@ The package is organized bottom-up:
 * :mod:`repro.core` — the BoFL three-phase controller itself;
 * :mod:`repro.baselines`, :mod:`repro.sim`, :mod:`repro.analysis`,
   :mod:`repro.experiments` — comparison targets, the campaign harness,
-  metrics, and one driver per paper table/figure.
+  metrics, and one driver per paper table/figure;
+* :mod:`repro.obs` — the structured observability layer: typed events,
+  counters/timers, JSONL traces and trace-replay of Table 3 / Fig. 13
+  (disabled by default, see ``docs/observability.md``).
 
 Quickstart::
 
@@ -25,6 +28,7 @@ Quickstart::
     print(result.training_energy)
 """
 
+from repro import obs
 from repro._version import __version__
 from repro.clock import SimulationClock
 from repro.core import BoFLConfig, BoFLController
@@ -67,6 +71,7 @@ __all__ = [
     "get_workload",
     "jetson_agx",
     "jetson_tx2",
+    "obs",
     "quick_campaign",
     "run_campaign",
 ]

@@ -25,6 +25,7 @@ from repro.bayesopt.kernels import Matern52
 from repro.bayesopt.pareto import pareto_mask
 from repro.errors import NotFittedError, OptimizationError
 from repro.hardware.frequency import ConfigurationSpace
+from repro.obs import runtime as obs
 from repro.types import DvfsConfiguration
 
 
@@ -144,14 +145,23 @@ class MultiObjectiveBayesianOptimizer:
                 f"need at least 2 observations to fit the surrogates, have {len(configs)}"
             )
         x = self.space.normalize_many(configs)
-        self._gp_latency = GaussianProcess(Matern52(np.full(3, 0.5)))
-        self._gp_energy = GaussianProcess(Matern52(np.full(3, 0.5)))
-        self._gp_latency.fit(x, values[:, 0])
-        self._gp_energy.fit(x, values[:, 1])
-        if optimize_hyperparameters:
-            self._gp_latency.optimize_hyperparameters(self._rng, n_restarts=self.fit_restarts)
-            self._gp_energy.optimize_hyperparameters(self._rng, n_restarts=self.fit_restarts)
+        with obs.timer("mbo.gp_fit_seconds") as span:
+            self._gp_latency = GaussianProcess(Matern52(np.full(3, 0.5)))
+            self._gp_energy = GaussianProcess(Matern52(np.full(3, 0.5)))
+            self._gp_latency.fit(x, values[:, 0])
+            self._gp_energy.fit(x, values[:, 1])
+            if optimize_hyperparameters:
+                self._gp_latency.optimize_hyperparameters(self._rng, n_restarts=self.fit_restarts)
+                self._gp_energy.optimize_hyperparameters(self._rng, n_restarts=self.fit_restarts)
         self._fit_count += 1
+        if obs.enabled():
+            obs.count("mbo.gp_fits")
+            obs.emit(
+                "mbo.fit",
+                n_observations=len(configs),
+                hyperparameters_optimized=optimize_hyperparameters,
+                seconds=span.elapsed,
+            )
 
     @property
     def is_fitted(self) -> bool:
@@ -200,6 +210,7 @@ class MultiObjectiveBayesianOptimizer:
         picks: List[DvfsConfiguration] = []
         active = np.ones(len(candidates), dtype=bool)
         max_ehvi_first = None
+        ehvi_evaluations = 0
         for _ in range(min(batch_size, len(candidates))):
             idx_active = np.flatnonzero(active)
             x_active = candidate_x[idx_active]
@@ -208,6 +219,7 @@ class MultiObjectiveBayesianOptimizer:
             mean = np.stack([mean_l, mean_e], axis=1)
             var = np.stack([var_l, var_e], axis=1)
             ehvi = expected_hypervolume_improvement(mean, var, front, reference)
+            ehvi_evaluations += int(ehvi.size)
             best_local = int(np.argmax(ehvi))
             if max_ehvi_first is None:
                 max_ehvi_first = float(ehvi[best_local])
@@ -220,6 +232,16 @@ class MultiObjectiveBayesianOptimizer:
             gp_e = gp_e.conditioned_on(fantasy_x, mean_e[best_local : best_local + 1])
             front = np.vstack([front, mean[best_local]])
         self._last_max_ehvi = max_ehvi_first
+        if obs.enabled():
+            obs.count("mbo.ehvi_evaluations", ehvi_evaluations)
+            obs.emit(
+                "mbo.suggest",
+                batch_size=batch_size,
+                picks=len(picks),
+                candidates=len(candidates),
+                ehvi_evaluations=ehvi_evaluations,
+                max_ehvi=max_ehvi_first,
+            )
         return picks
 
     @property

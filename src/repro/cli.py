@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands:
+Six subcommands:
 
 * ``list`` — enumerate the reproducible paper artifacts;
 * ``run <experiment>`` — regenerate one table/figure and print its rows
@@ -9,7 +9,10 @@ Five subcommands:
   (e.g. ``python -m repro campaign --controller bofl --task lstm``);
 * ``sweep`` — run a multi-seed campaign sweep, optionally in parallel
   (e.g. ``python -m repro sweep --task vit --seeds 0 1 2 3 --workers 4``);
-* ``cache`` — inspect or clear the persistent campaign result cache.
+* ``cache`` — inspect or clear the persistent campaign result cache;
+* ``trace`` — replay a recorded observability trace (``campaign
+  --trace out.jsonl`` records one) as a summary or as the trace-derived
+  Table 3 / Fig. 13 views.
 
 ``--workers N`` fans campaign grids out over worker processes through
 :class:`repro.sim.CampaignExecutor`; results are identical to the serial
@@ -23,6 +26,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro._version import __version__
 from repro.analysis.tables import render_kv
 from repro.experiments import EXPERIMENTS, get_experiment, warm_experiment_cache
@@ -34,6 +38,9 @@ from repro.sim import (
     sweep_campaign,
 )
 from repro.sim.runner import CONTROLLER_NAMES
+
+#: Views ``repro trace`` can render from a JSONL event trace.
+TRACE_VIEWS = ("summary", "tab3", "fig13")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--cache-dir", default=None, help="persistent result cache directory"
     )
+    campaign.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record an observability trace of the campaign to PATH (JSONL); "
+        "forces a fresh (uncached) run so the trace is complete",
+    )
 
     sweep = commands.add_parser("sweep", help="multi-seed sweep (BoFL vs baselines)")
     sweep.add_argument("--device", default="agx", choices=("agx", "tx2"))
@@ -80,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--cache-dir", default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro/campaigns)",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="replay a recorded observability trace (JSONL)"
+    )
+    trace.add_argument("file", help="trace file written by campaign --trace")
+    trace.add_argument(
+        "--view", default="summary", choices=TRACE_VIEWS,
+        help="what to render: an activity summary, or the trace-derived "
+        "Table 3 / Fig. 13 artifacts",
     )
     return parser
 
@@ -152,14 +174,29 @@ def _cmd_run(args: argparse.Namespace) -> str:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> str:
-    result = run_campaign(
-        args.device,
-        args.task,
-        args.controller,
-        args.ratio,
-        rounds=args.rounds,
-        seed=args.seed,
-    )
+    if args.trace:
+        # A cached result would leave the trace empty; always recompute.
+        with obs.session() as session:
+            result = run_campaign(
+                args.device,
+                args.task,
+                args.controller,
+                args.ratio,
+                rounds=args.rounds,
+                seed=args.seed,
+                use_cache=False,
+            )
+        trace_path = session.log.dump_jsonl(args.trace)
+        print(f"trace: {session.log.emitted} events -> {trace_path}", file=sys.stderr)
+    else:
+        result = run_campaign(
+            args.device,
+            args.task,
+            args.controller,
+            args.ratio,
+            rounds=args.rounds,
+            seed=args.seed,
+        )
     pairs = [
         ("controller", result.controller),
         ("device / task", f"{result.device} / {result.task}"),
@@ -207,6 +244,11 @@ def _cmd_cache(args: argparse.Namespace) -> str:
     return cache.stats().render()
 
 
+def _cmd_trace(args: argparse.Namespace) -> str:
+    events = obs.read_jsonl(args.file)
+    return obs.render_view(events, args.view)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -224,6 +266,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_cmd_sweep(args))
         elif args.command == "cache":
             print(_cmd_cache(args))
+        elif args.command == "trace":
+            print(_cmd_trace(args))
     except Exception as error:  # surface library errors as clean CLI errors
         print(f"error: {error}", file=sys.stderr)
         return 1

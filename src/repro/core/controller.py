@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.bayesopt.optimizer import MultiObjectiveBayesianOptimizer
 from repro.bayesopt.sampling import sobol_configurations, uniform_configurations
+from repro.obs import runtime as obs
 from repro.core.base import JobCallback, PaceController
 from repro.core.config import BoFLConfig
 from repro.core.exploitation import ExploitationPlanner
@@ -121,6 +122,16 @@ class BoFLController(PaceController):
         )
         if self.phase is Phase.PARETO_CONSTRUCTION:
             record.mbo = self._run_mbo_engine()
+            if obs.enabled():
+                obs.emit(
+                    "mbo.run",
+                    t=self.device.clock.now,
+                    round=round_index,
+                    latency=record.mbo.latency,
+                    energy=record.mbo.energy,
+                    n_observations=record.mbo.n_observations,
+                    batch_size=record.mbo.batch_size,
+                )
         if self.phase is Phase.EXPLOITATION:
             self._run_exploitation_round(budget, record, on_job)
         else:
@@ -134,6 +145,24 @@ class BoFLController(PaceController):
         record.energy = self.device.energy_consumed - self._energy_start
         record.missed = budget.elapsed > deadline + 1e-9
         self._advance_phase(round_index, budget)
+        if obs.enabled():
+            obs.emit(
+                "controller.round",
+                t=self.device.clock.now,
+                round=round_index,
+                phase=record.phase,
+                jobs=jobs,
+                deadline=deadline,
+                elapsed=record.elapsed,
+                energy=record.energy,
+                missed=record.missed,
+                guardian_triggered=record.guardian_triggered,
+                exploited_jobs=record.exploited_jobs,
+                explored=[list(c.as_tuple()) for c in record.explored],
+            )
+            obs.count("controller.rounds")
+            obs.count("controller.explorations", len(record.explored))
+            obs.observe("controller.round_energy_j", record.energy)
         return record
 
     def run_round(self, jobs, deadline, on_job=None):  # type: ignore[override]
@@ -387,9 +416,17 @@ class BoFLController(PaceController):
         self._transition(round_index, Phase.RANDOM_EXPLORATION)
 
     def _transition(self, round_index: int, to_phase: Phase) -> None:
-        self.transitions.append(
-            PhaseTransition(
-                round_index=round_index, from_phase=self.phase, to_phase=to_phase
-            )
+        transition = PhaseTransition(
+            round_index=round_index, from_phase=self.phase, to_phase=to_phase
         )
+        self.transitions.append(transition)
+        if obs.enabled():
+            obs.emit(
+                "controller.phase_transition",
+                t=self.device.clock.now,
+                round=round_index,
+                from_phase=self.phase.value,
+                to_phase=to_phase.value,
+                restart=transition.is_restart,
+            )
         self.phase = to_phase

@@ -24,6 +24,7 @@ Three robustness refinements over the literal formula (all conservative):
 
 from __future__ import annotations
 
+from repro.obs import runtime as obs
 from repro.types import RoundBudget, Seconds, require_fraction, require_positive
 
 
@@ -97,10 +98,27 @@ class DeadlineGuardian:
             # T(x_max) unknown: only the very first x_max measurement is
             # allowed, and the caller performs exactly that.
             return True
-        ok = (
-            budget.time_remaining - self.reserve
-            >= budget.jobs_remaining * self.padded_t_xmax
+        margin = (
+            budget.time_remaining
+            - self.reserve
+            - budget.jobs_remaining * self.padded_t_xmax
         )
+        ok = margin >= 0
         if not ok:
             self.trigger_count += 1
+        if obs.enabled():
+            obs.emit(
+                "guardian.decision",
+                t=budget.elapsed,
+                allowed=ok,
+                margin=margin,
+                time_remaining=budget.time_remaining,
+                jobs_remaining=budget.jobs_remaining,
+                reserve=self.reserve,
+                padded_t_xmax=self.padded_t_xmax,
+            )
+            obs.count("guardian.checks")
+            if not ok:
+                obs.count("guardian.rejections")
+            obs.observe("guardian.margin_s", margin)
         return ok

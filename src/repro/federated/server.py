@@ -26,6 +26,7 @@ from repro.federated.selection import AllClientsSelector, ClientSelector
 from repro.ml.data import Dataset
 from repro.ml.models import MLPClassifier
 from repro.ml.training import accuracy
+from repro.obs import runtime as obs
 
 
 @dataclass
@@ -130,6 +131,19 @@ class FederatedServer:
             if self.eval_data is not None:
                 round_record.global_accuracy = accuracy(self.global_model, self.eval_data)
         self.history.append(round_record)
+        if obs.enabled():
+            obs.emit(
+                "server.round",
+                round=round_index,
+                participants=len(round_record.participants),
+                dropped=len(round_record.dropped),
+                stragglers=len(round_record.stragglers),
+                aggregated=round_record.aggregated,
+                energy=round_record.total_energy,
+                accuracy=round_record.global_accuracy,
+            )
+            obs.count("server.rounds")
+            obs.count("server.dropouts", len(round_record.dropped))
         return round_record
 
     def _notify_selector(self, round_record: ServerRound) -> None:

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.ilp.model import IntegerProgram, Solution, SolutionStatus
 from repro.ilp.simplex import solve_lp
+from repro.obs import runtime as obs
 
 _INT_TOL = 1e-6
 
@@ -68,46 +69,68 @@ def solve_milp(
             return math.inf
         return best_obj - gap_tol * abs(best_obj) - 1e-9
 
-    root = solve_lp(problem.lp)
-    if root.status is SolutionStatus.INFEASIBLE:
-        return Solution(status=SolutionStatus.INFEASIBLE, work=1)
-    if root.status is SolutionStatus.UNBOUNDED:
-        return Solution(status=SolutionStatus.UNBOUNDED, work=1)
+    with obs.timer("ilp.solve_seconds") as span:
+        root = solve_lp(problem.lp)
+        if root.status is SolutionStatus.INFEASIBLE:
+            return _observed(Solution(status=SolutionStatus.INFEASIBLE, work=1), 0, span)
+        if root.status is SolutionStatus.UNBOUNDED:
+            return _observed(Solution(status=SolutionStatus.UNBOUNDED, work=1), 0, span)
 
-    counter = itertools.count()  # heap tie-breaker
-    heap = [(root.objective, next(counter), problem.lp, root)]
-    nodes = 0
-    while heap and nodes < max_nodes:
-        bound, _, lp, relaxed = heapq.heappop(heap)
-        nodes += 1
-        if bound >= prune_threshold():
-            continue  # cannot (sufficiently) improve on the incumbent
-        assert relaxed.x is not None
-        frac = _fractional_var(relaxed.x, integer_mask)
-        if frac is None:
-            # Integer-feasible relaxation: new incumbent.
-            x_int = relaxed.x.copy()
-            x_int[integer_mask] = np.round(x_int[integer_mask])
-            obj = float(problem.lp.c @ x_int)
-            if obj < best_obj:
-                best_obj, best_x = obj, x_int
-            continue
-        value = relaxed.x[frac]
-        for child in (
-            lp.with_bound(frac, upper=math.floor(value)),
-            lp.with_bound(frac, lower=math.ceil(value)),
-        ):
-            child_sol = solve_lp(child)
-            if child_sol.status is SolutionStatus.OPTIMAL:
-                if child_sol.objective < prune_threshold():
-                    heapq.heappush(
-                        heap, (child_sol.objective, next(counter), child, child_sol)
-                    )
+        counter = itertools.count()  # heap tie-breaker
+        heap = [(root.objective, next(counter), problem.lp, root)]
+        nodes = 0
+        incumbent_updates = 0
+        while heap and nodes < max_nodes:
+            bound, _, lp, relaxed = heapq.heappop(heap)
+            nodes += 1
+            if bound >= prune_threshold():
+                continue  # cannot (sufficiently) improve on the incumbent
+            assert relaxed.x is not None
+            frac = _fractional_var(relaxed.x, integer_mask)
+            if frac is None:
+                # Integer-feasible relaxation: new incumbent.
+                x_int = relaxed.x.copy()
+                x_int[integer_mask] = np.round(x_int[integer_mask])
+                obj = float(problem.lp.c @ x_int)
+                if obj < best_obj:
+                    best_obj, best_x = obj, x_int
+                    incumbent_updates += 1
+                continue
+            value = relaxed.x[frac]
+            for child in (
+                lp.with_bound(frac, upper=math.floor(value)),
+                lp.with_bound(frac, lower=math.ceil(value)),
+            ):
+                child_sol = solve_lp(child)
+                if child_sol.status is SolutionStatus.OPTIMAL:
+                    if child_sol.objective < prune_threshold():
+                        heapq.heappush(
+                            heap, (child_sol.objective, next(counter), child, child_sol)
+                        )
 
-    if best_x is None:
-        status = (
-            SolutionStatus.ITERATION_LIMIT if nodes >= max_nodes else SolutionStatus.INFEASIBLE
+        if best_x is None:
+            status = (
+                SolutionStatus.ITERATION_LIMIT if nodes >= max_nodes else SolutionStatus.INFEASIBLE
+            )
+            return _observed(Solution(status=status, work=nodes), incumbent_updates, span)
+        status = SolutionStatus.OPTIMAL if nodes < max_nodes or not heap else SolutionStatus.ITERATION_LIMIT
+        return _observed(
+            Solution(status=status, x=best_x, objective=best_obj, work=nodes),
+            incumbent_updates,
+            span,
         )
-        return Solution(status=status, work=nodes)
-    status = SolutionStatus.OPTIMAL if nodes < max_nodes or not heap else SolutionStatus.ITERATION_LIMIT
-    return Solution(status=status, x=best_x, objective=best_obj, work=nodes)
+
+
+def _observed(solution: Solution, incumbent_updates: int, span) -> Solution:
+    """Emit the ``ilp.solve`` event/metrics for one finished MILP solve."""
+    if obs.enabled():
+        obs.count("ilp.solves")
+        obs.count("ilp.nodes_expanded", solution.work)
+        obs.emit(
+            "ilp.solve",
+            status=solution.status.value,
+            nodes=solution.work,
+            incumbent_updates=incumbent_updates,
+            objective=solution.objective,
+        )
+    return solution

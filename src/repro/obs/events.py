@@ -1,0 +1,197 @@
+"""Typed, timestamped event records and the process-local event log.
+
+An :class:`Event` is one thing a subsystem did — a guardian decision, an
+MBO refit, a phase transition — stamped with the *simulated* clock (or a
+caller-chosen time base) and carrying a flat JSON-safe payload.  The
+:class:`EventLog` collects them in memory (optionally as a bounded ring)
+and serializes to JSON Lines, one event per line, so traces can be
+archived, diffed, and replayed through the analysis renderers.
+
+Event kinds follow a ``layer.verb`` naming scheme; the authoritative list
+lives in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, IO, Iterable, Iterator, List, Optional, Union
+
+from repro.errors import ConfigurationError
+
+#: Bump when the serialized event layout changes; readers reject newer
+#: traces instead of misinterpreting them.
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped observation of subsystem behaviour.
+
+    ``t`` is in seconds on whatever clock the emitter used — simulated
+    time for device-bound layers, round-relative elapsed time for the
+    guardian, wall-clock durations never (those belong in the payload).
+    """
+
+    kind: str
+    t: float = 0.0
+    payload: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ConfigurationError("event kind must be a non-empty string")
+
+    @property
+    def layer(self) -> str:
+        """The subsystem prefix of :attr:`kind` (``"guardian.decision"`` -> ``"guardian"``)."""
+        return self.kind.split(".", 1)[0]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "t": self.t, **self.payload}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Event":
+        if not isinstance(raw, dict) or "kind" not in raw:
+            raise ConfigurationError(f"not an event record: {raw!r}")
+        payload = {k: v for k, v in raw.items() if k not in ("kind", "t")}
+        return cls(kind=str(raw["kind"]), t=float(raw.get("t", 0.0)), payload=payload)
+
+
+class EventLog:
+    """Process-local, append-only event collector.
+
+    Parameters
+    ----------
+    capacity:
+        When set, keep only the most recent ``capacity`` events (a ring
+        buffer) so always-on instrumentation stays bounded in memory.
+        ``None`` keeps everything.
+    sink:
+        An optional open text stream; every event is additionally written
+        to it as one JSON line at emit time (streaming trace capture).
+    """
+
+    def __init__(self, capacity: Optional[int] = None, sink: Optional[IO[str]] = None):
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.sink = sink
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        #: Total events ever emitted (survives ring eviction).
+        self.emitted = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def emit(self, kind: str, t: float = 0.0, **payload: object) -> Event:
+        """Record one event and return it."""
+        event = Event(kind=kind, t=float(t), payload=payload)
+        self._events.append(event)
+        self.emitted += 1
+        if self.sink is not None:
+            self.sink.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        return event
+
+    # -- reading -----------------------------------------------------------
+
+    def events(self, kind: Optional[str] = None) -> List[Event]:
+        """All retained events, optionally filtered by exact kind."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Retained event counts keyed by kind."""
+        return dict(Counter(e.kind for e in self._events))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    # -- JSONL -------------------------------------------------------------
+
+    def dump_jsonl(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the retained events to ``path`` as JSON Lines.
+
+        The first line is a header record carrying the trace format
+        version; :func:`read_jsonl` validates it.
+        """
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            handle.write(
+                json.dumps({"kind": "trace.header", "t": 0.0,
+                            "format_version": TRACE_FORMAT_VERSION}) + "\n"
+            )
+            for event in self._events:
+                handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        return path
+
+
+def read_jsonl(path: Union[str, pathlib.Path]) -> List[Event]:
+    """Load a JSONL trace written by :meth:`EventLog.dump_jsonl`.
+
+    Raises :class:`ConfigurationError` on unreadable files, malformed
+    lines, or an unsupported format version.  A missing header is
+    tolerated (streaming sinks don't write one) as long as every line
+    parses as an event.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ConfigurationError(f"cannot read trace {path}: {error}") from error
+    events: List[Event] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"{path}:{lineno} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(raw, dict):
+            raise ConfigurationError(f"{path}:{lineno} is not an event object")
+        if raw.get("kind") == "trace.header":
+            version = raw.get("format_version")
+            if version != TRACE_FORMAT_VERSION:
+                raise ConfigurationError(
+                    f"{path} has trace format version {version!r}; "
+                    f"this library reads version {TRACE_FORMAT_VERSION}"
+                )
+            continue
+        events.append(Event.from_dict(raw))
+    return events
+
+
+def events_between(
+    events: Iterable[Event], start_kind: str, end_kind: str
+) -> List[List[Event]]:
+    """Split a flat event stream into ``[start, ..., end]`` segments.
+
+    Used to group per-campaign events out of a trace that may contain
+    several campaigns back to back.  Events outside any bracket are
+    dropped; an unterminated bracket yields its partial segment.
+    """
+    segments: List[List[Event]] = []
+    current: Optional[List[Event]] = None
+    for event in events:
+        if event.kind == start_kind:
+            current = [event]
+            continue
+        if current is None:
+            continue
+        current.append(event)
+        if event.kind == end_kind:
+            segments.append(current)
+            current = None
+    if current is not None:
+        segments.append(current)
+    return segments

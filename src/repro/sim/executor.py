@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import BoFLConfig
 from repro.core.records import CampaignResult
 from repro.errors import ConfigurationError
+from repro.obs import runtime as obs
 from repro.sim import runner as _runner
 from repro.sim.cache import PersistentCampaignCache
 from repro.sim.runner import campaign_key, prime_campaign_cache, run_campaign
@@ -255,6 +256,16 @@ class CampaignExecutor:
             timing = CampaignTiming(spec=specs[index], seconds=seconds, source=source)
             timings[index] = timing
             done_count += 1
+            if obs.enabled():
+                obs.emit(
+                    "executor.cell",
+                    label=timing.spec.label(),
+                    seconds=seconds,
+                    source=source,
+                    workers=self.workers,
+                )
+                obs.count(f"executor.cells_{source}")
+                obs.observe("executor.cell_seconds", seconds)
             if self.progress is not None:
                 self.progress(done_count, total, timing)
 

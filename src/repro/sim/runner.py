@@ -26,6 +26,7 @@ from repro.baselines import (
 )
 from repro.errors import ConfigurationError
 from repro.federated.deadlines import UniformDeadlines
+from repro.obs import runtime as obs
 from repro.federated.task import FLTaskSpec, cifar10_vit, imagenet_resnet50, imdb_lstm
 from repro.hardware.device import SimulatedDevice
 from repro.hardware.devices import get_device
@@ -178,12 +179,15 @@ def run_campaign(
     if use_cache:
         cached = _CAMPAIGN_CACHE.get(key)
         if cached is not None:
+            _emit_cache_event("memory", device_name, task_name, controller_name, seed)
             return copy.deepcopy(cached)
         if _PERSISTENT_CACHE is not None:
             loaded = _PERSISTENT_CACHE.get(key)
             if loaded is not None:
                 _CAMPAIGN_CACHE[key] = loaded
+                _emit_cache_event("disk", device_name, task_name, controller_name, seed)
                 return copy.deepcopy(loaded)
+        _emit_cache_event("miss", device_name, task_name, controller_name, seed)
 
     spec = get_device(device_name)
     task = _task_by_name(task_name)
@@ -208,10 +212,33 @@ def run_campaign(
         task=task_name,
         deadline_ratio=deadline_ratio,
     )
+    obs.emit(
+        "campaign.start",
+        t=device.clock.now,
+        device=device_name,
+        task=task_name,
+        controller=controller_name,
+        deadline_ratio=float(deadline_ratio),
+        rounds=int(rounds),
+        seed=int(seed),
+        jobs_per_round=jobs,
+    )
     for deadline in deadlines:
         result.records.append(controller.run_round(jobs, deadline))
 
     _annotate(result, controller)
+    obs.emit(
+        "campaign.end",
+        t=device.clock.now,
+        device=device_name,
+        task=task_name,
+        controller=controller_name,
+        training_energy=result.training_energy,
+        mbo_energy=result.mbo_energy,
+        total_energy=result.total_energy,
+        missed_rounds=result.missed_rounds,
+        explored_total=result.explored_total,
+    )
     if use_cache:
         _CAMPAIGN_CACHE[key] = copy.deepcopy(result)
         if _PERSISTENT_CACHE is not None:
@@ -229,7 +256,32 @@ def _annotate(result: CampaignResult, controller: PaceController) -> None:
             record.explored_on_final_front = sum(
                 1 for c in record.explored if c in front_set
             )
+        if obs.enabled():
+            # The trace-side Table 3 derivation needs the final front's
+            # *configurations*, not just its objective values.
+            obs.emit(
+                "campaign.front",
+                t=controller.device.clock.now,
+                configs=[list(c.as_tuple()) for c in front_configs],
+                values=[[float(t), float(e)] for t, e in front_values],
+            )
     elif isinstance(controller, OracleController):
         result.final_front = [
             (float(t), float(e)) for t, e in controller.pareto_values
         ]
+
+
+def _emit_cache_event(
+    layer: str, device: str, task: str, controller: str, seed: int
+) -> None:
+    """Record one campaign-cache lookup outcome (memory/disk hit or miss)."""
+    if obs.enabled():
+        obs.emit(
+            "campaign.cache",
+            layer=layer,
+            device=device,
+            task=task,
+            controller=controller,
+            seed=int(seed),
+        )
+        obs.count(f"campaign.cache_{layer}")

@@ -1,0 +1,95 @@
+"""Tests for counters, gauges, histograms and timing spans."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import NULL_TIMER, Histogram, Metrics
+
+
+class TestHistogram:
+    def test_streaming_summary(self):
+        h = Histogram()
+        for value in (1.0, 3.0, 5.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == 9.0
+        assert h.mean == 3.0
+        assert h.minimum == 1.0
+        assert h.maximum == 5.0
+        assert h.variance == pytest.approx(8.0 / 3.0)
+
+    def test_empty_histogram_is_safe(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.variance == 0.0
+        assert h.to_dict()["min"] == 0.0
+
+    def test_to_dict_shape(self):
+        h = Histogram()
+        h.observe(2.0)
+        assert h.to_dict() == {
+            "count": 1, "total": 2.0, "mean": 2.0, "min": 2.0, "max": 2.0,
+        }
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        m = Metrics()
+        m.count("rounds")
+        m.count("rounds", 4)
+        assert m.counter("rounds") == 5
+        assert m.counter("never") == 0
+
+    def test_negative_counter_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Metrics().count("x", -1)
+
+    def test_gauges_keep_latest_value(self):
+        m = Metrics()
+        m.gauge("phase", 1)
+        m.gauge("phase", 2)
+        assert m.gauges["phase"] == 2.0
+
+    def test_observe_creates_histograms_on_first_use(self):
+        m = Metrics()
+        m.observe("energy", 10.0)
+        m.observe("energy", 20.0)
+        assert m.histograms["energy"].mean == 15.0
+
+    def test_timer_span_feeds_histogram(self):
+        m = Metrics()
+        with m.timer("span") as span:
+            pass
+        assert span.elapsed >= 0.0
+        assert m.histograms["span"].count == 1
+        with m.timer("span"):
+            pass
+        assert m.histograms["span"].count == 2
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        m = Metrics()
+        m.count("c")
+        m.gauge("g", 1.5)
+        m.observe("h", 2.0)
+        snapshot = m.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_render_lists_every_metric(self):
+        m = Metrics()
+        assert m.render() == "(no metrics recorded)"
+        m.count("c")
+        m.gauge("g", 1.0)
+        m.observe("h", 2.0)
+        text = m.render()
+        assert "c" in text and "g" in text and "n=1" in text
+
+
+class TestNullTimer:
+    def test_is_a_reusable_noop_span(self):
+        with NULL_TIMER as span:
+            assert span is NULL_TIMER
+        assert NULL_TIMER.elapsed == 0.0

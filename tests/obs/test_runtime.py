@@ -1,0 +1,77 @@
+"""Tests for the global observability switch and the emit facade."""
+
+from repro.obs import runtime as obs
+from repro.obs.metrics import NULL_TIMER
+
+
+class TestSwitch:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.current() is None
+
+    def test_enable_disable(self):
+        session = obs.enable()
+        try:
+            assert obs.enabled()
+            assert obs.current() is session
+        finally:
+            obs.disable()
+        assert not obs.enabled()
+
+    def test_session_restores_previous_state(self):
+        assert not obs.enabled()
+        with obs.session() as session:
+            assert obs.current() is session
+        assert not obs.enabled()
+
+    def test_sessions_nest(self):
+        with obs.session() as outer:
+            with obs.session() as inner:
+                obs.emit("tick")
+                assert obs.current() is inner
+            assert obs.current() is outer
+            assert len(outer.log) == 0
+            assert len(inner.log) == 1
+
+    def test_session_restores_even_on_error(self):
+        try:
+            with obs.session():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not obs.enabled()
+
+
+class TestFacade:
+    def test_facade_noops_when_disabled(self):
+        # Must not raise, must not activate anything.
+        obs.emit("a.b", x=1)
+        obs.count("c")
+        obs.gauge("g", 1.0)
+        obs.observe("h", 2.0)
+        assert not obs.enabled()
+
+    def test_timer_is_shared_null_when_disabled(self):
+        assert obs.timer("anything") is NULL_TIMER
+
+    def test_facade_records_on_active_session(self):
+        with obs.session() as session:
+            obs.emit("a.b", t=3.0, x=1)
+            obs.count("c", 2)
+            obs.gauge("g", 7.0)
+            obs.observe("h", 4.0)
+            with obs.timer("span"):
+                pass
+        [event] = session.log.events("a.b")
+        assert event.t == 3.0 and event.payload == {"x": 1}
+        assert session.metrics.counter("c") == 2
+        assert session.metrics.gauges["g"] == 7.0
+        assert session.metrics.histograms["h"].count == 1
+        assert session.metrics.histograms["span"].count == 1
+
+    def test_ring_capacity_passes_through(self):
+        with obs.session(capacity=2) as session:
+            for i in range(5):
+                obs.emit("tick", i=i)
+        assert len(session.log) == 2
+        assert session.log.emitted == 5

@@ -49,3 +49,101 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "training energy" in out
         assert "missed rounds" in out
+
+
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def _isolate_global_cache(self):
+        from repro.sim import install_persistent_cache
+        from repro.sim.runner import clear_campaign_cache
+
+        clear_campaign_cache()
+        yield
+        clear_campaign_cache()
+        install_persistent_cache(None)
+
+    def test_stats_on_empty_directory(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c")]) == 0
+        assert "0" in capsys.readouterr().out
+
+    def test_clear_on_empty_directory(self, tmp_path, capsys):
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path / "c")]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_stats_after_a_cached_campaign(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        args = [
+            "campaign", "--controller", "performant", "--rounds", "2",
+            "--task", "lstm", "--cache-dir", cache_dir,
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_action_is_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "nuke"])
+
+
+class TestTraceCommand:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        """Record a small BoFL campaign trace through the real CLI path."""
+        path = tmp_path_factory.mktemp("cli_trace") / "t.jsonl"
+        code = main(
+            ["campaign", "--controller", "bofl", "--task", "vit",
+             "--rounds", "6", "--trace", str(path)]
+        )
+        assert code == 0
+        return path
+
+    def test_campaign_trace_records_events(self, trace_file, capsys):
+        assert trace_file.exists()
+        first = trace_file.read_text().splitlines()[0]
+        assert "trace.header" in first
+
+    def test_summary_view(self, trace_file, capsys):
+        assert main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Event counts" in out
+        assert "agx/vit/bofl" in out
+
+    def test_tab3_view(self, trace_file, capsys):
+        assert main(["trace", str(trace_file), "--view", "tab3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "# Pareto" in out
+
+    def test_fig13_view(self, trace_file, capsys):
+        assert main(["trace", str(trace_file), "--view", "fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 13a" in out
+        assert "MBO energy share" in out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_trace_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "ok"}\n{broken\n')
+        assert main(["trace", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_view_is_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "t.jsonl", "--view", "fig1"])
+
+    def test_tab3_view_needs_a_bofl_campaign(self, tmp_path, capsys):
+        path = tmp_path / "perf.jsonl"
+        code = main(
+            ["campaign", "--controller", "performant", "--rounds", "2",
+             "--task", "lstm", "--trace", str(path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["trace", str(path), "--view", "tab3"]) == 1
+        assert "no bofl campaign" in capsys.readouterr().err
