@@ -27,7 +27,7 @@ from repro.sim import (
     sweep_campaign,
 )
 
-SWEEP = dict(rounds=12, seeds=(0, 1, 2, 3))
+SWEEP = {"rounds": 12, "seeds": (0, 1, 2, 3)}
 
 
 def _timed(fn):

@@ -22,7 +22,6 @@ import pathlib
 import platform
 import sys
 import time
-from typing import Dict, List
 
 from repro import obs
 from repro._version import __version__
@@ -40,7 +39,7 @@ CELLS = tuple(
 
 def time_cell(
     device: str, task: str, controller: str, *, rounds: int, seed: int
-) -> Dict:
+) -> dict:
     """Run one uncached campaign cell and summarize it."""
     t0 = time.perf_counter()
     result = run_campaign(
@@ -57,7 +56,7 @@ def time_cell(
     }
 
 
-def build_report(rounds: int, seeds: List[int], trace_dir: str = "") -> Dict:
+def build_report(rounds: int, seeds: list[int], trace_dir: str = "") -> dict:
     """Time the whole grid (traced) and assemble the JSON document."""
     clear_campaign_cache()
     cells = []

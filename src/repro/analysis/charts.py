@@ -8,7 +8,7 @@ numbers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.errors import ConfigurationError
 
@@ -33,7 +33,7 @@ def sparkline(values: Sequence[float]) -> str:
 
 
 def line_chart(
-    series: Dict[str, Sequence[float]],
+    series: dict[str, Sequence[float]],
     *,
     height: int = 10,
     y_label: str = "",
@@ -59,7 +59,7 @@ def line_chart(
     lo, hi = min(all_values), max(all_values)
     span = hi - lo if hi > lo else 1.0
 
-    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    grid: list[list[str]] = [[" "] * width for _ in range(height)]
     for marker, (name, values) in zip(markers, series.items()):
         for x, value in enumerate(values):
             row = int(round((float(value) - lo) / span * (height - 1)))

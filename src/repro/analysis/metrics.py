@@ -9,7 +9,6 @@ intelligence.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 
@@ -92,7 +91,7 @@ def front_coverage(
     return covered / true.shape[0]
 
 
-def exploration_summary(result: CampaignResult) -> Tuple[int, int, int]:
+def exploration_summary(result: CampaignResult) -> tuple[int, int, int]:
     """(exploration rounds, configs explored, exploitation rounds)."""
     explore_rounds = sum(
         1

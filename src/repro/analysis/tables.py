@@ -7,7 +7,7 @@ compared against the published curves directly.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -29,7 +29,7 @@ def ascii_table(
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     sep = "-+-".join("-" * w for w in widths)
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
@@ -60,7 +60,7 @@ def format_series(values: Sequence[float], per_line: int = 10, precision: int = 
     return "\n".join(lines)
 
 
-def render_kv(pairs: Sequence[Tuple[str, object]], title: str = "") -> str:
+def render_kv(pairs: Sequence[tuple[str, object]], title: str = "") -> str:
     """Render key/value pairs as aligned lines."""
     if not pairs:
         raise ConfigurationError("render_kv needs at least one pair")

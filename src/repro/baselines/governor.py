@@ -36,7 +36,7 @@ class OndemandGovernorController(PaceController):
         down_threshold: float = 0.45,
         *,
         start_at_max: bool = True,
-    ):
+    ) -> None:
         super().__init__(device)
         if not 0.0 < down_threshold < up_threshold <= 1.0:
             raise ConfigurationError(

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.base import JobCallback, PaceController
+from repro.errors import PhaseError
 from repro.core.records import RoundRecord
 from repro.hardware.device import SimulatedDevice
 from repro.types import DvfsConfiguration, RoundBudget, Seconds
@@ -27,7 +28,7 @@ class LinearPaceController(PaceController):
 
     name = "linear_pace"
 
-    def __init__(self, device: SimulatedDevice, headroom: float = 0.05):
+    def __init__(self, device: SimulatedDevice, headroom: float = 0.05) -> None:
         super().__init__(device)
         if not 0.0 <= headroom < 1.0:
             raise ValueError(f"headroom must lie in [0, 1), got {headroom}")
@@ -95,7 +96,10 @@ class LinearPaceController(PaceController):
         return record
 
     def _behind_schedule(self, budget: RoundBudget) -> bool:
-        assert self._t_xmax is not None
+        if self._t_xmax is None:
+            raise PhaseError(
+                "schedule check before the x_max anchor latency was measured"
+            )
         return budget.time_remaining < budget.jobs_remaining * self._t_xmax * (
             1.0 + self.headroom
         )

@@ -12,7 +12,7 @@ Pareto set, and solves the Eqn. 1 schedule ILP for every round.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -30,7 +30,7 @@ class OracleController(PaceController):
 
     name = "oracle"
 
-    def __init__(self, device: SimulatedDevice, safety_margin: float = 0.01):
+    def __init__(self, device: SimulatedDevice, safety_margin: float = 0.01) -> None:
         super().__init__(device)
         self.planner = ExploitationPlanner(safety_margin)
         # Offline profiling pass: the whole space, noise-free.
@@ -38,7 +38,7 @@ class OracleController(PaceController):
         values = np.stack([latencies, energies], axis=1)
         mask = pareto_mask(values)
         all_configs = device.space.all_configurations()
-        self.pareto_configs: List[DvfsConfiguration] = [
+        self.pareto_configs: list[DvfsConfiguration] = [
             c for c, keep in zip(all_configs, mask) if keep
         ]
         self.pareto_values = values[mask]

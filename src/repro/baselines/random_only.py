@@ -26,7 +26,7 @@ class RandomSearchController(BoFLController):
         device: SimulatedDevice,
         config: Optional[BoFLConfig] = None,
         mbo_cost: Optional[MBOCostFn] = None,
-    ):
+    ) -> None:
         base = config if config is not None else BoFLConfig()
         disabled = BoFLConfig(
             tau=base.tau,

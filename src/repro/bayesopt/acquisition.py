@@ -29,7 +29,6 @@ is what lets BoFL score the entire remaining DVFS space each round.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 from scipy import stats
@@ -56,7 +55,7 @@ def _psi(c: np.ndarray, mean: np.ndarray, std: np.ndarray) -> np.ndarray:
     return np.where(np.broadcast_to(neg_inf, out.shape), 0.0, out)
 
 
-def _strips(front: np.ndarray, reference: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _strips(front: np.ndarray, reference: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Strip bounds ``(l, u, h)`` of the improvement region (see module doc)."""
     reference = np.asarray(reference, dtype=float).ravel()
     if reference.shape != (2,):

@@ -13,7 +13,7 @@ fitted by multi-restart L-BFGS-B on the log marginal likelihood.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 from scipy import linalg, optimize
@@ -45,7 +45,7 @@ class GaussianProcess:
         noise_variance: float = 1e-4,
         normalize_y: bool = True,
         jitter: float = 1e-8,
-    ):
+    ) -> None:
         self.kernel = kernel if kernel is not None else Matern52(np.ones(input_dim))
         if noise_variance <= 0:
             raise OptimizationError("noise_variance must be positive")
@@ -96,7 +96,8 @@ class GaussianProcess:
 
     def _refactorize(self) -> None:
         """(Re)compute the Cholesky factorization for current parameters."""
-        assert self._x is not None and self._y is not None
+        if self._x is None or self._y is None:
+            raise NotFittedError("GP has no observations to factorize")
         n = self._x.shape[0]
         cov = self.kernel(self._x, self._x)
         cov[np.diag_indices(n)] += self.noise_variance + self.jitter
@@ -112,9 +113,9 @@ class GaussianProcess:
         self,
         rng: Optional[np.random.Generator] = None,
         n_restarts: int = 2,
-        lengthscale_bounds: Tuple[float, float] = (0.05, 10.0),
-        variance_bounds: Tuple[float, float] = (1e-3, 1e3),
-        noise_bounds: Tuple[float, float] = (1e-6, 1e-1),
+        lengthscale_bounds: tuple[float, float] = (0.05, 10.0),
+        variance_bounds: tuple[float, float] = (1e-3, 1e3),
+        noise_bounds: tuple[float, float] = (1e-6, 1e-1),
     ) -> float:
         """Fit hyperparameters by maximizing the log marginal likelihood.
 
@@ -158,7 +159,8 @@ class GaussianProcess:
 
     def _log_marginal_likelihood(self, theta: np.ndarray) -> float:
         """LML of the standardized data under hyperparameters ``theta``."""
-        assert self._x is not None and self._y is not None
+        if self._x is None or self._y is None:
+            raise NotFittedError("GP has no observations for the LML")
         saved_kernel = self.kernel.get_log_params()
         saved_noise = self.noise_variance
         try:
@@ -185,7 +187,8 @@ class GaussianProcess:
         """LML at the current hyperparameters."""
         if self._chol is None:
             raise NotFittedError("GP is not fitted")
-        assert self._y is not None and self._alpha is not None
+        if self._y is None or self._alpha is None:
+            raise NotFittedError("GP factorization is incomplete (no alpha)")
         n = self._y.size
         return (
             -0.5 * float(self._y @ self._alpha)
@@ -195,7 +198,7 @@ class GaussianProcess:
 
     # -- prediction ---------------------------------------------------------
 
-    def predict(self, x_star: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def predict(self, x_star: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Posterior mean and variance (in raw target units) at ``x_star``."""
         if self._chol is None or self._x is None or self._alpha is None:
             raise NotFittedError("GP is not fitted")

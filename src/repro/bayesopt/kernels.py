@@ -13,7 +13,7 @@ unconstrained vector.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -36,7 +36,7 @@ def _scaled_sq_dists(x1: np.ndarray, x2: np.ndarray, lengthscales: np.ndarray) -
 class Kernel(ABC):
     """Base class: a positive-definite covariance function with ARD."""
 
-    def __init__(self, lengthscales: Sequence[float], variance: float = 1.0):
+    def __init__(self, lengthscales: Sequence[float], variance: float = 1.0) -> None:
         scales = np.asarray(lengthscales, dtype=float)
         if scales.ndim != 1 or scales.size == 0:
             raise ConfigurationError("lengthscales must be a non-empty 1-D sequence")

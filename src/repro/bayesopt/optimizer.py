@@ -14,7 +14,8 @@ per §4.3), the observation set, and the suggestion logic:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -52,12 +53,12 @@ class MultiObjectiveBayesianOptimizer:
         seed: int = 0,
         fit_restarts: int = 2,
         reference_margin: float = 0.05,
-    ):
+    ) -> None:
         self.space = space
         self._rng = np.random.default_rng(seed)
         self.fit_restarts = fit_restarts
         self.reference_margin = reference_margin
-        self._observations: Dict[DvfsConfiguration, Tuple[float, float]] = {}
+        self._observations: dict[DvfsConfiguration, tuple[float, float]] = {}
         self._gp_latency: Optional[GaussianProcess] = None
         self._gp_energy: Optional[GaussianProcess] = None
         self._reference: Optional[np.ndarray] = None
@@ -81,7 +82,7 @@ class MultiObjectiveBayesianOptimizer:
         return len(self._observations)
 
     @property
-    def observed_configurations(self) -> List[DvfsConfiguration]:
+    def observed_configurations(self) -> list[DvfsConfiguration]:
         return list(self._observations)
 
     @property
@@ -89,7 +90,7 @@ class MultiObjectiveBayesianOptimizer:
         """How many GP refits have run (drives the MBO overhead model)."""
         return self._fit_count
 
-    def objectives_matrix(self) -> Tuple[List[DvfsConfiguration], np.ndarray]:
+    def objectives_matrix(self) -> tuple[list[DvfsConfiguration], np.ndarray]:
         """All observations as ``(configs, (n, 2) [latency, energy])``."""
         configs = list(self._observations)
         if not configs:
@@ -119,7 +120,7 @@ class MultiObjectiveBayesianOptimizer:
         self._reference = reference_from_observations(values, margin=self.reference_margin)
         return self._reference
 
-    def pareto_set(self) -> Tuple[List[DvfsConfiguration], np.ndarray]:
+    def pareto_set(self) -> tuple[list[DvfsConfiguration], np.ndarray]:
         """The non-dominated observed configurations and their objectives."""
         configs, values = self.objectives_matrix()
         if not configs:
@@ -167,7 +168,7 @@ class MultiObjectiveBayesianOptimizer:
     def is_fitted(self) -> bool:
         return self._gp_latency is not None and self._gp_energy is not None
 
-    def predict(self, configs: Sequence[DvfsConfiguration]) -> Tuple[np.ndarray, np.ndarray]:
+    def predict(self, configs: Sequence[DvfsConfiguration]) -> tuple[np.ndarray, np.ndarray]:
         """Posterior ``(mean, var)`` as ``(m, 2)`` arrays over ``configs``."""
         if self._gp_latency is None or self._gp_energy is None:
             raise NotFittedError("call fit() before predict()")
@@ -182,7 +183,7 @@ class MultiObjectiveBayesianOptimizer:
         self,
         batch_size: int,
         exclude: Optional[Sequence[DvfsConfiguration]] = None,
-    ) -> List[DvfsConfiguration]:
+    ) -> list[DvfsConfiguration]:
         """Propose up to ``batch_size`` configurations to explore next.
 
         Sequential greedy EHVI with Kriging-believer fantasies (§4.3).
@@ -207,7 +208,7 @@ class MultiObjectiveBayesianOptimizer:
         _, observed = self.objectives_matrix()
         front = observed[pareto_mask(observed)]
 
-        picks: List[DvfsConfiguration] = []
+        picks: list[DvfsConfiguration] = []
         active = np.ones(len(candidates), dtype=bool)
         max_ehvi_first = None
         ehvi_evaluations = 0

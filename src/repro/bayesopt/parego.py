@@ -15,7 +15,8 @@ quantifies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -49,11 +50,11 @@ def tchebycheff_scalarize(
 class ParEGOSuggester:
     """Drop-in alternative to the EHVI optimizer's suggest() loop."""
 
-    def __init__(self, space: ConfigurationSpace, *, seed: int = 0, rho: float = 0.05):
+    def __init__(self, space: ConfigurationSpace, *, seed: int = 0, rho: float = 0.05) -> None:
         self.space = space
         self.rho = rho
         self._rng = np.random.default_rng(seed)
-        self._observations: Dict[DvfsConfiguration, Tuple[float, float]] = {}
+        self._observations: dict[DvfsConfiguration, tuple[float, float]] = {}
         self._gp: Optional[GaussianProcess] = None
         self._scalarized: Optional[np.ndarray] = None
 
@@ -73,7 +74,7 @@ class ParEGOSuggester:
     def n_observations(self) -> int:
         return len(self._observations)
 
-    def pareto_set(self) -> Tuple[List[DvfsConfiguration], np.ndarray]:
+    def pareto_set(self) -> tuple[list[DvfsConfiguration], np.ndarray]:
         """Non-dominated observed configurations and their objectives."""
         configs = list(self._observations)
         if not configs:
@@ -105,7 +106,7 @@ class ParEGOSuggester:
         self,
         batch_size: int,
         exclude: Optional[Sequence[DvfsConfiguration]] = None,
-    ) -> List[DvfsConfiguration]:
+    ) -> list[DvfsConfiguration]:
         """Greedy EI batch with Kriging-believer fantasies."""
         if batch_size < 1:
             raise OptimizationError(f"batch_size must be >= 1, got {batch_size}")
@@ -120,7 +121,7 @@ class ParEGOSuggester:
         candidate_x = self.space.normalize_many(candidates)
         gp = self._gp
         best = float(self._scalarized.min())
-        picks: List[DvfsConfiguration] = []
+        picks: list[DvfsConfiguration] = []
         active = np.ones(len(candidates), dtype=bool)
         for _ in range(min(batch_size, len(candidates))):
             idx_active = np.flatnonzero(active)

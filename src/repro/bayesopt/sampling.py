@@ -9,7 +9,8 @@ the discrete space.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 from scipy.stats import qmc
@@ -24,7 +25,7 @@ def sobol_configurations(
     n: int,
     seed: int = 0,
     exclude: Optional[Sequence[DvfsConfiguration]] = None,
-) -> List[DvfsConfiguration]:
+) -> list[DvfsConfiguration]:
     """Draw ``n`` distinct configurations via a scrambled Sobol sequence.
 
     Snapping to the grid can collide, so the sequence is extended until
@@ -33,14 +34,14 @@ def sobol_configurations(
     """
     if n < 1:
         raise OptimizationError(f"need n >= 1 samples, got {n}")
-    seen: Set[DvfsConfiguration] = set(exclude) if exclude else set()
+    seen: set[DvfsConfiguration] = set(exclude) if exclude else set()
     if n > len(space) - len(seen):
         raise OptimizationError(
             f"cannot draw {n} distinct configurations from a space of "
             f"{len(space)} with {len(seen)} excluded"
         )
     sampler = qmc.Sobol(d=3, scramble=True, seed=seed)
-    picks: List[DvfsConfiguration] = []
+    picks: list[DvfsConfiguration] = []
     while len(picks) < n:
         # Sobol wants power-of-two batches; over-draw to amortize collisions.
         batch = sampler.random_base2(m=max(3, int(np.ceil(np.log2(2 * n)))))
@@ -64,7 +65,7 @@ def uniform_configurations(
     n: int,
     rng: np.random.Generator,
     exclude: Optional[Sequence[DvfsConfiguration]] = None,
-) -> List[DvfsConfiguration]:
+) -> list[DvfsConfiguration]:
     """Draw ``n`` distinct configurations uniformly at random."""
     if n < 1:
         raise OptimizationError(f"need n >= 1 samples, got {n}")

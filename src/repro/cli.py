@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands:
+Seven subcommands:
 
 * ``list`` — enumerate the reproducible paper artifacts;
 * ``run <experiment>`` — regenerate one table/figure and print its rows
@@ -12,7 +12,10 @@ Six subcommands:
 * ``cache`` — inspect or clear the persistent campaign result cache;
 * ``trace`` — replay a recorded observability trace (``campaign
   --trace out.jsonl`` records one) as a summary or as the trace-derived
-  Table 3 / Fig. 13 views.
+  Table 3 / Fig. 13 views;
+* ``lint`` — run the determinism-aware static-analysis rules over the
+  source tree (``docs/static_analysis.md``); exits non-zero on
+  violations, ``--format json`` is the stable CI interface.
 
 ``--workers N`` fans campaign grids out over worker processes through
 :class:`repro.sim.CampaignExecutor`; results are identical to the serial
@@ -23,8 +26,9 @@ on-disk result cache so repeated invocations skip recomputation.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
-from typing import List, Optional
+from typing import Optional
 
 from repro import obs
 from repro._version import __version__
@@ -37,6 +41,7 @@ from repro.sim import (
     run_campaign,
     sweep_campaign,
 )
+from repro.sim.executor import CampaignTiming, ProgressCallback
 from repro.sim.runner import CONTROLLER_NAMES
 
 #: Views ``repro trace`` can render from a JSONL event trace.
@@ -103,6 +108,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="what to render: an activity summary, or the trace-derived "
         "Table 3 / Fig. 13 artifacts",
     )
+
+    lint = commands.add_parser(
+        "lint", help="determinism-aware static analysis (see docs/static_analysis.md)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to check (default: the src/ tree)",
+    )
+    lint.add_argument(
+        "--format", default="human", choices=("human", "json"),
+        help="report format (json is the stable CI interface)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="RULE[,RULE...]",
+        help="run only these rule ids (default: every registered rule)",
+    )
+    lint.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repo root anchoring rule scopes (default: discovered from "
+        "the first path's ancestors via pyproject.toml)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry (id, scope, rationale) and exit",
+    )
     return parser
 
 
@@ -128,11 +158,11 @@ def _setup_persistence(args: argparse.Namespace) -> None:
         install_persistent_cache(PersistentCampaignCache(cache_dir))
 
 
-def _progress_printer(enabled: bool):
+def _progress_printer(enabled: bool) -> Optional[ProgressCallback]:
     if not enabled:
         return None
 
-    def _print(done: int, total: int, timing) -> None:
+    def _print(done: int, total: int, timing: CampaignTiming) -> None:
         print(f"[{done}/{total}] {timing.render()}", file=sys.stderr)
 
     return _print
@@ -249,7 +279,35 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     return obs.render_view(events, args.view)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
+    """Returns (rendered report, exit code): 0 clean, 1 violations."""
+    from repro.devtools import lint as devlint
+
+    if args.list_rules:
+        lines = ["Registered repro lint rules:"]
+        for rule in devlint.iter_rules():
+            lines.append(f"  {rule.id:18s} {rule.summary}")
+            lines.append(f"  {'':18s} scope: {', '.join(rule.include)}"
+                         + (f"  exempt: {', '.join(rule.exempt)}" if rule.exempt else ""))
+        return "\n".join(lines), 0
+
+    root = pathlib.Path(args.root) if args.root else None
+    if args.paths:
+        paths = [pathlib.Path(p) for p in args.paths]
+    else:
+        anchor = root if root is not None else devlint.find_repo_root(
+            pathlib.Path.cwd()
+        )
+        paths = [anchor / "src"]
+    select = args.select.split(",") if args.select else None
+    report = devlint.lint_paths(paths, root=root, select=select)
+    rendered = (
+        report.render_json() if args.format == "json" else report.render_human()
+    )
+    return rendered, 0 if report.ok else 1
+
+
+def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     try:
@@ -268,6 +326,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_cmd_cache(args))
         elif args.command == "trace":
             print(_cmd_trace(args))
+        elif args.command == "lint":
+            rendered, code = _cmd_lint(args)
+            print(rendered)
+            return code
     except Exception as error:  # surface library errors as clean CLI errors
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -18,7 +18,7 @@ class SimulationClock:
     computation windows) call :meth:`advance`; observers read :attr:`now`.
     """
 
-    def __init__(self, start: Seconds = 0.0):
+    def __init__(self, start: Seconds = 0.0) -> None:
         if start < 0:
             raise ConfigurationError(f"clock cannot start before zero, got {start}")
         self._now = float(start)

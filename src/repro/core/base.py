@@ -11,12 +11,13 @@ ride along.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Optional
+from collections.abc import Callable
+from typing import Optional
 
 from repro.core.records import RoundRecord
 from repro.errors import ConfigurationError
 from repro.hardware.device import SimulatedDevice
-from repro.types import Seconds
+from repro.types import JobResult, RoundBudget, Seconds
 
 #: Callback fired after every executed job (e.g. to run a real minibatch).
 JobCallback = Callable[[], None]
@@ -28,7 +29,7 @@ class PaceController(ABC):
     #: Short identifier used in records and reports.
     name: str = "abstract"
 
-    def __init__(self, device: SimulatedDevice):
+    def __init__(self, device: SimulatedDevice) -> None:
         self.device = device
         self._rounds_run = 0
 
@@ -65,7 +66,7 @@ class PaceController(ABC):
     ) -> RoundRecord:
         """Controller-specific round execution."""
 
-    def _run_one_job(self, budget, on_job: Optional[JobCallback]):
+    def _run_one_job(self, budget: RoundBudget, on_job: Optional[JobCallback]) -> JobResult:
         """Execute one job on the device, update the budget, fire the hook."""
         result = self.device.run_job()
         budget.record_job(result)

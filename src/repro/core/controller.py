@@ -20,7 +20,8 @@ Round lifecycle:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from collections.abc import Callable
+from typing import Optional
 
 import numpy as np
 
@@ -38,11 +39,18 @@ from repro.core.stopping import StoppingCondition
 from repro.core.workload_assignment import MeasurementPolicy
 from repro.errors import InfeasibleError
 from repro.hardware.device import SimulatedDevice
-from repro.types import DvfsConfiguration, RoundBudget, Schedule, Seconds
+from repro.types import (
+    DvfsConfiguration,
+    JobResult,
+    PerformanceSample,
+    RoundBudget,
+    Schedule,
+    Seconds,
+)
 
 #: Models the cost of one MBO engine run: (n_observations, batch_size) ->
 #: (latency seconds, energy Joules).  ``None`` means free (unit tests).
-MBOCostFn = Callable[[int, int], Tuple[float, float]]
+MBOCostFn = Callable[[int, int], tuple[float, float]]
 
 
 class BoFLController(PaceController):
@@ -55,7 +63,7 @@ class BoFLController(PaceController):
         device: SimulatedDevice,
         config: Optional[BoFLConfig] = None,
         mbo_cost: Optional[MBOCostFn] = None,
-    ):
+    ) -> None:
         super().__init__(device)
         self.config = config if config is not None else BoFLConfig()
         self.mbo_cost = mbo_cost
@@ -74,7 +82,7 @@ class BoFLController(PaceController):
             self.config.hv_improvement_threshold,
         )
         self.phase = Phase.RANDOM_EXPLORATION
-        self.transitions: List[PhaseTransition] = []
+        self.transitions: list[PhaseTransition] = []
         self._x_max = space.max_configuration()
         starting_points = sobol_configurations(
             space,
@@ -83,11 +91,11 @@ class BoFLController(PaceController):
             exclude=[self._x_max],
         )
         #: Phase-1 queue: x_max first (guardian anchor), then Sobol points.
-        self._exploration_queue: Deque[DvfsConfiguration] = deque(
+        self._exploration_queue: deque[DvfsConfiguration] = deque(
             [self._x_max] + starting_points
         )
-        self._pending_suggestions: Deque[DvfsConfiguration] = deque()
-        self._phase1_durations: List[Seconds] = []
+        self._pending_suggestions: deque[DvfsConfiguration] = deque()
+        self._phase1_durations: list[Seconds] = []
         self._rng = np.random.default_rng(self.config.seed + 1)
         #: Drift-adaptation extension state (see BoFLConfig.drift_reexploration).
         self._drift_ewma = 0.0
@@ -165,7 +173,12 @@ class BoFLController(PaceController):
             obs.observe("controller.round_energy_j", record.energy)
         return record
 
-    def run_round(self, jobs, deadline, on_job=None):  # type: ignore[override]
+    def run_round(
+        self,
+        jobs: int,
+        deadline: Seconds,
+        on_job: Optional[JobCallback] = None,
+    ) -> RoundRecord:
         """Execute one FL round (see :meth:`PaceController.run_round`).
 
         Snapshots the device energy ledger so the returned record carries
@@ -178,7 +191,7 @@ class BoFLController(PaceController):
 
     def _run_exploration_round(
         self,
-        queue: Deque[DvfsConfiguration],
+        queue: deque[DvfsConfiguration],
         budget: RoundBudget,
         record: RoundRecord,
         on_job: Optional[JobCallback],
@@ -206,7 +219,12 @@ class BoFLController(PaceController):
         if self.phase is Phase.RANDOM_EXPLORATION:
             self._phase1_durations.append(budget.elapsed)
 
-    def _record_sample(self, sample, results, record: RoundRecord) -> None:
+    def _record_sample(
+        self,
+        sample: PerformanceSample,
+        results: tuple[JobResult, ...],
+        record: RoundRecord,
+    ) -> None:
         merged = self.store.add(sample)
         self.optimizer.add_observation(merged.config, merged.latency, merged.energy)
         # Feed the guardian the accurately-timed per-job latencies: the

@@ -35,7 +35,7 @@ class DeadlineGuardian:
     #: to slow drift (thermal throttling on a real board).
     MEAN_WINDOW = 500
 
-    def __init__(self, tau: Seconds, enabled: bool = True, safety_pad: float = 0.03):
+    def __init__(self, tau: Seconds, enabled: bool = True, safety_pad: float = 0.03) -> None:
         self.tau = require_positive("tau", tau)
         self.enabled = enabled
         self.safety_pad = require_fraction("safety_pad", safety_pad)

@@ -10,7 +10,8 @@ Pareto set.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections.abc import Iterator
+from typing import Optional
 
 import numpy as np
 
@@ -23,7 +24,7 @@ class ObservationStore:
     """Merged performance samples keyed by configuration."""
 
     def __init__(self) -> None:
-        self._samples: Dict[DvfsConfiguration, PerformanceSample] = {}
+        self._samples: dict[DvfsConfiguration, PerformanceSample] = {}
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -53,10 +54,10 @@ class ObservationStore:
         return self._samples.get(config)
 
     @property
-    def configurations(self) -> List[DvfsConfiguration]:
+    def configurations(self) -> list[DvfsConfiguration]:
         return list(self._samples)
 
-    def objectives_matrix(self) -> Tuple[List[DvfsConfiguration], np.ndarray]:
+    def objectives_matrix(self) -> tuple[list[DvfsConfiguration], np.ndarray]:
         """All observations as ``(configs, (n, 2) [latency, energy])``."""
         configs = list(self._samples)
         if not configs:
@@ -64,7 +65,7 @@ class ObservationStore:
         values = np.array([self._samples[c].objectives for c in configs])
         return configs, values
 
-    def pareto_set(self) -> Tuple[List[DvfsConfiguration], np.ndarray]:
+    def pareto_set(self) -> tuple[list[DvfsConfiguration], np.ndarray]:
         """Non-dominated observed configurations and their objectives."""
         configs, values = self.objectives_matrix()
         if not configs:
@@ -84,7 +85,7 @@ class ObservationStore:
             raise ConfigurationError("no observations yet")
         return max(s.latency for s in self._samples.values())
 
-    def worst_point(self) -> Tuple[float, float]:
+    def worst_point(self) -> tuple[float, float]:
         """Componentwise-worst observed objectives (the HV reference rule)."""
         _, values = self.objectives_matrix()
         if values.shape[0] == 0:

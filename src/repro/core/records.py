@@ -8,7 +8,7 @@ These are the raw material of every evaluation figure: per-round energy
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from repro.types import DvfsConfiguration, Joules, Seconds
 
@@ -26,7 +26,7 @@ class MBOReport:
     energy: Joules
     n_observations: int
     batch_size: int
-    suggestions: Tuple[DvfsConfiguration, ...] = ()
+    suggestions: tuple[DvfsConfiguration, ...] = ()
 
 
 @dataclass
@@ -45,7 +45,7 @@ class RoundRecord:
     #: with the guardian enabled).
     missed: bool = False
     #: Configurations newly explored (measured) this round.
-    explored: List[DvfsConfiguration] = field(default_factory=list)
+    explored: list[DvfsConfiguration] = field(default_factory=list)
     #: Of the explored ones, how many sit on the final Pareto front — filled
     #: in retrospectively by the campaign runner (Table 3 semantics).
     explored_on_final_front: Optional[int] = None
@@ -74,9 +74,9 @@ class CampaignResult:
     device: str
     task: str
     deadline_ratio: float
-    records: List[RoundRecord] = field(default_factory=list)
+    records: list[RoundRecord] = field(default_factory=list)
     #: The controller's final Pareto-front objective values, if it has one.
-    final_front: Optional[List[Tuple[Seconds, Joules]]] = None
+    final_front: Optional[list[tuple[Seconds, Joules]]] = None
 
     @property
     def rounds(self) -> int:
@@ -102,11 +102,11 @@ class CampaignResult:
     def explored_total(self) -> int:
         return sum(r.explored_count for r in self.records)
 
-    def energy_series(self) -> List[Joules]:
+    def energy_series(self) -> list[Joules]:
         """Per-round training energy (the Figs. 9-10 curves)."""
         return [r.energy for r in self.records]
 
-    def deadline_series(self) -> List[Seconds]:
+    def deadline_series(self) -> list[Seconds]:
         """Per-round deadlines (the DDL subplots of Figs. 9-10)."""
         return [r.deadline for r in self.records]
 

@@ -13,7 +13,6 @@ acquisition predicts.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.types import require_fraction, require_nonnegative_int
 
@@ -21,16 +20,16 @@ from repro.types import require_fraction, require_nonnegative_int
 class StoppingCondition:
     """Coverage + diminishing-hypervolume stopping rule."""
 
-    def __init__(self, min_explored: int, hv_improvement_threshold: float):
+    def __init__(self, min_explored: int, hv_improvement_threshold: float) -> None:
         require_nonnegative_int("min_explored", min_explored)
         self.min_explored = min_explored
         self.hv_improvement_threshold = require_fraction(
             "hv_improvement_threshold", hv_improvement_threshold
         )
-        self._history: List[float] = []
+        self._history: list[float] = []
 
     @property
-    def history(self) -> List[float]:
+    def history(self) -> list[float]:
         """Recorded hypervolume trajectory (one entry per phase-2 round)."""
         return list(self._history)
 

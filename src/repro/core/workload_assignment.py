@@ -9,7 +9,7 @@ for at least ``tau`` seconds, then moves on.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from repro.core.base import JobCallback
 from repro.hardware.device import SimulatedDevice
@@ -25,7 +25,7 @@ from repro.types import (
 class MeasurementPolicy:
     """Runs tau-second measurement windows against the round budget."""
 
-    def __init__(self, tau: float):
+    def __init__(self, tau: float) -> None:
         self.tau = require_positive("tau", tau)
 
     def measure(
@@ -34,7 +34,7 @@ class MeasurementPolicy:
         config: DvfsConfiguration,
         budget: RoundBudget,
         on_job: Optional[JobCallback] = None,
-    ) -> Tuple[PerformanceSample, Tuple[JobResult, ...]]:
+    ) -> tuple[PerformanceSample, tuple[JobResult, ...]]:
         """Measure ``config`` for >= tau seconds (or until jobs run out).
 
         Every job executed inside the window is a real training job: it is
@@ -45,7 +45,7 @@ class MeasurementPolicy:
         """
         device.set_configuration(config)
         device.open_measurement()
-        results: List[JobResult] = []
+        results: list[JobResult] = []
         while device.meter.window_duration < self.tau and not budget.finished:
             result = device.run_job()
             budget.record_job(result)

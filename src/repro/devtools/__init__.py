@@ -1,0 +1,9 @@
+"""Developer tooling that ships with the library.
+
+``repro.devtools.lint`` is the determinism-aware static-analysis suite
+behind the ``repro lint`` CLI subcommand; see ``docs/static_analysis.md``.
+"""
+
+from repro.devtools.lint import LintReport, Rule, Violation, lint_paths
+
+__all__ = ["LintReport", "Rule", "Violation", "lint_paths"]

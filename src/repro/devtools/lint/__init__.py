@@ -1,0 +1,31 @@
+"""Determinism-aware static analysis (``repro lint``).
+
+Public surface: the engine types plus :func:`lint_paths`; the built-in
+rules register themselves when the engine enumerates the registry.
+"""
+
+from repro.devtools.lint.engine import (
+    LINT_REPORT_VERSION,
+    LintReport,
+    Rule,
+    SourceFile,
+    Violation,
+    find_repo_root,
+    get_rule,
+    iter_rules,
+    lint_paths,
+    register_rule,
+)
+
+__all__ = [
+    "LINT_REPORT_VERSION",
+    "LintReport",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "find_repo_root",
+    "get_rule",
+    "iter_rules",
+    "lint_paths",
+    "register_rule",
+]

@@ -1,0 +1,353 @@
+"""The ``repro lint`` rule engine.
+
+The test suite can only spot-check the repo's reproducibility invariants
+dynamically (serial == parallel executor results, schema-stable traces,
+seed-derived randomness); this module is the compile-time counterpart: a
+small registry of AST-based design-rule checkers that walk the source
+tree and fail the build when an invariant is violated *structurally* —
+a wall-clock read in simulation code, an unseeded ``random.*`` call, an
+event kind outside the typed registry.
+
+Architecture:
+
+* :class:`Rule` — one named checker with an *include/exempt* path scope
+  (repo-root-relative globs) and an AST ``check`` callable;
+* the module-level registry (:func:`register_rule`, :func:`iter_rules`)
+  — rules self-register at import, ``repro lint --list-rules`` renders it;
+* :class:`SourceFile` — one parsed file shared by every rule;
+* suppressions — ``# repro: allow[rule-id] -- justification`` on the
+  flagged line.  The justification is **required**: a bare suppression
+  does not suppress and is itself reported (rule ``suppression``);
+* :func:`lint_paths` — the driver; returns a :class:`LintReport` that
+  renders as human-readable lines or as a versioned JSON document.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import json
+import pathlib
+import re
+import tokenize
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: Bump when the JSON report layout changes; CI consumers pin on this.
+LINT_REPORT_VERSION = 1
+
+#: Rule id reserved for suppression-comment misuse (always enabled).
+SUPPRESSION_RULE_ID = "suppression"
+
+#: Rule id reserved for unparseable files (always enabled).
+PARSE_RULE_ID = "parse-error"
+
+#: The allow-comment marker, with an optional justification tail.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[A-Za-z0-9_-]+)\]"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    rule: str
+    path: str  # repo-root-relative, posix separators
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    rule: str
+    line: int
+    justification: Optional[str]
+
+
+@dataclass
+class SourceFile:
+    """One file on disk, parsed once and shared by every rule."""
+
+    path: pathlib.Path
+    relpath: str
+    text: str
+    tree: ast.Module
+
+    @classmethod
+    def load(cls, path: pathlib.Path, root: pathlib.Path) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        return cls(path=path, relpath=relpath, text=text, tree=tree)
+
+    def suppressions(self) -> list[Suppression]:
+        """Allow-comments, found via real COMMENT tokens (never docstrings)."""
+        found = []
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.text).readline))
+        except tokenize.TokenizeError:  # the ast parse already succeeded
+            return []
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is not None:
+                found.append(
+                    Suppression(
+                        rule=match.group("rule"),
+                        line=token.start[0],
+                        justification=match.group("why"),
+                    )
+                )
+        return found
+
+
+#: A rule's checker: yields violations for one parsed file.
+CheckFn = Callable[[SourceFile], Iterable[Violation]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered design-rule checker.
+
+    ``include``/``exempt`` are repo-root-relative glob patterns deciding
+    which files the rule sees at all; exemptions are the *structural*
+    allowlist (e.g. the two timing modules for ``wall-clock``), distinct
+    from per-line suppression comments, which require a justification.
+    """
+
+    id: str
+    summary: str
+    rationale: str
+    check: CheckFn
+    include: tuple[str, ...] = ("src/repro/**",)
+    exempt: tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if not any(_glob_match(relpath, pattern) for pattern in self.include):
+            return False
+        return not any(_glob_match(relpath, pattern) for pattern in self.exempt)
+
+
+def _glob_match(relpath: str, pattern: str) -> bool:
+    """``fnmatch`` with ``**`` spanning directory separators."""
+    if fnmatch.fnmatch(relpath, pattern):
+        return True
+    # "pkg/**" should also match "pkg" itself and files directly under it.
+    if pattern.endswith("/**"):
+        base = pattern[:-3]
+        return relpath == base or relpath.startswith(base + "/")
+    return False
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Add ``rule`` to the global registry (id collisions are a bug)."""
+    if rule.id in _REGISTRY:
+        raise ConfigurationError(f"duplicate lint rule id: {rule.id!r}")
+    if rule.id in (SUPPRESSION_RULE_ID, PARSE_RULE_ID):
+        raise ConfigurationError(f"lint rule id {rule.id!r} is reserved")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def iter_rules() -> list[Rule]:
+    """All registered rules, sorted by id."""
+    _ensure_builtin_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_builtin_rules()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown lint rule {rule_id!r} (known: {known})"
+        ) from None
+
+
+def _ensure_builtin_rules() -> None:
+    # The built-in checkers live in a sibling module that registers them
+    # at import; imported lazily so engine <-> rules stay acyclic.
+    from repro.devtools.lint import rules as _rules  # noqa: F401
+
+
+@dataclass
+class LintReport:
+    """The outcome of one :func:`lint_paths` run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    checked_files: int = 0
+    rule_ids: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": LINT_REPORT_VERSION,
+            "ok": self.ok,
+            "checked_files": self.checked_files,
+            "rules": list(self.rule_ids),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_human(self) -> str:
+        lines = [violation.render() for violation in self.violations]
+        lines.append(
+            f"repro lint: {len(self.violations)} violation(s) in "
+            f"{self.checked_files} file(s) "
+            f"({len(self.rule_ids)} rule(s))"
+        )
+        return "\n".join(lines)
+
+
+def _iter_python_files(paths: Sequence[pathlib.Path]) -> Iterator[pathlib.Path]:
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[pathlib.Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen or "__pycache__" in resolved.parts:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def find_repo_root(start: pathlib.Path) -> pathlib.Path:
+    """The nearest ancestor of ``start`` holding a ``pyproject.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return current
+
+
+def _apply_suppressions(
+    source: SourceFile,
+    violations: list[Violation],
+    enabled_ids: Sequence[str],
+) -> list[Violation]:
+    """Drop justified same-line suppressed hits; flag suppression misuse."""
+    kept: list[Violation] = []
+    suppressions = source.suppressions()
+    valid = {
+        (s.rule, s.line)
+        for s in suppressions
+        if s.justification
+    }
+    for violation in violations:
+        if (violation.rule, violation.line) in valid:
+            continue
+        kept.append(violation)
+    known_ids = set(enabled_ids) | {rule.id for rule in iter_rules()}
+    for suppression in suppressions:
+        if not suppression.justification:
+            kept.append(
+                Violation(
+                    rule=SUPPRESSION_RULE_ID,
+                    path=source.relpath,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        f"suppression of [{suppression.rule}] needs a "
+                        "justification: '# repro: allow"
+                        f"[{suppression.rule}] -- <why this is safe>'"
+                    ),
+                )
+            )
+        elif suppression.rule not in known_ids:
+            kept.append(
+                Violation(
+                    rule=SUPPRESSION_RULE_ID,
+                    path=source.relpath,
+                    line=suppression.line,
+                    col=0,
+                    message=f"suppression names unknown rule {suppression.rule!r}",
+                )
+            )
+    return kept
+
+
+def lint_paths(
+    paths: Sequence[pathlib.Path],
+    *,
+    root: Optional[pathlib.Path] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the (selected) registered rules over every ``.py`` under ``paths``.
+
+    ``root`` anchors the repo-relative paths that rule scopes and report
+    locations use; by default it is discovered from the first path.
+    """
+    paths = [pathlib.Path(p) for p in paths]
+    if not paths:
+        raise ConfigurationError("lint_paths needs at least one path")
+    resolved_root = root if root is not None else find_repo_root(paths[0])
+    if select is None:
+        rules = iter_rules()
+    else:
+        rules = [get_rule(rule_id) for rule_id in select]
+    report = LintReport(rule_ids=[rule.id for rule in rules])
+
+    for path in _iter_python_files(paths):
+        report.checked_files += 1
+        try:
+            source = SourceFile.load(path, resolved_root)
+        except SyntaxError as error:
+            relpath = path.resolve().relative_to(resolved_root.resolve()).as_posix()
+            report.violations.append(
+                Violation(
+                    rule=PARSE_RULE_ID,
+                    path=relpath,
+                    line=error.lineno or 0,
+                    col=error.offset or 0,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        file_violations: list[Violation] = []
+        for rule in rules:
+            if not rule.applies_to(source.relpath):
+                continue
+            file_violations.extend(rule.check(source))
+        report.violations.extend(
+            _apply_suppressions(source, file_violations, report.rule_ids)
+        )
+
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return report

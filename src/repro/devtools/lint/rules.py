@@ -1,0 +1,410 @@
+"""The built-in ``repro lint`` rules.
+
+Each rule guards one reproducibility invariant of this codebase; the
+rationale strings (and ``docs/static_analysis.md``) tie every rule to
+the dynamic guarantee it protects.  Rules self-register on import via
+:func:`repro.devtools.lint.engine.register_rule`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import Optional
+
+from repro.devtools.lint.engine import Rule, SourceFile, Violation, register_rule
+from repro.obs.events import EVENT_KINDS
+
+# --------------------------------------------------------------------------
+# Import-aware name resolution
+# --------------------------------------------------------------------------
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to canonical dotted origins for a module's imports.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``; ``from time import
+    perf_counter as pc`` -> ``{"pc": "time.perf_counter"}``.  Only
+    absolute imports are tracked — this repo forbids relative imports of
+    stdlib-shadowing names anyway.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".", 1)[0]
+                canonical = item.name if item.asname else item.name.split(".", 1)[0]
+                aliases[local] = canonical
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                local = item.asname or item.name
+                aliases[local] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def _dotted(node: ast.AST) -> Optional[list[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name expressions."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _canonical_call(
+    node: ast.Call, aliases: dict[str, str]
+) -> Optional[str]:
+    """The canonical dotted name a call resolves to through the imports.
+
+    Returns None when the callee's base name was not introduced by an
+    import (locals never count — a variable named ``random`` is not the
+    ``random`` module).
+    """
+    parts = _dotted(node.func)
+    if not parts:
+        return None
+    base = parts[0]
+    if base not in aliases:
+        return None
+    return ".".join([aliases[base], *parts[1:]])
+
+
+def _violation(
+    source: SourceFile, node: ast.AST, rule_id: str, message: str
+) -> Violation:
+    return Violation(
+        rule=rule_id,
+        path=source.relpath,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+# --------------------------------------------------------------------------
+# Rule 1: wall-clock
+# --------------------------------------------------------------------------
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _check_wall_clock(source: SourceFile) -> Iterator[Violation]:
+    aliases = _import_aliases(source.tree)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _canonical_call(node, aliases)
+        if name in _WALL_CLOCK_CALLS:
+            yield _violation(
+                source,
+                node,
+                "wall-clock",
+                f"{name}() reads the wall clock; simulation code must use "
+                "repro.clock (simulated time) — wall time belongs only in "
+                "the allowlisted timing modules",
+            )
+
+
+register_rule(
+    Rule(
+        id="wall-clock",
+        summary="no wall-clock reads outside the allowlisted timing modules",
+        rationale=(
+            "Campaign results are keyed and cached by simulated time from "
+            "repro.clock; a wall-clock read makes results machine-dependent "
+            "and silently breaks the serial==parallel executor guarantee "
+            "and the schema-versioned campaign cache."
+        ),
+        check=_check_wall_clock,
+        include=("src/repro/**",),
+        # The two modules whose whole point is measuring wall time, and
+        # the benchmark tree (outside src/ but listed for clarity).
+        exempt=(
+            "src/repro/obs/metrics.py",
+            "src/repro/sim/executor.py",
+            "benchmarks/**",
+        ),
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# Rule 2: unseeded-random
+# --------------------------------------------------------------------------
+
+#: Seeded-generator constructors remain allowed; the module-level API
+#: (global hidden state) is what destroys reproducibility.
+_ALLOWED_RANDOM_CALLS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.BitGenerator",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+    }
+)
+
+
+def _check_unseeded_random(source: SourceFile) -> Iterator[Violation]:
+    aliases = _import_aliases(source.tree)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _canonical_call(node, aliases)
+        if name is None or name in _ALLOWED_RANDOM_CALLS:
+            continue
+        if name.startswith("random.") or name.startswith("numpy.random."):
+            yield _violation(
+                source,
+                node,
+                "unseeded-random",
+                f"{name}() draws from global random state; thread a seeded "
+                "numpy.random.Generator (or random.Random) through the call "
+                "chain instead",
+            )
+
+
+register_rule(
+    Rule(
+        id="unseeded-random",
+        summary="no module-level random.* / np.random.* API in library code",
+        rationale=(
+            "Every stochastic component takes a Generator derived from the "
+            "campaign seed; global-state randomness would give different "
+            "results per process and break the executor's paired-determinism "
+            "and the persistent result cache."
+        ),
+        check=_check_unseeded_random,
+        include=("src/repro/**",),
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# Rule 3: assert-validation
+# --------------------------------------------------------------------------
+
+
+def _check_assert_validation(source: SourceFile) -> Iterator[Violation]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Assert):
+            yield _violation(
+                source,
+                node,
+                "assert-validation",
+                "assert statements vanish under 'python -O'; validate with "
+                "an explicit raise of a repro.errors exception",
+            )
+
+
+register_rule(
+    Rule(
+        id="assert-validation",
+        summary="no assert-as-validation in library code",
+        rationale=(
+            "Library invariants enforced via assert silently disappear when "
+            "Python runs with -O/-OO, turning guarded states (unfitted "
+            "models, infeasible solver output) into corrupt downstream "
+            "results instead of clean ReproError failures."
+        ),
+        check=_check_assert_validation,
+        include=("src/repro/**",),
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# Rule 4: float-equality
+# --------------------------------------------------------------------------
+
+#: Identifier substrings that mark a value as a latency/energy objective.
+_OBJECTIVE_NAME_PARTS = ("latency", "energy", "objective", "hypervolume")
+
+
+def _objective_like(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        terminal = node.attr
+    elif isinstance(node, ast.Name):
+        terminal = node.id
+    else:
+        return None
+    lowered = terminal.lower()
+    for part in _OBJECTIVE_NAME_PARTS:
+        if part in lowered:
+            return terminal
+    return None
+
+
+def _check_float_equality(source: SourceFile) -> Iterator[Violation]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            name = _objective_like(left) or _objective_like(right)
+            if name is not None:
+                yield _violation(
+                    source,
+                    node,
+                    "float-equality",
+                    f"float ==/!= on objective value {name!r}; use "
+                    "math.isclose / a tolerance — exact float comparison on "
+                    "latency/energy objectives is representation-dependent",
+                )
+
+
+register_rule(
+    Rule(
+        id="float-equality",
+        summary="no ==/!= on latency/energy objective floats",
+        rationale=(
+            "Latency and energy objectives are accumulated floats; exact "
+            "equality depends on summation order, which the parallel "
+            "executor deliberately does not fix — comparisons must be "
+            "tolerance-based (the guardian's Eqn. 2 margin is, too)."
+        ),
+        check=_check_float_equality,
+        include=("src/repro/**",),
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# Rule 5: pickle-safety
+# --------------------------------------------------------------------------
+
+
+def _lambdas_under(node: ast.AST) -> Iterator[ast.Lambda]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Lambda):
+            yield child
+
+
+def _check_pickle_safety(source: SourceFile) -> Iterator[Violation]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        parts = _dotted(node.func)
+        target: Optional[str] = None
+        if parts and parts[-1] == "CampaignSpec":
+            target = "CampaignSpec(...)"
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "submit":
+            target = ".submit(...)"
+        if target is None:
+            continue
+        subtrees = [*node.args, *(kw.value for kw in node.keywords)]
+        for subtree in subtrees:
+            for lam in _lambdas_under(subtree):
+                yield _violation(
+                    source,
+                    lam,
+                    "pickle-safety",
+                    f"lambda passed into {target} cannot cross the "
+                    "ProcessPoolExecutor boundary (not picklable); use a "
+                    "module-level function",
+                )
+
+
+register_rule(
+    Rule(
+        id="pickle-safety",
+        summary="no lambdas/closures crossing the process-pool boundary",
+        rationale=(
+            "CampaignSpec objects and submit() payloads are pickled into "
+            "worker processes; lambdas and closures fail to pickle only at "
+            "runtime and only on the workers>1 path, which unit tests "
+            "(workers=1) never exercise."
+        ),
+        check=_check_pickle_safety,
+        include=("src/repro/**",),
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# Rule 6: obs-event-kind
+# --------------------------------------------------------------------------
+
+
+def _check_obs_event_kind(source: SourceFile) -> Iterator[Violation]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not (isinstance(node.func, ast.Attribute) and node.func.attr == "emit"):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                yield _violation(
+                    source,
+                    node,
+                    "obs-event-kind",
+                    "emit() payload must be explicit keyword arguments, not "
+                    "an unpacked ad-hoc dict — the trace schema is typed",
+                )
+        if not node.args:
+            continue
+        kind_node = node.args[0]
+        if not (
+            isinstance(kind_node, ast.Constant) and isinstance(kind_node.value, str)
+        ):
+            yield _violation(
+                source,
+                node,
+                "obs-event-kind",
+                "emit() kind must be a string literal from "
+                "repro.obs.events.EVENT_KINDS so traces stay replayable",
+            )
+            continue
+        if kind_node.value not in EVENT_KINDS:
+            yield _violation(
+                source,
+                node,
+                "obs-event-kind",
+                f"event kind {kind_node.value!r} is not registered in "
+                "repro.obs.events.EVENT_KINDS; register and document it in "
+                "docs/observability.md",
+            )
+
+
+register_rule(
+    Rule(
+        id="obs-event-kind",
+        summary="events emitted only with kinds from the typed registry",
+        rationale=(
+            "'repro trace' replays archived JSONL traces through schema-"
+            "aware renderers; an unregistered or dynamically-built event "
+            "kind produces traces the replayer cannot interpret, which the "
+            "trace format version cannot catch."
+        ),
+        check=_check_obs_event_kind,
+        include=("src/repro/**",),
+        # The obs package itself is the plumbing that forwards kinds.
+        exempt=("src/repro/obs/**",),
+    )
+)

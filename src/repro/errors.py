@@ -56,7 +56,7 @@ class DeadlineMissError(ReproError):
     indicates either a disabled guardian (ablation mode) or a bug.
     """
 
-    def __init__(self, round_index: int, deadline: float, elapsed: float):
+    def __init__(self, round_index: int, deadline: float, elapsed: float) -> None:
         self.round_index = round_index
         self.deadline = deadline
         self.elapsed = elapsed

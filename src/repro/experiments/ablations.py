@@ -13,7 +13,6 @@
 
 from __future__ import annotations
 
-from typing import Dict
 
 import numpy as np
 
@@ -30,7 +29,7 @@ def run_guardian(
     ratio: float = 1.3,
     rounds: int = 30,
     seed: int = 0,
-) -> Dict:
+) -> dict:
     """Guardian on/off under tight deadlines."""
     variants = {}
     for enabled in (True, False):
@@ -46,7 +45,7 @@ def run_guardian(
     return {"device": device, "task": task, "ratio": ratio, "variants": variants}
 
 
-def render_guardian(payload: Dict) -> str:
+def render_guardian(payload: dict) -> str:
     rows = [
         (name, v["missed_rounds"], f"{v['energy']:.0f}", v["explored"])
         for name, v in payload["variants"].items()
@@ -67,7 +66,7 @@ def run_acquisition(
     ratio: float = 2.0,
     rounds: int = 40,
     seed: int = 0,
-) -> Dict:
+) -> dict:
     """EHVI vs random phase-2 suggestions."""
     bofl = run_campaign(device, task, "bofl", ratio, rounds=rounds, seed=seed)
     random_search = run_campaign(
@@ -89,7 +88,7 @@ def run_acquisition(
     return payload
 
 
-def render_acquisition(payload: Dict) -> str:
+def render_acquisition(payload: dict) -> str:
     rows = [
         (
             name,
@@ -114,7 +113,7 @@ def run_tau(
     rounds: int = 40,
     taus: tuple = (1.0, 2.5, 5.0, 10.0),
     seed: int = 0,
-) -> Dict:
+) -> dict:
     """Sensitivity to the reference measurement duration tau."""
     performant = run_campaign(device, task, "performant", ratio, rounds=rounds, seed=seed)
     variants = {}
@@ -135,7 +134,7 @@ def run_tau(
     return {"device": device, "task": task, "variants": variants}
 
 
-def render_tau(payload: Dict) -> str:
+def render_tau(payload: dict) -> str:
     rows = [
         (
             f"{tau:.1f}s",
@@ -160,7 +159,7 @@ def run_parego(
     batches: int = 5,
     batch_size: int = 10,
     seed: int = 0,
-) -> Dict:
+) -> dict:
     """EHVI vs ParEGO vs random at an equal evaluation budget.
 
     Pure front-search comparison on the true surfaces (no FL loop): all
@@ -237,7 +236,7 @@ def run_parego(
     return {"device": device, "workload": workload, "variants": results}
 
 
-def render_parego(payload: Dict) -> str:
+def render_parego(payload: dict) -> str:
     rows = [
         (name, f"{v['hv_ratio'] * 100:.1f}%", v["evaluations"])
         for name, v in payload["variants"].items()
@@ -256,7 +255,7 @@ def run_thermal(
     rounds: int = 30,
     seed: int = 0,
     drift_threshold: float = 0.08,
-) -> Dict:
+) -> dict:
     """Thermal throttling + drift re-exploration (extension experiment).
 
     Runs BoFL on a board whose sustained load heats it into throttling —
@@ -307,7 +306,7 @@ def run_thermal(
     return {"rounds": rounds, "variants": variants}
 
 
-def render_thermal(payload: Dict) -> str:
+def render_thermal(payload: dict) -> str:
     rows = [
         (
             name,
@@ -344,7 +343,7 @@ def run_exploit(
     ratio: float = 2.0,
     rounds: int = 40,
     seed: int = 0,
-) -> Dict:
+) -> dict:
     """ILP mixture vs single-best-configuration exploitation."""
     performant = run_campaign(device, task, "performant", ratio, rounds=rounds, seed=seed)
     variants = {}
@@ -361,7 +360,7 @@ def run_exploit(
     return {"device": device, "task": task, "variants": variants}
 
 
-def render_exploit(payload: Dict) -> str:
+def render_exploit(payload: dict) -> str:
     rows = [
         (name, f"{v['energy']:.0f}", f"{v['improvement'] * 100:.1f}%", v["missed"])
         for name, v in payload["variants"].items()

@@ -14,7 +14,6 @@ semantics (e.g. dropping jobs near deadlines).
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 import numpy as np
 
@@ -33,7 +32,7 @@ from repro.ml.models import MLPClassifier
 from repro.workloads.zoo import get_workload
 
 
-def _build_federation(controller_name: str, rounds: int, seed: int):
+def _build_federation(controller_name: str, rounds: int, seed: int) -> FederatedServer:
     rng = np.random.default_rng(seed)
     full = make_blobs_classification(
         1700, n_features=16, n_classes=5, class_separation=0.9, seed=seed
@@ -48,7 +47,7 @@ def _build_federation(controller_name: str, rounds: int, seed: int):
         minibatches={"agx": 16}, rounds=rounds,
     )
     global_model = MLPClassifier(16, [32], 5, seed=seed)
-    clients: List[FederatedClient] = []
+    clients: list[FederatedClient] = []
     for i, shard in enumerate(shards):
         spec = get_device("agx")
         device = SimulatedDevice(spec, workload, seed=100 + i)
@@ -80,7 +79,7 @@ def _build_federation(controller_name: str, rounds: int, seed: int):
     )
 
 
-def run(rounds: int = 8, seed: int = 0) -> Dict:
+def run(rounds: int = 8, seed: int = 0) -> dict:
     """Train the same federation under Performant and BoFL pacing."""
     results = {}
     for controller_name in ("performant", "bofl"):
@@ -94,7 +93,7 @@ def run(rounds: int = 8, seed: int = 0) -> Dict:
     return {"rounds": rounds, "seed": seed, "results": results}
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     results = payload["results"]
     rows = []
     for i in range(payload["rounds"]):

@@ -12,7 +12,6 @@ with only the deadline-blind ondemand governor ever missing a round.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.analysis.tables import ascii_table
 from repro.sim.runner import CONTROLLER_NAMES, run_campaign
@@ -24,7 +23,7 @@ def run(
     ratio: float = 2.0,
     rounds: int = 40,
     seed: int = 0,
-) -> Dict:
+) -> dict:
     results = {}
     for controller in CONTROLLER_NAMES:
         campaign = run_campaign(device, task, controller, ratio, rounds=rounds, seed=seed)
@@ -47,7 +46,7 @@ def run(
     }
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     order = sorted(payload["results"], key=lambda n: payload["results"][n]["energy"])
     rows = []
     for name in order:

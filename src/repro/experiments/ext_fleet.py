@@ -13,7 +13,6 @@ stretch the global round beyond its deadline envelope.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from repro.analysis.tables import ascii_table
 from repro.baselines import PerformantController
@@ -42,8 +41,8 @@ FLEET = (
 )
 
 
-def _build_fleet(controller_name: str, seed: int) -> List[FederatedClient]:
-    clients: List[FederatedClient] = []
+def _build_fleet(controller_name: str, seed: int) -> list[FederatedClient]:
+    clients: list[FederatedClient] = []
     for index, (device_name, task_factory) in enumerate(FLEET):
         spec = get_device(device_name)
         task: FLTaskSpec = task_factory()
@@ -62,7 +61,7 @@ def _build_fleet(controller_name: str, seed: int) -> List[FederatedClient]:
     return clients
 
 
-def run(rounds: int = 25, deadline_ratio: float = 2.5, seed: int = 0) -> Dict:
+def run(rounds: int = 25, deadline_ratio: float = 2.5, seed: int = 0) -> dict:
     """Run the 10-client fleet under both controllers (energy-only)."""
     results = {}
     for controller_name in ("performant", "bofl"):
@@ -91,7 +90,7 @@ def run(rounds: int = 25, deadline_ratio: float = 2.5, seed: int = 0) -> Dict:
     }
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     performant = payload["results"]["performant"]
     bofl = payload["results"]["bofl"]
     rows = []

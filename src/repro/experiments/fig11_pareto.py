@@ -8,7 +8,6 @@ ratio and coverage), plus the fraction of the space explored (the paper:
 
 from __future__ import annotations
 
-from typing import Dict
 
 import numpy as np
 
@@ -25,7 +24,7 @@ def run(
     tasks: tuple = ("vit", "resnet50", "lstm"),
     rounds: int = 40,
     seed: int = 0,
-) -> Dict:
+) -> dict:
     space_size = len(get_device(device).space)
     results = {}
     for task in tasks:
@@ -47,7 +46,7 @@ def run(
     return {"ratio": ratio, "device": device, "tasks": results}
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     rows = []
     for task, data in payload["tasks"].items():
         rows.append(

@@ -8,7 +8,6 @@ deadlines, regret falling; overall bands 20.3-25.9% and 1.2-3.4%.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.analysis.metrics import improvement_vs_performant, regret_vs_oracle
 from repro.analysis.tables import ascii_table
@@ -23,7 +22,7 @@ def run(
     ratios: tuple = (2.0, 2.5, 3.0, 3.5, 4.0),
     rounds: int = 100,
     seed: int = 0,
-) -> Dict:
+) -> dict:
     results = {}
     for task in tasks:
         per_ratio = {}
@@ -47,7 +46,7 @@ def run(
     }
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     ratios = payload["ratios"]
     headers = ["task"] + [f"{r}x" for r in ratios]
     improvement_rows = []

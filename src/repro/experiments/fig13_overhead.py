@@ -7,7 +7,6 @@ run, 0.4-0.7% overall.
 
 from __future__ import annotations
 
-from typing import Dict
 
 import numpy as np
 
@@ -27,7 +26,7 @@ def run(
     ratio: float = 2.0,
     rounds: int = 100,
     seed: int = 0,
-) -> Dict:
+) -> dict:
     per_device = {}
     overall = {}
     for device in devices:
@@ -54,7 +53,7 @@ def run(
     }
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     rows = [
         (
             device,

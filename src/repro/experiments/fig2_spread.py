@@ -8,7 +8,6 @@ the whole space for each workload and the Pareto front size.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 import numpy as np
 
@@ -21,10 +20,10 @@ from repro.workloads.zoo import get_workload
 PAPER_CLAIM = {"latency_spread": 8.0, "energy_spread": 4.0}
 
 
-def run(device: str = "agx", workloads: tuple = ("vit", "resnet50", "lstm")) -> Dict:
+def run(device: str = "agx", workloads: tuple = ("vit", "resnet50", "lstm")) -> dict:
     """Measure the whole-space spreads for each workload on ``device``."""
     spec = get_device(device)
-    rows: List[Dict] = []
+    rows: list[dict] = []
     for name in workloads:
         model = get_workload(name).performance_model(spec)
         latencies, energies = model.profile_space()
@@ -41,7 +40,7 @@ def run(device: str = "agx", workloads: tuple = ("vit", "resnet50", "lstm")) -> 
     return {"device": device, "rows": rows, "paper_claim": PAPER_CLAIM}
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     table = ascii_table(
         ["workload", "latency spread", "energy spread", "true Pareto pts", "|X|"],
         [

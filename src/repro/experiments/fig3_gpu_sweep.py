@@ -8,18 +8,17 @@ paper's measurement setup.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from repro.analysis.tables import ascii_table
 from repro.hardware.devices import get_device
 from repro.workloads.zoo import get_workload
 
 
-def run(device: str = "agx", workload: str = "vit") -> Dict:
+def run(device: str = "agx", workload: str = "vit") -> dict:
     spec = get_device(device)
     model = get_workload(workload).performance_model(spec)
     space = spec.space
-    sweeps: List[Dict] = []
+    sweeps: list[dict] = []
     for cpu in (space.cpu.min, space.cpu.max):
         points = []
         for gpu in space.gpu.frequencies:
@@ -35,7 +34,7 @@ def run(device: str = "agx", workload: str = "vit") -> Dict:
     return {"device": device, "workload": workload, "sweeps": sweeps}
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     lines = [
         f"Fig. 3 — {payload['workload']} on {payload['device']}: "
         "latency/energy per minibatch vs GPU frequency"

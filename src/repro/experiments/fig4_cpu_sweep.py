@@ -8,7 +8,6 @@ energy decreasing.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from repro.analysis.tables import ascii_table
 from repro.hardware.devices import get_device
@@ -19,11 +18,11 @@ def run(
     device: str = "agx",
     workloads: tuple = ("vit", "resnet50", "lstm"),
     cpu_range: tuple = (0.6, 1.75),
-) -> Dict:
+) -> dict:
     spec = get_device(device)
     space = spec.space
     cpu_freqs = [f for f in space.cpu.frequencies if cpu_range[0] <= f <= cpu_range[1]]
-    series: List[Dict] = []
+    series: list[dict] = []
     for name in workloads:
         model = get_workload(name).performance_model(spec)
         points = []
@@ -40,7 +39,7 @@ def run(
     return {"device": device, "cpu_freqs": cpu_freqs, "series": series}
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     headers = ["CPU (GHz)"] + [
         f"{s['workload']} {col}" for s in payload["series"] for col in ("T(s)", "E(J)")
     ]

@@ -12,7 +12,6 @@ discrepancy is recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.analysis.tables import ascii_table
 from repro.hardware.devices import get_device
@@ -25,7 +24,7 @@ PAPER_RATIOS = {
 }
 
 
-def run(workloads: tuple = ("vit", "resnet50", "lstm")) -> Dict:
+def run(workloads: tuple = ("vit", "resnet50", "lstm")) -> dict:
     agx, tx2 = get_device("agx"), get_device("tx2")
     rows = []
     for name in workloads:
@@ -45,7 +44,7 @@ def run(workloads: tuple = ("vit", "resnet50", "lstm")) -> Dict:
     return {"rows": rows}
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     rows = []
     for r in payload["rows"]:
         paper = r["paper"] or {}

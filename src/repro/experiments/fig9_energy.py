@@ -9,7 +9,6 @@ regret numbers.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.analysis.metrics import improvement_vs_performant, regret_vs_oracle
 from repro.analysis.charts import line_chart
@@ -23,7 +22,7 @@ def run(
     tasks: tuple = ("vit", "resnet50", "lstm"),
     rounds: int = 40,
     seed: int = 0,
-) -> Dict:
+) -> dict:
     results = {}
     for task in tasks:
         bofl = run_campaign(device, task, "bofl", ratio, rounds=rounds, seed=seed)
@@ -46,7 +45,7 @@ def run(
     return {"ratio": ratio, "device": device, "rounds": rounds, "tasks": results}
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     fig = "Fig. 9" if payload["ratio"] <= 2.0 else "Fig. 10"
     lines = [
         f"{fig} — per-round energy (J), first {payload['rounds']} rounds, "

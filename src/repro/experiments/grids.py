@@ -13,7 +13,7 @@ ablations) are deliberately absent; they fall back to serial execution.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.sim.executor import CampaignSpec, expand_grid
 from repro.sim.runner import CONTROLLER_NAMES
@@ -24,7 +24,7 @@ _TRIO = ("bofl", "performant", "oracle")
 
 def fig9_grid(
     ratio: float = 2.0, rounds: int = 40, seed: int = 0
-) -> List[CampaignSpec]:
+) -> list[CampaignSpec]:
     """Figs. 9/10: the controller trio per task at one deadline ratio."""
     return expand_grid(
         devices=("agx",), tasks=_TASKS, controllers=_TRIO,
@@ -34,13 +34,13 @@ def fig9_grid(
 
 def fig10_grid(
     ratio: float = 4.0, rounds: int = 40, seed: int = 0
-) -> List[CampaignSpec]:
+) -> list[CampaignSpec]:
     return fig9_grid(ratio=ratio, rounds=rounds, seed=seed)
 
 
 def fig11_grid(
     ratio: float = 2.0, rounds: int = 40, seed: int = 0
-) -> List[CampaignSpec]:
+) -> list[CampaignSpec]:
     """Fig. 11: BoFL's searched front vs the Oracle front per task."""
     return expand_grid(
         devices=("agx",), tasks=_TASKS, controllers=("bofl", "oracle"),
@@ -50,7 +50,7 @@ def fig11_grid(
 
 def tab3_grid(
     ratio: float = 2.0, rounds: int = 40, seed: int = 0
-) -> List[CampaignSpec]:
+) -> list[CampaignSpec]:
     """Table 3: the BoFL exploration walkthrough per task."""
     return expand_grid(
         devices=("agx",), tasks=_TASKS, controllers=("bofl",),
@@ -60,7 +60,7 @@ def tab3_grid(
 
 def fig12_grid(
     ratio: Optional[float] = None, rounds: int = 100, seed: int = 0
-) -> List[CampaignSpec]:
+) -> list[CampaignSpec]:
     """Fig. 12: the trio per task over the deadline-ratio sweep."""
     ratios = (ratio,) if ratio is not None else (2.0, 2.5, 3.0, 3.5, 4.0)
     return expand_grid(
@@ -71,7 +71,7 @@ def fig12_grid(
 
 def fig13_grid(
     ratio: float = 2.0, rounds: int = 100, seed: int = 0
-) -> List[CampaignSpec]:
+) -> list[CampaignSpec]:
     """Fig. 13: BoFL campaigns on both devices (MBO overhead)."""
     return expand_grid(
         devices=("agx", "tx2"), tasks=_TASKS, controllers=("bofl",),
@@ -81,7 +81,7 @@ def fig13_grid(
 
 def ext_controllers_grid(
     ratio: float = 2.0, rounds: int = 40, seed: int = 0
-) -> List[CampaignSpec]:
+) -> list[CampaignSpec]:
     """Extension scoreboard: every controller on agx/vit."""
     return expand_grid(
         devices=("agx",), tasks=("vit",), controllers=CONTROLLER_NAMES,

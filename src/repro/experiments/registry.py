@@ -8,10 +8,13 @@ by tooling that regenerates EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from collections.abc import Callable
+from typing import Optional
 
+from repro.core.records import CampaignResult
 from repro.errors import ConfigurationError
 from repro.experiments import grids
+from repro.sim.executor import ProgressCallback
 from repro.experiments import (
     ablations,
     ext_accuracy,
@@ -47,12 +50,12 @@ class Experiment:
     grid: Optional[Callable[..., list]] = None
 
 
-def _fig10_run(**kwargs) -> dict:
+def _fig10_run(**kwargs: object) -> dict:
     kwargs.setdefault("ratio", 4.0)
     return fig9_energy.run(**kwargs)
 
 
-EXPERIMENTS: Dict[str, Experiment] = {
+EXPERIMENTS: dict[str, Experiment] = {
     exp.id: exp
     for exp in (
         Experiment(
@@ -207,9 +210,9 @@ def warm_experiment_cache(
     experiment_id: str,
     *,
     workers: Optional[int] = None,
-    progress=None,
-    **grid_kwargs,
-) -> List:
+    progress: Optional[ProgressCallback] = None,
+    **grid_kwargs: object,
+) -> list[CampaignResult]:
     """Precompute an artifact's campaigns in parallel.
 
     Expands the experiment's grid (keyword overrides mirror its ``run``

@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.analysis.tables import ascii_table
 from repro.hardware.devices import available_devices, get_device
 
 
-def run(devices: tuple = ("agx", "tx2")) -> Dict:
+def run(devices: tuple = ("agx", "tx2")) -> dict:
     specs = {}
     for name in devices:
         spec = get_device(name)
@@ -20,7 +19,7 @@ def run(devices: tuple = ("agx", "tx2")) -> Dict:
     return {"devices": specs, "available": available_devices()}
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     names = list(payload["devices"])
     headers = [""] + [payload["devices"][n]["long_name"] for n in names]
     first = payload["devices"][names[0]]["rows"]

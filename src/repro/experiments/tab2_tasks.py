@@ -7,7 +7,7 @@ values are printed alongside for comparison.
 
 from __future__ import annotations
 
-from typing import Dict
+from collections.abc import Callable
 
 from repro.analysis.tables import ascii_table
 from repro.federated.task import paper_tasks
@@ -24,7 +24,7 @@ PAPER_T_MIN = {
 }
 
 
-def run(devices: tuple = ("agx", "tx2"), seed: int = 0) -> Dict:
+def run(devices: tuple = ("agx", "tx2"), seed: int = 0) -> dict:
     rows = []
     for task in paper_tasks():
         entry = {
@@ -52,9 +52,9 @@ def run(devices: tuple = ("agx", "tx2"), seed: int = 0) -> Dict:
     return {"rows": rows, "deadline_ratios": (2.0, 2.5, 3.0, 3.5, 4.0)}
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     headers = ["", *[r["task"] for r in payload["rows"]]]
-    def row(label, fn):
+    def row(label: str, fn: Callable[[dict], object]) -> list:
         return [label] + [fn(r) for r in payload["rows"]]
     rows = [
         row("B", lambda r: r["B"]),

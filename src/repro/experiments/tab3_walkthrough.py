@@ -8,7 +8,6 @@ from the MBO phase.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from repro.analysis.tables import ascii_table
 from repro.sim.runner import run_campaign
@@ -20,11 +19,11 @@ def run(
     tasks: tuple = ("vit", "resnet50", "lstm"),
     rounds: int = 40,
     seed: int = 0,
-) -> Dict:
+) -> dict:
     results = {}
     for task in tasks:
         bofl = run_campaign(device, task, "bofl", ratio, rounds=rounds, seed=seed)
-        rows: List[Dict] = []
+        rows: list[dict] = []
         for record in bofl.records:
             if record.phase == "exploitation":
                 break
@@ -46,7 +45,7 @@ def run(
     return {"ratio": ratio, "device": device, "tasks": results}
 
 
-def render(payload: Dict) -> str:
+def render(payload: dict) -> str:
     lines = [
         "Table 3 — explorations (# Exp) and final-front points (# Pareto) per "
         f"round, T_max/T_min = {payload['ratio']} "

@@ -3,14 +3,14 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 
 #: A model as exchanged over the wire: a list of weight arrays.
-Weights = List[np.ndarray]
+Weights = list[np.ndarray]
 
 
 def _check_updates(updates: Sequence[Weights]) -> None:
@@ -62,7 +62,7 @@ class TrimmedMeanAggregator(Aggregator):
     evaluation uses FedAvg.
     """
 
-    def __init__(self, trim: int = 1):
+    def __init__(self, trim: int = 1) -> None:
         if trim < 0:
             raise ConfigurationError(f"trim must be >= 0, got {trim}")
         self.trim = trim

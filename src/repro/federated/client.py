@@ -11,7 +11,7 @@ weights plus the round record.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -30,7 +30,7 @@ class ClientReport:
     """What a client uploads at the end of a round."""
 
     client_id: str
-    weights: Optional[List[np.ndarray]]
+    weights: Optional[list[np.ndarray]]
     n_samples: int
     record: RoundRecord
 
@@ -52,7 +52,7 @@ class FederatedClient:
         model: Optional[MLPClassifier] = None,
         data: Optional[Dataset] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         if (model is None) != (data is None):
             raise ConfigurationError(
                 "model and data must be provided together (or both omitted "
@@ -96,7 +96,7 @@ class FederatedClient:
         x_max = self.device.space.max_configuration()
         return self.device.model.latency(x_max) * self.jobs_per_round
 
-    def train_round(self, global_weights: Optional[List[np.ndarray]], deadline: Seconds) -> ClientReport:
+    def train_round(self, global_weights: Optional[list[np.ndarray]], deadline: Seconds) -> ClientReport:
         """Run one FL round: download, train W jobs before deadline, report."""
         jobs = self.jobs_per_round
         on_job = None

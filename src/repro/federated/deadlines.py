@@ -11,7 +11,6 @@ uniform schedule optionally floors slightly above it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List
 
 import numpy as np
 
@@ -23,7 +22,7 @@ class DeadlineSchedule(ABC):
     """Produces the deadline list ``T`` for a campaign."""
 
     @abstractmethod
-    def generate(self, t_min: Seconds, rounds: int, seed: int = 0) -> List[Seconds]:
+    def generate(self, t_min: Seconds, rounds: int, seed: int = 0) -> list[Seconds]:
         """Deadlines for ``rounds`` rounds, given the measured ``T_min``."""
 
     @staticmethod
@@ -42,7 +41,7 @@ class UniformDeadlines(DeadlineSchedule):
     exactly ``T_min`` is only meetable with zero measurement noise.
     """
 
-    def __init__(self, ratio: float, floor: float = 1.05):
+    def __init__(self, ratio: float, floor: float = 1.05) -> None:
         if ratio <= 1.0:
             raise ConfigurationError(f"ratio must exceed 1.0, got {ratio}")
         if not 1.0 <= floor <= ratio:
@@ -52,7 +51,7 @@ class UniformDeadlines(DeadlineSchedule):
         self.ratio = float(ratio)
         self.floor = float(floor)
 
-    def generate(self, t_min: Seconds, rounds: int, seed: int = 0) -> List[Seconds]:
+    def generate(self, t_min: Seconds, rounds: int, seed: int = 0) -> list[Seconds]:
         self._check(t_min, rounds)
         rng = np.random.default_rng(seed)
         draws = rng.uniform(self.floor * t_min, self.ratio * t_min, size=rounds)
@@ -65,12 +64,12 @@ class UniformDeadlines(DeadlineSchedule):
 class StaticDeadlines(DeadlineSchedule):
     """The vanilla static-timeout server design ([9] in the paper)."""
 
-    def __init__(self, multiple: float):
+    def __init__(self, multiple: float) -> None:
         if multiple < 1.0:
             raise ConfigurationError(f"multiple must be >= 1.0, got {multiple}")
         self.multiple = float(multiple)
 
-    def generate(self, t_min: Seconds, rounds: int, seed: int = 0) -> List[Seconds]:
+    def generate(self, t_min: Seconds, rounds: int, seed: int = 0) -> list[Seconds]:
         self._check(t_min, rounds)
         return [self.multiple * t_min] * rounds
 

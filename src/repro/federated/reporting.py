@@ -53,7 +53,7 @@ class ReportingDeadlineAdapter:
         link: Optional[LinkModel] = None,
         estimator: Optional[BandwidthEstimator] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         if model_size_mbit <= 0:
             raise ConfigurationError(
                 f"model_size_mbit must be positive, got {model_size_mbit}"

@@ -9,7 +9,8 @@ select-everyone for small pools.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence, TypeVar
+from collections.abc import Sequence
+from typing import TypeVar
 
 import numpy as np
 
@@ -22,14 +23,14 @@ class ClientSelector(ABC):
     """Chooses the participants of one round."""
 
     @abstractmethod
-    def select(self, clients: Sequence[ClientT], round_index: int) -> List[ClientT]:
+    def select(self, clients: Sequence[ClientT], round_index: int) -> list[ClientT]:
         """Return the participants for ``round_index``."""
 
 
 class AllClientsSelector(ClientSelector):
     """Every registered client participates every round."""
 
-    def select(self, clients: Sequence[ClientT], round_index: int) -> List[ClientT]:
+    def select(self, clients: Sequence[ClientT], round_index: int) -> list[ClientT]:
         if not clients:
             raise ConfigurationError("no clients registered")
         return list(clients)
@@ -38,7 +39,7 @@ class AllClientsSelector(ClientSelector):
 class RandomSelector(ClientSelector):
     """A uniform random subset of fixed size each round."""
 
-    def __init__(self, participants_per_round: int, seed: int = 0):
+    def __init__(self, participants_per_round: int, seed: int = 0) -> None:
         if participants_per_round < 1:
             raise ConfigurationError(
                 f"participants_per_round must be >= 1, got {participants_per_round}"
@@ -46,7 +47,7 @@ class RandomSelector(ClientSelector):
         self.participants_per_round = participants_per_round
         self._rng = np.random.default_rng(seed)
 
-    def select(self, clients: Sequence[ClientT], round_index: int) -> List[ClientT]:
+    def select(self, clients: Sequence[ClientT], round_index: int) -> list[ClientT]:
         if not clients:
             raise ConfigurationError("no clients registered")
         count = min(self.participants_per_round, len(clients))
@@ -73,7 +74,7 @@ class EnergyAwareSelector(ClientSelector):
         epsilon: float = 0.2,
         smoothing: float = 0.3,
         seed: int = 0,
-    ):
+    ) -> None:
         if participants_per_round < 1:
             raise ConfigurationError(
                 f"participants_per_round must be >= 1, got {participants_per_round}"
@@ -104,7 +105,7 @@ class EnergyAwareSelector(ClientSelector):
         """The current EWMA estimate (unseen clients rank as free)."""
         return self._energy_ewma.get(client_id, 0.0)
 
-    def select(self, clients: Sequence[ClientT], round_index: int) -> List[ClientT]:
+    def select(self, clients: Sequence[ClientT], round_index: int) -> list[ClientT]:
         if not clients:
             raise ConfigurationError("no clients registered")
         count = min(self.participants_per_round, len(clients))
@@ -115,7 +116,7 @@ class EnergyAwareSelector(ClientSelector):
         )
         greedy = ranked[: count - n_random]
         remaining = [i for i in range(len(clients)) if i not in set(greedy)]
-        explore: List[int] = []
+        explore: list[int] = []
         if n_random and remaining:
             explore = list(
                 self._rng.choice(len(remaining), size=min(n_random, len(remaining)), replace=False)

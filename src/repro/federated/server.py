@@ -14,7 +14,8 @@ Round loop:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -34,10 +35,10 @@ class ServerRound:
     """Server-side record of one global round."""
 
     round_index: int
-    participants: List[str]
-    reports: List[ClientReport] = field(default_factory=list)
+    participants: list[str]
+    reports: list[ClientReport] = field(default_factory=list)
     #: Clients that dropped out before training (Fig. 1's drop-out branch).
-    dropped: List[str] = field(default_factory=list)
+    dropped: list[str] = field(default_factory=list)
     aggregated: bool = False
     global_accuracy: Optional[float] = None
 
@@ -46,7 +47,7 @@ class ServerRound:
         return sum(r.record.energy for r in self.reports)
 
     @property
-    def stragglers(self) -> List[str]:
+    def stragglers(self) -> list[str]:
         return [r.client_id for r in self.reports if not r.succeeded]
 
 
@@ -64,7 +65,7 @@ class FederatedServer:
         eval_data: Optional[Dataset] = None,
         dropout_rate: float = 0.0,
         seed: int = 0,
-    ):
+    ) -> None:
         if not clients:
             raise ConfigurationError("a federation needs at least one client")
         if not 0.0 <= dropout_rate < 1.0:
@@ -82,10 +83,10 @@ class FederatedServer:
         #: Per-participant probability of dropping out of a round before
         #: training (device offline, battery died — Fig. 1's drop-out arrow).
         self.dropout_rate = dropout_rate
-        self.history: List[ServerRound] = []
+        self.history: list[ServerRound] = []
         self._seed = seed
         self._dropout_rng = np.random.default_rng(seed + 17)
-        self._t_min: Dict[str, float] = {
+        self._t_min: dict[str, float] = {
             client.client_id: client.measure_t_min() for client in self.clients
         }
         self._deadline_ratios: Optional[np.ndarray] = None
@@ -154,7 +155,7 @@ class FederatedServer:
         for report in round_record.reports:
             observe(report.client_id, report.record.energy)
 
-    def run(self, rounds: int) -> List[ServerRound]:
+    def run(self, rounds: int) -> list[ServerRound]:
         """Run a full campaign of ``rounds`` global rounds."""
         if rounds < 1:
             raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
@@ -165,5 +166,5 @@ class FederatedServer:
         """Total training energy across all clients and rounds."""
         return sum(r.total_energy for r in self.history)
 
-    def accuracy_series(self) -> List[Optional[float]]:
+    def accuracy_series(self) -> list[Optional[float]]:
         return [r.global_accuracy for r in self.history]

@@ -23,7 +23,6 @@ T_min on TX2           36.0 s       49.2 s              55.6 s
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 from repro.hardware.devices import DeviceSpec
@@ -39,7 +38,7 @@ class FLTaskSpec:
     workload: WorkloadProfile
     batch_size: int
     epochs: int
-    minibatches: Dict[str, int] = field(default_factory=dict)
+    minibatches: dict[str, int] = field(default_factory=dict)
     rounds: int = 100
 
     def __post_init__(self) -> None:
@@ -101,6 +100,6 @@ def imdb_lstm() -> FLTaskSpec:
     )
 
 
-def paper_tasks() -> Tuple[FLTaskSpec, FLTaskSpec, FLTaskSpec]:
+def paper_tasks() -> tuple[FLTaskSpec, FLTaskSpec, FLTaskSpec]:
     """The three tasks of the paper's evaluation, in presentation order."""
     return (cifar10_vit(), imagenet_resnet50(), imdb_lstm())

@@ -76,7 +76,7 @@ class BandwidthEstimator:
     """
 
     def __init__(self, initial_mbps: float = 5.0, smoothing: float = 0.3,
-                 conservatism: float = 0.8):
+                 conservatism: float = 0.8) -> None:
         require_positive("initial_mbps", initial_mbps)
         self.smoothing = require_fraction("smoothing", smoothing)
         self.conservatism = require_fraction("conservatism", conservatism)

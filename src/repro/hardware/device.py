@@ -18,7 +18,7 @@ Oracle baseline (offline exhaustive profiling in the paper) may use them.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.clock import SimulationClock
 from repro.errors import DeviceError
@@ -45,7 +45,7 @@ class SimulatedDevice:
         clock: Optional[SimulationClock] = None,
         thermal: Optional[ThermalModel] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         self.spec = spec
         self.workload = workload
         self.model: AnalyticPerformanceModel = workload.performance_model(spec)
@@ -60,7 +60,7 @@ class SimulatedDevice:
         self.meter = EnergyMeter(self.noise)
         self._jobs_executed = 0
         self._energy_consumed: Joules = 0.0
-        self._last_utilization: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+        self._last_utilization: tuple[float, float, float] = (0.0, 0.0, 0.0)
 
     # -- basic state ---------------------------------------------------------
 
@@ -83,7 +83,7 @@ class SimulatedDevice:
         """Total actual training energy consumed, in Joules."""
         return self._energy_consumed
 
-    def last_utilization(self) -> Tuple[float, float, float]:
+    def last_utilization(self) -> tuple[float, float, float]:
         """Per-unit (cpu, gpu, mem) utilization of the last executed job.
 
         On real hardware this comes from performance counters
@@ -165,7 +165,7 @@ class SimulatedDevice:
 
     def measure_configuration(
         self, config: DvfsConfiguration, min_duration: Seconds, max_jobs: Optional[int] = None
-    ) -> Tuple[PerformanceSample, Tuple[JobResult, ...]]:
+    ) -> tuple[PerformanceSample, tuple[JobResult, ...]]:
         """Convenience: measure ``config`` for at least ``min_duration`` seconds.
 
         Runs jobs back-to-back until the window spans ``min_duration`` (the

@@ -23,7 +23,7 @@ calibrated (see :mod:`repro.hardware.perfmodel`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Tuple
+from collections.abc import Callable
 
 from repro.errors import DeviceError
 from repro.hardware.frequency import ConfigurationSpace, FrequencyTable
@@ -52,17 +52,17 @@ class DeviceSpec:
     #: Board rail/leakage power, paid whenever the board is on.
     static_watts: Watts
     #: Per-unit idle floors (cpu, gpu, mem).
-    idle_watts: Tuple[Watts, Watts, Watts]
+    idle_watts: tuple[Watts, Watts, Watts]
     #: Fraction of dynamic power a clocked-but-stalled unit keeps drawing
     #: (imperfect clock gating); (cpu, gpu, mem).
-    waiting_fractions: Tuple[float, float, float] = (0.10, 0.25, 0.05)
+    waiting_fractions: tuple[float, float, float] = (0.10, 0.25, 0.05)
     #: Latency of actuating a DVFS change through sysfs (per switch).
     dvfs_switch_latency: Seconds = 1e-3
     #: CPU throughput relative to the AGX, used by the MBO-overhead model
     #: (Fig. 13): a slower host CPU takes longer to refit the GPs.
     relative_cpu_speed: float = 1.0
     #: Extra metadata (memory size, TDP, ...), for reporting only.
-    attributes: Dict[str, str] = field(default_factory=dict)
+    attributes: dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.static_watts < 0:
@@ -84,7 +84,7 @@ class DeviceSpec:
     def num_configurations(self) -> int:
         return len(self.space)
 
-    def summary_rows(self) -> Tuple[Tuple[str, str], ...]:
+    def summary_rows(self) -> tuple[tuple[str, str], ...]:
         """Rows for the Table 1 reproduction."""
         cpu, gpu, mem = self.space.tables
         return (
@@ -159,13 +159,13 @@ def jetson_tx2() -> DeviceSpec:
     )
 
 
-_REGISTRY: Dict[str, Callable[[], DeviceSpec]] = {
+_REGISTRY: dict[str, Callable[[], DeviceSpec]] = {
     "agx": jetson_agx,
     "tx2": jetson_tx2,
 }
 
 
-def available_devices() -> Tuple[str, ...]:
+def available_devices() -> tuple[str, ...]:
     """Names accepted by :func:`get_device`."""
     return tuple(sorted(_REGISTRY))
 

@@ -9,7 +9,7 @@ frequency against the device's published tables.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.clock import SimulationClock
 from repro.errors import DeviceError, FrequencyError
@@ -33,7 +33,7 @@ class DvfsController:
     kernel's behaviour).
     """
 
-    def __init__(self, spec: DeviceSpec, clock: Optional[SimulationClock] = None):
+    def __init__(self, spec: DeviceSpec, clock: Optional[SimulationClock] = None) -> None:
         self.spec = spec
         self.clock = clock if clock is not None else SimulationClock()
         self._current = spec.space.max_configuration()
@@ -99,7 +99,7 @@ class DvfsController:
         clocks[axis] = table.nearest(ghz)
         self.apply(DvfsConfiguration(*clocks))
 
-    def read_knobs(self) -> Dict[str, str]:
+    def read_knobs(self) -> dict[str, str]:
         """Read all knobs back as kHz strings, keyed by sysfs path."""
         return {
             path: str(int(round(freq * 1e6)))

@@ -9,7 +9,8 @@ over (§3.1) — 2100 unique points on the Jetson AGX, 936 on the Jetson TX2.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterator, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -17,7 +18,7 @@ from repro.errors import ConfigurationError, FrequencyError
 from repro.types import DvfsConfiguration, GHz
 
 #: Names of the three frequency axes, in canonical order.
-UNIT_NAMES: Tuple[str, str, str] = ("cpu", "gpu", "mem")
+UNIT_NAMES: tuple[str, str, str] = ("cpu", "gpu", "mem")
 
 
 class FrequencyTable:
@@ -28,7 +29,7 @@ class FrequencyTable:
     ascending tuple of GHz values.
     """
 
-    def __init__(self, unit: str, frequencies: Sequence[GHz]):
+    def __init__(self, unit: str, frequencies: Sequence[GHz]) -> None:
         if unit not in UNIT_NAMES:
             raise ConfigurationError(f"unknown unit {unit!r}; expected one of {UNIT_NAMES}")
         freqs = tuple(float(f) for f in frequencies)
@@ -119,7 +120,7 @@ class ConfigurationSpace:
     (what the GP models operate on), and quasi-random sampling support.
     """
 
-    def __init__(self, cpu: FrequencyTable, gpu: FrequencyTable, mem: FrequencyTable):
+    def __init__(self, cpu: FrequencyTable, gpu: FrequencyTable, mem: FrequencyTable) -> None:
         for table, expected in zip((cpu, gpu, mem), UNIT_NAMES):
             if table.unit != expected:
                 raise ConfigurationError(
@@ -129,14 +130,14 @@ class ConfigurationSpace:
         self.cpu = cpu
         self.gpu = gpu
         self.mem = mem
-        self._configs: Optional[List[DvfsConfiguration]] = None
+        self._configs: Optional[list[DvfsConfiguration]] = None
 
     @property
-    def tables(self) -> Tuple[FrequencyTable, FrequencyTable, FrequencyTable]:
+    def tables(self) -> tuple[FrequencyTable, FrequencyTable, FrequencyTable]:
         return (self.cpu, self.gpu, self.mem)
 
     @property
-    def shape(self) -> Tuple[int, int, int]:
+    def shape(self) -> tuple[int, int, int]:
         return (len(self.cpu), len(self.gpu), len(self.mem))
 
     def __len__(self) -> int:
@@ -150,7 +151,7 @@ class ConfigurationSpace:
             config.cpu in self.cpu and config.gpu in self.gpu and config.mem in self.mem
         )
 
-    def all_configurations(self) -> List[DvfsConfiguration]:
+    def all_configurations(self) -> list[DvfsConfiguration]:
         """Return every configuration, in (cpu, gpu, mem)-major order.
 
         The list is built once and cached; callers must not mutate it.
@@ -172,7 +173,7 @@ class ConfigurationSpace:
             self.mem.frequencies[mem_idx],
         )
 
-    def indices_of(self, config: DvfsConfiguration) -> Tuple[int, int, int]:
+    def indices_of(self, config: DvfsConfiguration) -> tuple[int, int, int]:
         """Return the per-axis step indices of ``config``."""
         return (
             self.cpu.index_of(config.cpu),

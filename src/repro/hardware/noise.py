@@ -19,7 +19,7 @@ produce bit-identical results.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Tuple
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -62,7 +62,7 @@ class MeasurementNoise:
         max_error_scale: float = 6.0,
         settle_time: float = 0.5,
         settle_penalty: float = 3.0,
-    ):
+    ) -> None:
         self.seed = int(seed)
         self.process_latency_std = require_fraction("process_latency_std", process_latency_std)
         self.process_energy_std = require_fraction("process_energy_std", process_energy_std)
@@ -79,7 +79,7 @@ class MeasurementNoise:
 
     def perturb_job(
         self, key: Iterable[int], latency: float, energy: float
-    ) -> Tuple[float, float]:
+    ) -> tuple[float, float]:
         """Apply run-to-run variation to one job's true latency/energy."""
         rng = _rng_for(self.seed, list(key) + [0x1A])
         lat = latency * self._bounded_factor(rng, self.process_latency_std)
@@ -105,7 +105,7 @@ class MeasurementNoise:
         energy: float,
         duration: float,
         settling_overlap: float = 0.0,
-    ) -> Tuple[float, float]:
+    ) -> tuple[float, float]:
         """Apply sensor error to a measurement over a window."""
         rng = _rng_for(self.seed, list(key) + [0x2B])
         scale = self.error_scale(duration, settling_overlap)
@@ -124,7 +124,7 @@ class MeasurementNoise:
 class NoiselessMeasurement(MeasurementNoise):
     """A noise model that changes nothing — for unit tests and oracles."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         super().__init__(
             seed,
             process_latency_std=0.0,
@@ -134,8 +134,17 @@ class NoiselessMeasurement(MeasurementNoise):
             settle_time=0.0,
         )
 
-    def perturb_job(self, key, latency, energy):  # noqa: D102 - inherited
+    def perturb_job(
+        self, key: Iterable[int], latency: float, energy: float
+    ) -> tuple[float, float]:  # noqa: D102 - inherited
         return latency, energy
 
-    def perturb_measurement(self, key, latency, energy, duration, settling_overlap=0.0):  # noqa: D102
+    def perturb_measurement(
+        self,
+        key: Iterable[int],
+        latency: float,
+        energy: float,
+        duration: float,
+        settling_overlap: float = 0.0,
+    ) -> tuple[float, float]:  # noqa: D102 - inherited
         return latency, energy

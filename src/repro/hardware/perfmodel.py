@@ -33,7 +33,7 @@ units at ``x_max``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -49,7 +49,7 @@ from repro.types import (
 )
 
 
-def _require_simplex(name: str, values: Sequence[float]) -> Tuple[float, float, float]:
+def _require_simplex(name: str, values: Sequence[float]) -> tuple[float, float, float]:
     """Validate a 3-vector of positive shares summing to one."""
     if len(values) != 3:
         raise ConfigurationError(f"{name} must have 3 entries, got {len(values)}")
@@ -89,8 +89,8 @@ class CalibrationTarget:
 
     latency_at_max: Seconds
     energy_at_max: Joules
-    busy_shares: Tuple[float, float, float]
-    dynamic_split: Tuple[float, float, float]
+    busy_shares: tuple[float, float, float]
+    dynamic_split: tuple[float, float, float]
     serial_fraction: float
     overhead_fraction: float = 0.02
 
@@ -119,7 +119,7 @@ class AnalyticPerformanceModel:
         device: DeviceSpec,
         target: CalibrationTarget,
         workload_name: str = "custom",
-    ):
+    ) -> None:
         self.device = device
         self.target = target
         self.workload_name = workload_name
@@ -168,7 +168,7 @@ class AnalyticPerformanceModel:
 
     # -- scalar interface --------------------------------------------------
 
-    def busy_times(self, config: DvfsConfiguration) -> Tuple[float, float, float]:
+    def busy_times(self, config: DvfsConfiguration) -> tuple[float, float, float]:
         """Per-unit busy seconds at ``config``."""
         freqs = np.array(config.as_tuple())
         times = self._work / freqs
@@ -188,7 +188,7 @@ class AnalyticPerformanceModel:
         times = self.busy_times(config)
         return float(self.power.job_energy(freqs, times, self.latency(config)))
 
-    def objectives(self, config: DvfsConfiguration) -> Tuple[Seconds, Joules]:
+    def objectives(self, config: DvfsConfiguration) -> tuple[Seconds, Joules]:
         """``(T(x), E(x))`` at ``config``."""
         return (self.latency(config), self.energy(config))
 
@@ -212,7 +212,7 @@ class AnalyticPerformanceModel:
             duration,
         )
 
-    def profile_space(self) -> Tuple[np.ndarray, np.ndarray]:
+    def profile_space(self) -> tuple[np.ndarray, np.ndarray]:
         """Exhaustively profile the whole space (the Oracle's offline pass).
 
         Returns ``(latencies, energies)`` aligned with

@@ -13,11 +13,16 @@ measures in Figs. 3-4.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Sequence
+from typing import Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.types import GHz, Watts, require_positive
+
+#: Scalar-or-array numeric input/output of the vectorized power curves.
+FloatOrArray = Union[float, np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -51,7 +56,7 @@ class VoltageCurve:
         if self.gamma <= 0:
             raise ConfigurationError(f"gamma must be positive, got {self.gamma}")
 
-    def voltage(self, freq):
+    def voltage(self, freq: FloatOrArray) -> FloatOrArray:
         """Supply voltage at ``freq`` (GHz).  Accepts scalars or arrays."""
         freq = np.asarray(freq, dtype=float)
         span = self.f_max - self.f_min
@@ -59,7 +64,7 @@ class VoltageCurve:
         out = self.v_min + (self.v_max - self.v_min) * frac**self.gamma
         return float(out) if out.ndim == 0 else out
 
-    def switching_factor(self, freq):
+    def switching_factor(self, freq: FloatOrArray) -> FloatOrArray:
         """``f * V(f)^2`` — the dynamic-power scaling factor at ``freq``."""
         freq = np.asarray(freq, dtype=float)
         out = freq * self.voltage(freq) ** 2
@@ -100,11 +105,11 @@ class UnitPowerModel:
                 f"waiting_fraction must lie in [0, 1], got {self.waiting_fraction}"
             )
 
-    def busy_power(self, freq):
+    def busy_power(self, freq: FloatOrArray) -> FloatOrArray:
         """Total draw while busy at ``freq``: idle floor plus dynamic power."""
         return self.idle_watts + self.k * self.curve.switching_factor(freq)
 
-    def dynamic_power(self, freq):
+    def dynamic_power(self, freq: FloatOrArray) -> FloatOrArray:
         """Dynamic (activity) component of the busy draw at ``freq``."""
         return self.k * self.curve.switching_factor(freq)
 
@@ -145,7 +150,12 @@ class DevicePowerModel:
             + self.mem.idle_watts
         )
 
-    def job_energy(self, freqs, busy_times, duration):
+    def job_energy(
+        self,
+        freqs: Sequence[FloatOrArray],
+        busy_times: Sequence[FloatOrArray],
+        duration: FloatOrArray,
+    ) -> FloatOrArray:
         """Energy of a job given unit clocks, per-unit busy times and duration.
 
         Parameters
@@ -169,6 +179,11 @@ class DevicePowerModel:
             )
         return float(energy) if np.ndim(energy) == 0 else energy
 
-    def average_power(self, freqs, busy_times, duration):
+    def average_power(
+        self,
+        freqs: Sequence[FloatOrArray],
+        busy_times: Sequence[FloatOrArray],
+        duration: FloatOrArray,
+    ) -> FloatOrArray:
         """Mean power over a job — what an INA3221-style sensor integrates."""
         return self.job_energy(freqs, busy_times, duration) / duration

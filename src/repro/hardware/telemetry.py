@@ -26,7 +26,7 @@ class EventTimer:
     #: Relative timing jitter of CUDA event pairs — effectively exact.
     JITTER_STD = 1e-4
 
-    def __init__(self, noise: MeasurementNoise):
+    def __init__(self, noise: MeasurementNoise) -> None:
         self._noise = noise
         self._draws = 0
 
@@ -50,7 +50,7 @@ class PowerSensor:
     #: Reading resolution in watts (INA3221 LSB at Jetson shunt values).
     RESOLUTION: Watts = 0.01
 
-    def __init__(self, noise: MeasurementNoise):
+    def __init__(self, noise: MeasurementNoise) -> None:
         self._noise = noise
         self._draws = 0
 
@@ -74,7 +74,7 @@ class EnergyMeter:
     latency and energy.
     """
 
-    def __init__(self, noise: MeasurementNoise):
+    def __init__(self, noise: MeasurementNoise) -> None:
         self._noise = noise
         self._window_id = 0
         self._open = False
@@ -136,7 +136,8 @@ class EnergyMeter:
             duration=self._latency_total,
             settling_overlap=min(self._settling_overlap, self._latency_total),
         )
-        assert self._config is not None
+        if self._config is None:
+            raise DeviceError("measurement window has no recorded configuration")
         # Latency passes through unperturbed: the client times its own jobs
         # with CUDA event recording (§5.2), which is accurate to the
         # microsecond — only the power-sensor (energy) path is noisy.  The

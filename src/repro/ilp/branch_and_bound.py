@@ -12,13 +12,15 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
+from repro.errors import SolverError
 from repro.ilp.model import IntegerProgram, Solution, SolutionStatus
 from repro.ilp.simplex import solve_lp
 from repro.obs import runtime as obs
+from repro.obs.metrics import TimerSpan
 
 _INT_TOL = 1e-6
 
@@ -35,7 +37,7 @@ def solve_milp(
     problem: IntegerProgram,
     *,
     max_nodes: int = 20_000,
-    incumbent: Optional[Tuple[np.ndarray, float]] = None,
+    incumbent: Optional[tuple[np.ndarray, float]] = None,
     gap_tol: float = 0.0,
 ) -> Solution:
     """Solve a MILP by LP-relaxation branch-and-bound.
@@ -85,7 +87,8 @@ def solve_milp(
             nodes += 1
             if bound >= prune_threshold():
                 continue  # cannot (sufficiently) improve on the incumbent
-            assert relaxed.x is not None
+            if relaxed.x is None:
+                raise SolverError("optimal LP relaxation carries no solution vector")
             frac = _fractional_var(relaxed.x, integer_mask)
             if frac is None:
                 # Integer-feasible relaxation: new incumbent.
@@ -121,7 +124,7 @@ def solve_milp(
         )
 
 
-def _observed(solution: Solution, incumbent_updates: int, span) -> Solution:
+def _observed(solution: Solution, incumbent_updates: int, span: TimerSpan) -> Solution:
     """Emit the ``ilp.solve`` event/metrics for one finished MILP solve."""
     if obs.enabled():
         obs.count("ilp.solves")

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.errors import ConfigurationError
 
@@ -43,7 +45,7 @@ class Solution:
         return self.status is SolutionStatus.OPTIMAL
 
 
-def _as_matrix(a, n_vars: int, name: str) -> np.ndarray:
+def _as_matrix(a: Optional[ArrayLike], n_vars: int, name: str) -> np.ndarray:
     if a is None:
         return np.zeros((0, n_vars))
     a = np.atleast_2d(np.asarray(a, dtype=float))
@@ -52,7 +54,7 @@ def _as_matrix(a, n_vars: int, name: str) -> np.ndarray:
     return a
 
 
-def _as_vector(b, n_rows: int, name: str) -> np.ndarray:
+def _as_vector(b: Optional[ArrayLike], n_rows: int, name: str) -> np.ndarray:
     if b is None:
         return np.zeros(0)
     b = np.asarray(b, dtype=float).ravel()

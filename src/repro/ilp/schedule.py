@@ -16,7 +16,6 @@ branch-and-bound (:func:`solve_schedule`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
@@ -79,7 +78,7 @@ class ScheduleProblem:
                 f"candidate but only {self.effective_deadline:.3f}s remain"
             )
 
-    def totals(self, counts: np.ndarray) -> Tuple[float, float]:
+    def totals(self, counts: np.ndarray) -> tuple[float, float]:
         """``(total latency, total energy)`` of a counts vector."""
         counts = np.asarray(counts, dtype=float)
         return (

@@ -12,7 +12,7 @@ anti-cycling rule is both simple and fast.  The solver handles:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -84,7 +84,7 @@ def _build_phase1(
     b_ub: np.ndarray,
     a_eq: np.ndarray,
     b_eq: np.ndarray,
-) -> Tuple[np.ndarray, list, int, int]:
+) -> tuple[np.ndarray, list[Optional[int]], int, int]:
     """Assemble the phase-1 tableau; returns (tableau, basis, n_struct, n_slack)."""
     n = c.size
     m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
@@ -111,7 +111,7 @@ def _build_phase1(
     tableau[:m, n : n + m_ub] = slack
     tableau[:m, n + m_ub : n + m_ub + n_art] = art
     tableau[:m, -1] = b
-    basis: list = [None] * m
+    basis: list[Optional[int]] = [None] * m
     for i in range(m_ub):
         if not flip[i]:
             basis[i] = n + i
@@ -126,7 +126,9 @@ def _build_phase1(
     return tableau, basis, n, m_ub
 
 
-def _iterate(tableau: np.ndarray, basis: list, max_pivots: int) -> Tuple[SolutionStatus, int]:
+def _iterate(
+    tableau: np.ndarray, basis: list[Optional[int]], max_pivots: int
+) -> tuple[SolutionStatus, int]:
     """Run simplex pivots until optimal/unbounded.
 
     Uses Dantzig's rule (most negative reduced cost) for speed, switching
@@ -174,7 +176,9 @@ def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
             tableau[r, :] -= tableau[r, col] * tableau[row, :]
 
 
-def _drive_out_artificials(tableau: np.ndarray, basis: list, n_real: int) -> None:
+def _drive_out_artificials(
+    tableau: np.ndarray, basis: list[Optional[int]], n_real: int
+) -> None:
     """Pivot any artificial variable still basic out of the basis.
 
     After a feasible phase 1, basic artificials sit at zero; replace them

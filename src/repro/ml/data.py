@@ -9,7 +9,6 @@ non-IID client partitioners federated learning evaluations rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
@@ -39,7 +38,7 @@ class Dataset:
     def subset(self, indices: np.ndarray) -> "Dataset":
         return Dataset(self.x[indices], self.y[indices])
 
-    def batches(self, batch_size: int, rng: np.random.Generator) -> List["Dataset"]:
+    def batches(self, batch_size: int, rng: np.random.Generator) -> list["Dataset"]:
         """Shuffled minibatches (the paper's 'jobs'); the tail is kept."""
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
@@ -90,7 +89,7 @@ def make_text_sentiment(
     return Dataset(counts.astype(float), labels.astype(int))
 
 
-def partition_iid(dataset: Dataset, n_clients: int, rng: np.random.Generator) -> List[Dataset]:
+def partition_iid(dataset: Dataset, n_clients: int, rng: np.random.Generator) -> list[Dataset]:
     """Split a dataset into IID shards of (nearly) equal size."""
     if n_clients < 1 or n_clients > len(dataset):
         raise ConfigurationError(
@@ -105,7 +104,7 @@ def partition_dirichlet(
     n_clients: int,
     alpha: float = 0.5,
     rng: np.random.Generator = None,
-) -> List[Dataset]:
+) -> list[Dataset]:
     """Non-IID label-skewed split via per-class Dirichlet proportions.
 
     The standard FL heterogeneity protocol: lower ``alpha`` means more
@@ -119,7 +118,7 @@ def partition_dirichlet(
             f"cannot split {len(dataset)} samples across {n_clients} clients"
         )
     rng = rng if rng is not None else np.random.default_rng(0)
-    client_indices: List[List[int]] = [[] for _ in range(n_clients)]
+    client_indices: list[list[int]] = [[] for _ in range(n_clients)]
     for cls in range(dataset.n_classes):
         cls_idx = np.flatnonzero(dataset.y == cls)
         rng.shuffle(cls_idx)

@@ -18,7 +18,7 @@ the two compose freely — which
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -46,14 +46,14 @@ class FedProxTrainer(LocalTrainer):
         mu: float = 0.01,
         optimizer: Optional[SGD] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(model, data, batch_size, optimizer, seed)
         if mu < 0:
             raise ConfigurationError(f"mu must be >= 0, got {mu}")
         self.mu = float(mu)
-        self._anchor: Optional[List[np.ndarray]] = None
+        self._anchor: Optional[list[np.ndarray]] = None
 
-    def set_global_weights(self, weights: List[np.ndarray]) -> None:
+    def set_global_weights(self, weights: list[np.ndarray]) -> None:
         """Pin the proximal anchor to the round's global weights."""
         params = self.model.parameters
         if len(weights) != len(params):

@@ -9,7 +9,8 @@ treat a model as a vector of arrays.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -28,12 +29,12 @@ class Layer(ABC):
         """Backpropagate ``grad_output``; return grad w.r.t. the input."""
 
     @property
-    def parameters(self) -> List[np.ndarray]:
+    def parameters(self) -> list[np.ndarray]:
         """Trainable arrays (may be empty)."""
         return []
 
     @property
-    def gradients(self) -> List[np.ndarray]:
+    def gradients(self) -> list[np.ndarray]:
         """Gradients aligned with :attr:`parameters` (after backward)."""
         return []
 
@@ -41,7 +42,7 @@ class Layer(ABC):
 class Dense(Layer):
     """Fully connected layer ``y = x W + b`` with He-style init."""
 
-    def __init__(self, in_features: int, out_features: int, rng: Optional[np.random.Generator] = None):
+    def __init__(self, in_features: int, out_features: int, rng: Optional[np.random.Generator] = None) -> None:
         if in_features < 1 or out_features < 1:
             raise ConfigurationError("Dense layer dimensions must be positive")
         rng = rng if rng is not None else np.random.default_rng(0)
@@ -64,11 +65,11 @@ class Dense(Layer):
         return grad_output @ self.weight.T
 
     @property
-    def parameters(self) -> List[np.ndarray]:
+    def parameters(self) -> list[np.ndarray]:
         return [self.weight, self.bias]
 
     @property
-    def gradients(self) -> List[np.ndarray]:
+    def gradients(self) -> list[np.ndarray]:
         return [self.grad_weight, self.grad_bias]
 
 
@@ -110,7 +111,7 @@ class Tanh(Layer):
 class Dropout(Layer):
     """Inverted dropout; identity at inference time."""
 
-    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None):
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None) -> None:
         if not 0.0 <= rate < 1.0:
             raise ConfigurationError(f"dropout rate must lie in [0, 1), got {rate}")
         self.rate = rate
@@ -134,7 +135,7 @@ class Dropout(Layer):
 class Sequential(Layer):
     """A layer stack applied in order."""
 
-    def __init__(self, layers: Sequence[Layer]):
+    def __init__(self, layers: Sequence[Layer]) -> None:
         if not layers:
             raise ConfigurationError("Sequential needs at least one layer")
         self.layers = list(layers)
@@ -150,9 +151,9 @@ class Sequential(Layer):
         return grad_output
 
     @property
-    def parameters(self) -> List[np.ndarray]:
+    def parameters(self) -> list[np.ndarray]:
         return [p for layer in self.layers for p in layer.parameters]
 
     @property
-    def gradients(self) -> List[np.ndarray]:
+    def gradients(self) -> list[np.ndarray]:
         return [g for layer in self.layers for g in layer.gradients]

@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 
 
-def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
     """Mean softmax cross-entropy and its gradient w.r.t. ``logits``.
 
     ``labels`` are integer class indices of shape ``(batch,)``.
@@ -31,7 +30,7 @@ def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float
     return loss, grad / batch
 
 
-def binary_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+def binary_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
     """Mean sigmoid BCE and its gradient w.r.t. one-column ``logits``.
 
     ``labels`` are 0/1 of shape ``(batch,)``.

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -26,11 +27,11 @@ class MLPClassifier:
         hidden_dims: Sequence[int],
         n_classes: int,
         seed: int = 0,
-    ):
+    ) -> None:
         if n_classes < 2:
             raise ConfigurationError(f"need at least 2 classes, got {n_classes}")
         rng = np.random.default_rng(seed)
-        layers: List = []
+        layers: list = []
         prev = input_dim
         for width in hidden_dims:
             layers.append(Dense(prev, width, rng))
@@ -44,14 +45,14 @@ class MLPClassifier:
     # -- parameter vector interface (what FedAvg exchanges) -----------------
 
     @property
-    def parameters(self) -> List[np.ndarray]:
+    def parameters(self) -> list[np.ndarray]:
         return self.network.parameters
 
     @property
-    def gradients(self) -> List[np.ndarray]:
+    def gradients(self) -> list[np.ndarray]:
         return self.network.gradients
 
-    def get_weights(self) -> List[np.ndarray]:
+    def get_weights(self) -> list[np.ndarray]:
         """Copies of all trainable arrays (the FL 'model download')."""
         return [p.copy() for p in self.parameters]
 

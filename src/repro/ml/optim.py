@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -21,7 +22,7 @@ class SGD:
         learning_rate: float = 0.05,
         momentum: float = 0.0,
         weight_decay: float = 0.0,
-    ):
+    ) -> None:
         if learning_rate <= 0:
             raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
         if not 0.0 <= momentum < 1.0:
@@ -31,7 +32,7 @@ class SGD:
         self.learning_rate = learning_rate
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity: Optional[List[np.ndarray]] = None
+        self._velocity: Optional[list[np.ndarray]] = None
 
     def step(self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]) -> None:
         """Update ``parameters`` in place from ``gradients``."""

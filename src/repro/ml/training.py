@@ -7,7 +7,7 @@ unit of work whose latency/energy the hardware simulator prices.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -39,7 +39,7 @@ class LocalTrainer:
         batch_size: int,
         optimizer: Optional[SGD] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         if len(data) < batch_size:
             raise ConfigurationError(
                 f"client shard has {len(data)} samples < batch size {batch_size}"
@@ -49,7 +49,7 @@ class LocalTrainer:
         self.batch_size = batch_size
         self.optimizer = optimizer if optimizer is not None else SGD(0.05, momentum=0.9)
         self._rng = np.random.default_rng(seed)
-        self._queue: List[Dataset] = []
+        self._queue: list[Dataset] = []
         self.jobs_run = 0
         self.last_loss: Optional[float] = None
 

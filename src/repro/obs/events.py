@@ -17,13 +17,46 @@ import json
 import pathlib
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, IO, Iterable, Iterator, List, Optional, Union
+from collections.abc import Iterable, Iterator
+from typing import IO, Optional, Union
 
 from repro.errors import ConfigurationError
 
 #: Bump when the serialized event layout changes; readers reject newer
 #: traces instead of misinterpreting them.
 TRACE_FORMAT_VERSION = 1
+
+#: The authoritative registry of event kinds the library may emit.
+#:
+#: ``repro lint`` (rule ``obs-event-kind``) statically rejects any
+#: ``emit()`` call site in ``src/repro/`` whose kind is not a literal
+#: member of this set, so the schema that ``repro trace`` replays stays
+#: closed: adding a kind means registering it here *and* documenting its
+#: payload in ``docs/observability.md``.  Tests and ad-hoc scripts are
+#: outside the rule's scope and may emit anything.
+EVENT_KINDS = frozenset(
+    {
+        "trace.header",
+        "campaign.start",
+        "campaign.end",
+        "campaign.front",
+        "campaign.cache",
+        "controller.round",
+        "controller.phase_transition",
+        "mbo.run",
+        "mbo.fit",
+        "mbo.suggest",
+        "guardian.decision",
+        "ilp.solve",
+        "executor.cell",
+        "server.round",
+    }
+)
+
+
+def is_registered_kind(kind: str) -> bool:
+    """Whether ``kind`` is part of the documented event schema."""
+    return kind in EVENT_KINDS
 
 
 @dataclass(frozen=True)
@@ -37,7 +70,7 @@ class Event:
 
     kind: str
     t: float = 0.0
-    payload: Dict[str, object] = field(default_factory=dict)
+    payload: dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.kind:
@@ -48,11 +81,11 @@ class Event:
         """The subsystem prefix of :attr:`kind` (``"guardian.decision"`` -> ``"guardian"``)."""
         return self.kind.split(".", 1)[0]
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {"kind": self.kind, "t": self.t, **self.payload}
 
     @classmethod
-    def from_dict(cls, raw: dict) -> "Event":
+    def from_dict(cls, raw: dict[str, object]) -> "Event":
         if not isinstance(raw, dict) or "kind" not in raw:
             raise ConfigurationError(f"not an event record: {raw!r}")
         payload = {k: v for k, v in raw.items() if k not in ("kind", "t")}
@@ -73,12 +106,12 @@ class EventLog:
         to it as one JSON line at emit time (streaming trace capture).
     """
 
-    def __init__(self, capacity: Optional[int] = None, sink: Optional[IO[str]] = None):
+    def __init__(self, capacity: Optional[int] = None, sink: Optional[IO[str]] = None) -> None:
         if capacity is not None and capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.sink = sink
-        self._events: Deque[Event] = deque(maxlen=capacity)
+        self._events: deque[Event] = deque(maxlen=capacity)
         #: Total events ever emitted (survives ring eviction).
         self.emitted = 0
 
@@ -95,13 +128,13 @@ class EventLog:
 
     # -- reading -----------------------------------------------------------
 
-    def events(self, kind: Optional[str] = None) -> List[Event]:
+    def events(self, kind: Optional[str] = None) -> list[Event]:
         """All retained events, optionally filtered by exact kind."""
         if kind is None:
             return list(self._events)
         return [e for e in self._events if e.kind == kind]
 
-    def counts_by_kind(self) -> Dict[str, int]:
+    def counts_by_kind(self) -> dict[str, int]:
         """Retained event counts keyed by kind."""
         return dict(Counter(e.kind for e in self._events))
 
@@ -134,7 +167,7 @@ class EventLog:
         return path
 
 
-def read_jsonl(path: Union[str, pathlib.Path]) -> List[Event]:
+def read_jsonl(path: Union[str, pathlib.Path]) -> list[Event]:
     """Load a JSONL trace written by :meth:`EventLog.dump_jsonl`.
 
     Raises :class:`ConfigurationError` on unreadable files, malformed
@@ -147,7 +180,7 @@ def read_jsonl(path: Union[str, pathlib.Path]) -> List[Event]:
         text = path.read_text()
     except OSError as error:
         raise ConfigurationError(f"cannot read trace {path}: {error}") from error
-    events: List[Event] = []
+    events: list[Event] = []
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
@@ -173,15 +206,15 @@ def read_jsonl(path: Union[str, pathlib.Path]) -> List[Event]:
 
 def events_between(
     events: Iterable[Event], start_kind: str, end_kind: str
-) -> List[List[Event]]:
+) -> list[list[Event]]:
     """Split a flat event stream into ``[start, ..., end]`` segments.
 
     Used to group per-campaign events out of a trace that may contain
     several campaigns back to back.  Events outside any bracket are
     dropped; an unterminated bracket yields its partial segment.
     """
-    segments: List[List[Event]] = []
-    current: Optional[List[Event]] = None
+    segments: list[list[Event]] = []
+    current: Optional[list[Event]] = None
     for event in events:
         if event.kind == start_kind:
             current = [event]

@@ -13,9 +13,20 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Protocol
 
 from repro.errors import ConfigurationError
+
+
+class TimerSpan(Protocol):
+    """Structural type of a timing span: Timer and the shared no-op."""
+
+    @property
+    def elapsed(self) -> float: ...
+
+    def __enter__(self) -> "TimerSpan": ...
+
+    def __exit__(self, *exc_info: object) -> None: ...
 
 
 @dataclass
@@ -49,7 +60,7 @@ class Histogram:
             return 0.0
         return max(0.0, self.total_sq / self.count - self.mean**2)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "count": self.count,
             "total": self.total,
@@ -64,7 +75,7 @@ class Timer:
 
     __slots__ = ("_histogram", "_started", "elapsed")
 
-    def __init__(self, histogram: Histogram):
+    def __init__(self, histogram: Histogram) -> None:
         self._histogram = histogram
         self._started = 0.0
         self.elapsed = 0.0
@@ -73,7 +84,7 @@ class Timer:
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.elapsed = time.perf_counter() - self._started
         self._histogram.observe(self.elapsed)
 
@@ -87,7 +98,7 @@ class _NullTimer:
     def __enter__(self) -> "_NullTimer":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         return None
 
 
@@ -98,9 +109,9 @@ class Metrics:
     """A named registry of counters, gauges and histograms."""
 
     def __init__(self) -> None:
-        self.counters: Dict[str, float] = {}
-        self.gauges: Dict[str, float] = {}
-        self.histograms: Dict[str, Histogram] = {}
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     # -- counters ----------------------------------------------------------
 
@@ -137,7 +148,7 @@ class Metrics:
 
     # -- export ------------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         """All metric values as one JSON-safe dict."""
         return {
             "counters": dict(self.counters),
@@ -147,8 +158,8 @@ class Metrics:
 
     def render(self) -> str:
         """Aligned plain-text dump (debugging / trace summaries)."""
-        lines: List[str] = []
-        rows: List[Tuple[str, str]] = []
+        lines: list[str] = []
+        rows: list[tuple[str, str]] = []
         for name in sorted(self.counters):
             rows.append((name, f"{self.counters[name]:g}"))
         for name in sorted(self.gauges):

@@ -23,16 +23,17 @@ are byte-identical with or without an active session in the parent.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, Optional
+from collections.abc import Iterator
+from typing import Optional
 
 from repro.obs.events import EventLog
-from repro.obs.metrics import NULL_TIMER, Metrics
+from repro.obs.metrics import NULL_TIMER, Metrics, TimerSpan
 
 
 class ObsSession:
     """One activation of the observability layer: an event log + metrics."""
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = None) -> None:
         self.log = EventLog(capacity=capacity)
         self.metrics = Metrics()
 
@@ -111,7 +112,7 @@ def observe(name: str, value: float) -> None:
         active.metrics.observe(name, value)
 
 
-def timer(name: str):
+def timer(name: str) -> "TimerSpan":
     """A timing span on the active session; a shared no-op when disabled."""
     active = _ACTIVE
     if active is None:

@@ -11,7 +11,8 @@ suite cross-checks these derivations against the drivers' own outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -21,7 +22,7 @@ from repro.errors import ConfigurationError
 from repro.obs.events import Event, events_between
 
 #: Config triples travel through JSON as lists; compare as tuples.
-ConfigKey = Tuple[float, float, float]
+ConfigKey = tuple[float, float, float]
 
 
 def _config_key(raw: Sequence[float]) -> ConfigKey:
@@ -52,7 +53,7 @@ class RoundTrace:
     missed: bool
     guardian_triggered: bool
     exploited_jobs: int
-    explored: List[ConfigKey] = field(default_factory=list)
+    explored: list[ConfigKey] = field(default_factory=list)
 
 
 @dataclass
@@ -64,10 +65,10 @@ class CampaignTrace:
     controller: str
     deadline_ratio: float
     seed: int
-    rounds: List[RoundTrace] = field(default_factory=list)
-    mbo_runs: List[MBORunTrace] = field(default_factory=list)
-    final_front_configs: List[ConfigKey] = field(default_factory=list)
-    phase_transitions: List[dict] = field(default_factory=list)
+    rounds: list[RoundTrace] = field(default_factory=list)
+    mbo_runs: list[MBORunTrace] = field(default_factory=list)
+    final_front_configs: list[ConfigKey] = field(default_factory=list)
+    phase_transitions: list[dict[str, object]] = field(default_factory=list)
 
     @property
     def training_energy(self) -> float:
@@ -93,14 +94,14 @@ class CampaignTrace:
         return sum(1 for config in round_trace.explored if config in front)
 
 
-def replay_campaigns(events: Sequence[Event]) -> List[CampaignTrace]:
+def replay_campaigns(events: Sequence[Event]) -> list[CampaignTrace]:
     """Group a flat event stream into per-campaign traces.
 
     Campaigns are delimited by ``campaign.start`` / ``campaign.end``
     brackets; events outside any bracket (e.g. executor cell timings) are
     ignored here and only surface in :func:`render_summary`.
     """
-    traces: List[CampaignTrace] = []
+    traces: list[CampaignTrace] = []
     for segment in events_between(events, "campaign.start", "campaign.end"):
         start = segment[0].payload
         trace = CampaignTrace(
@@ -152,7 +153,7 @@ def replay_campaigns(events: Sequence[Event]) -> List[CampaignTrace]:
 
 def tab3_payload_from_trace(
     traces: Sequence[CampaignTrace],
-) -> Dict:
+) -> dict[str, object]:
     """Build the exact payload shape ``tab3_walkthrough.render`` consumes.
 
     Considers only BoFL campaigns; rows stop at the first exploitation
@@ -161,9 +162,9 @@ def tab3_payload_from_trace(
     bofl = [t for t in traces if t.controller == "bofl"]
     if not bofl:
         raise ConfigurationError("trace contains no bofl campaign to derive Table 3 from")
-    tasks: Dict[str, Dict] = {}
+    tasks: dict[str, dict[str, object]] = {}
     for trace in bofl:
-        rows: List[Dict] = []
+        rows: list[dict[str, object]] = []
         for round_trace in trace.rounds:
             if round_trace.phase == "exploitation":
                 break
@@ -192,16 +193,16 @@ def tab3_payload_from_trace(
 # -- Fig. 13 ----------------------------------------------------------------
 
 
-def fig13_payload_from_trace(traces: Sequence[CampaignTrace]) -> Dict:
+def fig13_payload_from_trace(traces: Sequence[CampaignTrace]) -> dict[str, object]:
     """Build the payload shape ``fig13_overhead.render`` consumes."""
     from repro.experiments.fig13_overhead import PAPER_BANDS
 
     bofl = [t for t in traces if t.controller == "bofl"]
     if not bofl:
         raise ConfigurationError("trace contains no bofl campaign to derive Fig. 13 from")
-    per_device: Dict[str, Dict] = {}
-    overall: Dict[str, float] = {}
-    by_device: Dict[str, List[CampaignTrace]] = {}
+    per_device: dict[str, dict[str, object]] = {}
+    overall: dict[str, float] = {}
+    by_device: dict[str, list[CampaignTrace]] = {}
     for trace in bofl:
         by_device.setdefault(trace.device, []).append(trace)
         overall[f"{trace.device}/{trace.task}"] = trace.mbo_overhead_fraction
@@ -230,7 +231,7 @@ def render_summary(events: Sequence[Event]) -> str:
     """A human-oriented overview of a trace: kinds, campaigns, activity."""
     if not events:
         return "(empty trace)"
-    counts: Dict[str, int] = {}
+    counts: dict[str, int] = {}
     for event in events:
         counts[event.kind] = counts.get(event.kind, 0) + 1
     kind_table = ascii_table(
@@ -296,7 +297,7 @@ def render_view(events: Sequence[Event], view: str) -> str:
 
 def derive_overhead_fractions(
     traces: Sequence[CampaignTrace],
-) -> Dict[Tuple[str, str], float]:
+) -> dict[tuple[str, str], float]:
     """Fig. 13b fractions keyed by ``(device, task)`` (cross-check hook)."""
     return {
         (t.device, t.task): t.mbo_overhead_fraction
@@ -307,9 +308,9 @@ def derive_overhead_fractions(
 
 def derive_tab3_counts(
     trace: CampaignTrace,
-) -> List[Tuple[int, str, int, int]]:
+) -> list[tuple[int, str, int, int]]:
     """Per-round ``(round, phase, explored, pareto)`` rows (cross-check hook)."""
-    rows: List[Tuple[int, str, int, int]] = []
+    rows: list[tuple[int, str, int, int]] = []
     for round_trace in trace.rounds:
         if round_trace.phase == "exploitation":
             break

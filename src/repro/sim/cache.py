@@ -27,7 +27,7 @@ import os
 import pathlib
 import tempfile
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Optional, Union
 
 from repro.analysis.io import campaign_from_dict, campaign_to_dict
 from repro.core.config import BoFLConfig
@@ -43,7 +43,7 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: The in-process campaign key: (device, task, controller, ratio, rounds,
 #: seed, BoFLConfig-or-None) — the same tuple the runner memoizes on.
-CampaignKey = Tuple[str, str, str, float, int, int, Optional[BoFLConfig]]
+CampaignKey = tuple[str, str, str, float, int, int, Optional[BoFLConfig]]
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -54,7 +54,7 @@ def default_cache_dir() -> pathlib.Path:
     return pathlib.Path.home() / ".cache" / "repro" / "campaigns"
 
 
-def cache_token(key: CampaignKey) -> dict:
+def cache_token(key: CampaignKey) -> dict[str, object]:
     """A JSON-stable representation of a campaign key.
 
     ``BoFLConfig`` is expanded field by field so that adding a knob (or
@@ -120,7 +120,7 @@ class PersistentCampaignCache:
         *,
         max_entries: int = 4096,
         max_bytes: Optional[int] = None,
-    ):
+    ) -> None:
         if max_entries < 1:
             raise ConfigurationError(
                 f"max_entries must be >= 1, got {max_entries}"
@@ -140,7 +140,7 @@ class PersistentCampaignCache:
     def path_for(self, key: CampaignKey) -> pathlib.Path:
         return self.directory / f"{cache_key_hash(key)}.json"
 
-    def _entries(self) -> list:
+    def _entries(self) -> list[pathlib.Path]:
         if not self.directory.is_dir():
             return []
         return sorted(

@@ -27,9 +27,10 @@ from __future__ import annotations
 import copy
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import Optional
 
 from repro.core.config import BoFLConfig
 from repro.core.records import CampaignResult
@@ -37,7 +38,12 @@ from repro.errors import ConfigurationError
 from repro.obs import runtime as obs
 from repro.sim import runner as _runner
 from repro.sim.cache import PersistentCampaignCache
-from repro.sim.runner import campaign_key, prime_campaign_cache, run_campaign
+from repro.sim.runner import (
+    CampaignKey,
+    campaign_key,
+    prime_campaign_cache,
+    run_campaign,
+)
 
 #: Hard ceiling on worker processes: beyond the physical core count the
 #: simulation is purely CPU-bound and extra workers only add contention.
@@ -70,7 +76,7 @@ class CampaignSpec:
     seed: int = 0
     bofl_config: Optional[BoFLConfig] = None
 
-    def key(self) -> tuple:
+    def key(self) -> CampaignKey:
         return campaign_key(
             self.device, self.task, self.controller, self.deadline_ratio,
             self.rounds, self.seed, self.bofl_config,
@@ -105,7 +111,7 @@ def expand_grid(
     *,
     rounds: int = 100,
     bofl_config: Optional[BoFLConfig] = None,
-) -> List[CampaignSpec]:
+) -> list[CampaignSpec]:
     """The full cross product as an ordered list of specs.
 
     ``bofl_config`` is attached only to ``bofl``-family controllers (the
@@ -168,8 +174,8 @@ def _compute_spec(spec: CampaignSpec) -> CampaignResult:
 class ExecutionReport:
     """The outcome of one :meth:`CampaignExecutor.run` call."""
 
-    results: List[CampaignResult]
-    timings: List[CampaignTiming]
+    results: list[CampaignResult]
+    timings: list[CampaignTiming]
     workers: int
     wall_seconds: float
 
@@ -206,16 +212,16 @@ class CampaignExecutor:
         *,
         cache: Optional[PersistentCampaignCache] = None,
         progress: Optional[ProgressCallback] = None,
-    ):
+    ) -> None:
         self.workers = resolve_workers(workers)
         self.cache = cache
         self.progress = progress
         #: Timings accumulated across every run() on this executor.
-        self.timings: List[CampaignTiming] = []
+        self.timings: list[CampaignTiming] = []
 
     # -- cache layers --------------------------------------------------------
 
-    def _lookup(self, spec: CampaignSpec) -> Tuple[Optional[CampaignResult], str]:
+    def _lookup(self, spec: CampaignSpec) -> tuple[Optional[CampaignResult], str]:
         key = spec.key()
         cached = _runner._CAMPAIGN_CACHE.get(key)
         if cached is not None:
@@ -245,12 +251,12 @@ class CampaignExecutor:
         """Execute every spec; results come back in submission order."""
         specs = list(specs)
         started = time.perf_counter()
-        results: Dict[int, CampaignResult] = {}
-        timings: Dict[int, CampaignTiming] = {}
+        results: dict[int, CampaignResult] = {}
+        timings: dict[int, CampaignTiming] = {}
         done_count = 0
         total = len(specs)
 
-        def finish(index: int, result: CampaignResult, seconds: float, source: str):
+        def finish(index: int, result: CampaignResult, seconds: float, source: str) -> None:
             nonlocal done_count
             results[index] = result
             timing = CampaignTiming(spec=specs[index], seconds=seconds, source=source)
@@ -270,7 +276,7 @@ class CampaignExecutor:
                 self.progress(done_count, total, timing)
 
         #: key -> list of spec indices still needing a result (dedup).
-        pending: Dict[tuple, List[int]] = {}
+        pending: dict[CampaignKey, list[int]] = {}
         for index, spec in enumerate(specs):
             if use_cache:
                 hit, source = self._lookup(spec)
@@ -299,7 +305,13 @@ class CampaignExecutor:
         """Convenience wrapper: execute a single spec."""
         return self.run([spec], use_cache=use_cache).results[0]
 
-    def _run_inline(self, pending, specs, use_cache, finish) -> None:
+    def _run_inline(
+        self,
+        pending: dict[CampaignKey, list[int]],
+        specs: Sequence[CampaignSpec],
+        use_cache: bool,
+        finish: Callable[[int, CampaignResult, float, str], None],
+    ) -> None:
         for key, indices in pending.items():
             spec = specs[indices[0]]
             t0 = time.perf_counter()
@@ -311,10 +323,16 @@ class CampaignExecutor:
             for index in indices:
                 finish(index, result, seconds, "inline")
 
-    def _run_pool(self, pending, specs, use_cache, finish) -> None:
+    def _run_pool(
+        self,
+        pending: dict[CampaignKey, list[int]],
+        specs: Sequence[CampaignSpec],
+        use_cache: bool,
+        finish: Callable[[int, CampaignResult, float, str], None],
+    ) -> None:
         workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
+            futures: dict[Future[CampaignResult], tuple[CampaignKey, list[int], float]] = {}
             for key, indices in pending.items():
                 spec = specs[indices[0]]
                 futures[pool.submit(_compute_spec, spec)] = (

@@ -16,7 +16,6 @@ a CPU-side computation; the GPU idles through it).
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from repro.errors import ConfigurationError
 from repro.hardware.devices import DeviceSpec
@@ -34,7 +33,7 @@ class MBOCostModel:
         per_observation_seconds: float = 0.04,
         per_pick_seconds: float = 0.30,
         power_watts_at_unit_speed: float = 10.0,
-    ):
+    ) -> None:
         if min(base_seconds, per_observation_seconds, per_pick_seconds) < 0:
             raise ConfigurationError("MBO cost coefficients must be non-negative")
         if power_watts_at_unit_speed <= 0:
@@ -45,7 +44,7 @@ class MBOCostModel:
         self.per_pick_seconds = per_pick_seconds
         self.power_watts = power_watts_at_unit_speed * device.relative_cpu_speed
 
-    def __call__(self, n_observations: int, batch_size: int) -> Tuple[Seconds, Joules]:
+    def __call__(self, n_observations: int, batch_size: int) -> tuple[Seconds, Joules]:
         """Cost of one MBO run with ``n_observations`` and batch ``batch_size``."""
         if n_observations < 0 or batch_size < 0:
             raise ConfigurationError("counts must be non-negative")

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import copy
 import zlib
-from typing import Callable, Dict, Optional, Tuple
+from collections.abc import Callable
+from typing import Optional, Protocol
 
 from repro.core.config import BoFLConfig
 from repro.core.controller import BoFLController
@@ -32,15 +33,29 @@ from repro.hardware.device import SimulatedDevice
 from repro.hardware.devices import get_device
 from repro.sim.mbo_cost import MBOCostModel
 
+#: The canonical campaign cache key: a flat tuple of hashable scalars
+#: (plus the optional frozen BoFLConfig).  Shared by the memo, the
+#: persistent cache and the parallel executor.
+CampaignKey = tuple[object, ...]
+
+
+class CampaignCacheProtocol(Protocol):
+    """Structural interface of the durable cache layer (get/put by key)."""
+
+    def get(self, key: CampaignKey) -> Optional[CampaignResult]: ...
+
+    def put(self, key: CampaignKey, result: CampaignResult) -> None: ...
+
+
 #: Task registry by short name.
-_TASKS: Dict[str, Callable[[], FLTaskSpec]] = {
+_TASKS: dict[str, Callable[[], FLTaskSpec]] = {
     "vit": cifar10_vit,
     "resnet50": imagenet_resnet50,
     "lstm": imdb_lstm,
 }
 
 #: Controller names accepted by :func:`make_controller` / :func:`run_campaign`.
-CONTROLLER_NAMES: Tuple[str, ...] = (
+CONTROLLER_NAMES: tuple[str, ...] = (
     "bofl",
     "performant",
     "oracle",
@@ -53,11 +68,11 @@ CONTROLLER_NAMES: Tuple[str, ...] = (
 #: defensive deepcopy so callers can mutate their result (``_annotate``
 #: does, and analysis code reasonably might) without corrupting the cache
 #: for every later caller.
-_CAMPAIGN_CACHE: Dict[tuple, CampaignResult] = {}
+_CAMPAIGN_CACHE: dict[CampaignKey, CampaignResult] = {}
 
 #: Optional durable layer underneath the in-memory memo (see
 #: :mod:`repro.sim.cache`); ``None`` keeps the runner disk-free.
-_PERSISTENT_CACHE = None
+_PERSISTENT_CACHE: Optional[CampaignCacheProtocol] = None
 
 
 def campaign_key(
@@ -68,7 +83,7 @@ def campaign_key(
     rounds: int,
     seed: int,
     bofl_config: Optional[BoFLConfig] = None,
-) -> tuple:
+) -> CampaignKey:
     """The canonical cache key for one campaign.
 
     Shared by the in-memory memo, the persistent cache and the parallel
@@ -90,7 +105,7 @@ def clear_campaign_cache() -> None:
     _CAMPAIGN_CACHE.clear()
 
 
-def install_persistent_cache(cache) -> None:
+def install_persistent_cache(cache: Optional[CampaignCacheProtocol]) -> None:
     """Install (or with ``None`` remove) the process-wide durable cache.
 
     ``cache`` is a :class:`repro.sim.cache.PersistentCampaignCache` (or any
@@ -102,12 +117,12 @@ def install_persistent_cache(cache) -> None:
     _PERSISTENT_CACHE = cache
 
 
-def get_persistent_cache():
+def get_persistent_cache() -> Optional[CampaignCacheProtocol]:
     """The currently installed durable cache, or ``None``."""
     return _PERSISTENT_CACHE
 
 
-def prime_campaign_cache(key: tuple, result: CampaignResult) -> None:
+def prime_campaign_cache(key: CampaignKey, result: CampaignResult) -> None:
     """Insert an externally computed result into the in-memory memo.
 
     Used by the parallel executor to make results computed in worker

@@ -10,7 +10,8 @@ bars.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -57,11 +58,11 @@ class SweepResult:
     task: str
     deadline_ratio: float
     rounds: int
-    seeds: Tuple[int, ...]
+    seeds: tuple[int, ...]
     improvement: SummaryStat
     regret: SummaryStat
     missed_total: int
-    campaigns: Dict[int, Dict[str, CampaignResult]]
+    campaigns: dict[int, dict[str, CampaignResult]]
 
 
 def sweep_campaign(
@@ -95,7 +96,7 @@ def sweep_campaign(
         executor = CampaignExecutor(workers=workers)
 
     controllers = ("bofl", "performant", "oracle")
-    campaigns: Dict[int, Dict[str, CampaignResult]] = {}
+    campaigns: dict[int, dict[str, CampaignResult]] = {}
     if executor is not None:
         specs = expand_grid(
             devices=(device,),
@@ -125,8 +126,8 @@ def sweep_campaign(
                 for name in controllers
             }
 
-    improvements: List[float] = []
-    regrets: List[float] = []
+    improvements: list[float] = []
+    regrets: list[float] = []
     missed = 0
     for seed in seeds:
         per_seed = campaigns[seed]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterator, Tuple
+from collections.abc import Iterator
 
 from repro.errors import ConfigurationError
 
@@ -44,7 +44,7 @@ class DvfsConfiguration:
             if value <= 0:
                 raise ConfigurationError(f"{name} frequency must be positive, got {value!r}")
 
-    def as_tuple(self) -> Tuple[GHz, GHz, GHz]:
+    def as_tuple(self) -> tuple[GHz, GHz, GHz]:
         """Return ``(cpu, gpu, mem)`` in GHz."""
         return (self.cpu, self.gpu, self.mem)
 
@@ -81,7 +81,7 @@ class PerformanceSample:
             raise ConfigurationError("jobs_measured must be >= 1")
 
     @property
-    def objectives(self) -> Tuple[Seconds, Joules]:
+    def objectives(self) -> tuple[Seconds, Joules]:
         """Return the objective vector ``(T(x), E(x))`` used by the MBO."""
         return (self.latency, self.energy)
 
@@ -185,7 +185,7 @@ class Schedule:
     in the round cannot cause a miss).
     """
 
-    entries: Tuple[ScheduleEntry, ...]
+    entries: tuple[ScheduleEntry, ...]
     expected_latency: Seconds
     expected_energy: Joules
 
@@ -211,7 +211,7 @@ class ObjectiveVector:
     latency: Seconds
     energy: Joules
 
-    def as_tuple(self) -> Tuple[Seconds, Joules]:
+    def as_tuple(self) -> tuple[Seconds, Joules]:
         return (self.latency, self.energy)
 
     def dominates(self, other: "ObjectiveVector") -> bool:

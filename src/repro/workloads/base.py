@@ -10,7 +10,6 @@ surfaces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
 
 from repro.errors import WorkloadError
 from repro.hardware.devices import DeviceSpec
@@ -40,7 +39,7 @@ class WorkloadProfile:
     family: str
     dataset: str
     description: str
-    targets: Dict[str, CalibrationTarget] = field(default_factory=dict)
+    targets: dict[str, CalibrationTarget] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -90,6 +89,6 @@ class WorkloadProfile:
             targets=targets,
         )
 
-    def devices(self) -> Tuple[str, ...]:
+    def devices(self) -> tuple[str, ...]:
         """Device names this profile is calibrated for."""
         return tuple(sorted(self.targets))

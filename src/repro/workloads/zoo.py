@@ -23,7 +23,7 @@ Calibration anchors (how each number was derived):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from collections.abc import Callable
 
 from repro.errors import WorkloadError
 from repro.hardware.perfmodel import CalibrationTarget
@@ -165,7 +165,7 @@ def bert_tiny() -> WorkloadProfile:
     )
 
 
-_REGISTRY: Dict[str, Callable[[], WorkloadProfile]] = {
+_REGISTRY: dict[str, Callable[[], WorkloadProfile]] = {
     "vit": vit,
     "resnet50": resnet50,
     "lstm": lstm,
@@ -174,10 +174,10 @@ _REGISTRY: Dict[str, Callable[[], WorkloadProfile]] = {
 }
 
 #: The three workloads evaluated in the paper, in presentation order.
-PAPER_WORKLOADS: Tuple[str, str, str] = ("vit", "resnet50", "lstm")
+PAPER_WORKLOADS: tuple[str, str, str] = ("vit", "resnet50", "lstm")
 
 
-def available_workloads() -> Tuple[str, ...]:
+def available_workloads() -> tuple[str, ...]:
     """Names accepted by :func:`get_workload`."""
     return tuple(sorted(_REGISTRY))
 

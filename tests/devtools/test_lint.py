@@ -1,0 +1,476 @@
+"""Tests for the ``repro lint`` engine and every built-in rule.
+
+Each rule gets a flagging and a non-flagging fixture, built as a throwaway
+repo tree (``<tmp>/pyproject.toml`` + ``<tmp>/src/repro/...``) so the
+repo-root-relative include/exempt scopes resolve exactly as they do on the
+real tree.
+"""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.devtools.lint import (
+    LINT_REPORT_VERSION,
+    Rule,
+    get_rule,
+    iter_rules,
+    lint_paths,
+    register_rule,
+)
+from repro.devtools.lint.engine import find_repo_root
+from repro.errors import ConfigurationError
+
+RULE_IDS = (
+    "assert-validation",
+    "float-equality",
+    "obs-event-kind",
+    "pickle-safety",
+    "unseeded-random",
+    "wall-clock",
+)
+
+
+def make_repo(tmp_path: pathlib.Path, files: dict) -> pathlib.Path:
+    """Lay out a miniature repo so root-relative rule scopes apply."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    for rel, text in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text))
+    return tmp_path
+
+
+def run_lint(root: pathlib.Path, select=None):
+    return lint_paths([root / "src"], root=root, select=select)
+
+
+def rule_hits(report, rule_id: str):
+    return [v for v in report.violations if v.rule == rule_id]
+
+
+class TestRegistry:
+    def test_all_builtin_rules_registered(self):
+        assert tuple(rule.id for rule in iter_rules()) == RULE_IDS
+
+    def test_every_rule_documents_itself(self):
+        for rule in iter_rules():
+            assert rule.summary
+            assert len(rule.rationale) > 40  # a real sentence, not a stub
+            assert rule.include
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            register_rule(get_rule("wall-clock"))
+
+    def test_reserved_ids_rejected(self):
+        stub = Rule(
+            id="suppression", summary="s", rationale="r", check=lambda _s: []
+        )
+        with pytest.raises(ConfigurationError, match="reserved"):
+            register_rule(stub)
+
+    def test_unknown_rule_lookup_fails_with_candidates(self):
+        with pytest.raises(ConfigurationError, match="wall-clock"):
+            get_rule("no-such-rule")
+
+
+class TestWallClock:
+    def test_flags_direct_and_aliased_reads(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/sim/runner.py": """\
+                import time
+                from time import perf_counter as pc
+
+                def stamp():
+                    return time.time() + pc()
+            """,
+        })
+        hits = rule_hits(run_lint(root, select=["wall-clock"]), "wall-clock")
+        assert len(hits) == 2
+        assert "time.time" in hits[0].message
+        assert hits[0].path == "src/repro/sim/runner.py"
+
+    def test_flags_datetime_now(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/core/run.py": """\
+                import datetime
+
+                def stamp():
+                    return datetime.datetime.now()
+            """,
+        })
+        assert len(rule_hits(run_lint(root, select=["wall-clock"]), "wall-clock")) == 1
+
+    def test_exempt_timing_modules_are_skipped(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/obs/metrics.py": """\
+                import time
+
+                def span():
+                    return time.perf_counter()
+            """,
+        })
+        assert run_lint(root, select=["wall-clock"]).ok
+
+    def test_local_variable_named_time_is_not_the_module(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/core/run.py": """\
+                def simulated(clock):
+                    time = clock
+                    return time.time()
+            """,
+        })
+        assert run_lint(root, select=["wall-clock"]).ok
+
+
+class TestUnseededRandom:
+    def test_flags_global_state_apis(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/bayesopt/warmup.py": """\
+                import random
+                import numpy as np
+
+                def draw():
+                    return random.random() + np.random.rand()
+            """,
+        })
+        hits = rule_hits(
+            run_lint(root, select=["unseeded-random"]), "unseeded-random"
+        )
+        assert len(hits) == 2
+
+    def test_seeded_generator_constructors_allowed(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/bayesopt/warmup.py": """\
+                import random
+                import numpy as np
+
+                def generators(seed):
+                    return np.random.default_rng(seed), random.Random(seed)
+            """,
+        })
+        assert run_lint(root, select=["unseeded-random"]).ok
+
+    def test_method_calls_on_a_generator_allowed(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/bayesopt/warmup.py": """\
+                def draw(rng):
+                    return rng.random()
+            """,
+        })
+        assert run_lint(root, select=["unseeded-random"]).ok
+
+
+class TestAssertValidation:
+    def test_flags_assert(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/ilp/check.py": """\
+                def validate(x):
+                    assert x is not None, "missing"
+                    return x
+            """,
+        })
+        hits = rule_hits(
+            run_lint(root, select=["assert-validation"]), "assert-validation"
+        )
+        assert len(hits) == 1
+        assert "python -O" in hits[0].message
+
+    def test_explicit_raise_is_clean(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/ilp/check.py": """\
+                def validate(x):
+                    if x is None:
+                        raise ValueError("missing")
+                    return x
+            """,
+        })
+        assert run_lint(root, select=["assert-validation"]).ok
+
+
+class TestFloatEquality:
+    def test_flags_eq_and_ne_on_objective_names(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/core/front.py": """\
+                def same(a, b):
+                    return a.latency == b.latency or a.energy != b.energy
+            """,
+        })
+        hits = rule_hits(
+            run_lint(root, select=["float-equality"]), "float-equality"
+        )
+        assert len(hits) == 2
+
+    def test_ordering_comparisons_and_other_names_clean(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/core/front.py": """\
+                def dominates(a, b, rounds):
+                    return a.latency <= b.latency and rounds == 3
+            """,
+        })
+        assert run_lint(root, select=["float-equality"]).ok
+
+
+class TestPickleSafety:
+    def test_flags_lambda_into_spec_and_submit(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/sim/plan.py": """\
+                def build(pool, CampaignSpec):
+                    spec = CampaignSpec(on_job=lambda r: r)
+                    pool.submit(lambda: 1)
+                    return spec
+            """,
+        })
+        hits = rule_hits(run_lint(root, select=["pickle-safety"]), "pickle-safety")
+        assert len(hits) == 2
+        assert "picklable" in hits[0].message
+
+    def test_module_level_callables_clean(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/sim/plan.py": """\
+                def on_job(r):
+                    return r
+
+                def build(pool, CampaignSpec):
+                    pool.submit(on_job)
+                    return CampaignSpec(on_job=on_job)
+            """,
+        })
+        assert run_lint(root, select=["pickle-safety"]).ok
+
+    def test_lambda_elsewhere_is_fine(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/sim/plan.py": """\
+                def order(rows):
+                    return sorted(rows, key=lambda r: r[0])
+            """,
+        })
+        assert run_lint(root, select=["pickle-safety"]).ok
+
+
+class TestObsEventKind:
+    def test_flags_unregistered_kind(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/core/loop.py": """\
+                from repro import obs
+
+                def tick():
+                    obs.emit("bogus.kind", 0.0, value=1)
+            """,
+        })
+        hits = rule_hits(run_lint(root, select=["obs-event-kind"]), "obs-event-kind")
+        assert len(hits) == 1
+        assert "bogus.kind" in hits[0].message
+
+    def test_flags_dynamic_kind_and_payload_unpacking(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/core/loop.py": """\
+                from repro import obs
+
+                def tick(kind, payload):
+                    obs.emit(kind, 0.0)
+                    obs.emit("controller.round", 0.0, **payload)
+            """,
+        })
+        hits = rule_hits(run_lint(root, select=["obs-event-kind"]), "obs-event-kind")
+        assert len(hits) == 2
+
+    def test_registered_literal_kind_clean(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/core/loop.py": """\
+                from repro import obs
+
+                def tick(t):
+                    obs.emit("controller.round", t, round=1)
+            """,
+        })
+        assert run_lint(root, select=["obs-event-kind"]).ok
+
+    def test_obs_package_itself_exempt(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/obs/runtime.py": """\
+                def emit_via(log, kind, t):
+                    log.emit(kind, t)
+            """,
+        })
+        assert run_lint(root, select=["obs-event-kind"]).ok
+
+
+class TestSuppressions:
+    def test_justified_suppression_silences_the_line(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/ilp/check.py": """\
+                def validate(x):
+                    assert x  # repro: allow[assert-validation] -- perf-critical inner loop
+                    return x
+            """,
+        })
+        assert run_lint(root, select=["assert-validation"]).ok
+
+    def test_bare_suppression_does_not_suppress_and_is_flagged(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/ilp/check.py": """\
+                def validate(x):
+                    assert x  # repro: allow[assert-validation]
+                    return x
+            """,
+        })
+        report = run_lint(root, select=["assert-validation"])
+        assert len(rule_hits(report, "assert-validation")) == 1
+        suppression_hits = rule_hits(report, "suppression")
+        assert len(suppression_hits) == 1
+        assert "justification" in suppression_hits[0].message
+
+    def test_suppression_naming_unknown_rule_is_flagged(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/ilp/check.py": """\
+                def ok():  # repro: allow[no-such-rule] -- because
+                    return 1
+            """,
+        })
+        hits = rule_hits(run_lint(root), "suppression")
+        assert len(hits) == 1
+        assert "unknown rule" in hits[0].message
+
+    def test_suppression_syntax_in_docstring_is_ignored(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/ilp/check.py": '''\
+                """Docs may mention # repro: allow[wall-clock] without effect."""
+
+                def ok():
+                    return 1
+            ''',
+        })
+        assert run_lint(root).ok
+
+
+class TestEngine:
+    def test_report_json_schema(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/core/bad.py": "def f():\n    assert True\n",
+        })
+        payload = json.loads(run_lint(root).render_json())
+        assert payload["version"] == LINT_REPORT_VERSION
+        assert payload["ok"] is False
+        assert payload["checked_files"] == 1
+        assert set(payload["rules"]) == set(RULE_IDS)
+        (violation,) = payload["violations"]
+        assert set(violation) == {"rule", "path", "line", "col", "message"}
+        assert violation["rule"] == "assert-validation"
+        assert violation["path"] == "src/repro/core/bad.py"
+
+    def test_human_rendering_has_location_and_summary(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/core/bad.py": "def f():\n    assert True\n",
+        })
+        rendered = run_lint(root).render_human()
+        assert "src/repro/core/bad.py:2:" in rendered
+        assert "[assert-validation]" in rendered
+        assert rendered.splitlines()[-1].startswith("repro lint: 1 violation(s)")
+
+    def test_unparseable_file_reports_parse_error(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/core/broken.py": "def f(:\n",
+        })
+        hits = rule_hits(run_lint(root), "parse-error")
+        assert len(hits) == 1
+        assert not run_lint(root).ok
+
+    def test_violations_sorted_by_location(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/core/a.py": "def f():\n    assert True\n    assert True\n",
+            "src/repro/core/b.py": "def g():\n    assert True\n",
+        })
+        report = run_lint(root, select=["assert-validation"])
+        keys = [(v.path, v.line) for v in report.violations]
+        assert keys == sorted(keys)
+
+    def test_scope_excludes_files_outside_src(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/core/ok.py": "def f():\n    return 1\n",
+            "tests/test_x.py": "def test():\n    assert 1 == 1\n",
+        })
+        report = lint_paths([root / "src", root / "tests"], root=root)
+        assert report.ok  # rules include only src/repro/**
+        assert report.checked_files == 2
+
+    def test_needs_at_least_one_path(self):
+        with pytest.raises(ConfigurationError):
+            lint_paths([])
+
+    def test_find_repo_root_walks_to_pyproject(self, tmp_path):
+        root = make_repo(tmp_path, {"src/repro/core/x.py": "A = 1\n"})
+        assert find_repo_root(root / "src" / "repro" / "core" / "x.py") == root
+
+
+class TestRealTree:
+    def test_repo_head_is_clean(self):
+        repo = find_repo_root(pathlib.Path(__file__))
+        report = lint_paths([repo / "src"], root=repo)
+        assert report.ok, report.render_human()
+        assert report.checked_files > 100
+
+
+class TestCli:
+    def test_lint_violations_exit_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = make_repo(tmp_path, {
+            "src/repro/core/bad.py": "def f():\n    assert True\n",
+        })
+        assert main(["lint", str(root / "src"), "--root", str(root)]) == 1
+        assert "[assert-validation]" in capsys.readouterr().out
+
+    def test_lint_clean_tree_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = make_repo(tmp_path, {
+            "src/repro/core/ok.py": "def f():\n    return 1\n",
+        })
+        assert main(["lint", str(root / "src"), "--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_lint_json_format_is_parseable(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = make_repo(tmp_path, {
+            "src/repro/core/bad.py": "def f():\n    assert True\n",
+        })
+        code = main(
+            ["lint", str(root / "src"), "--root", str(root), "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == LINT_REPORT_VERSION
+        assert payload["violations"]
+
+    def test_lint_select_limits_rules(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = make_repo(tmp_path, {
+            "src/repro/core/bad.py": "def f():\n    assert True\n",
+        })
+        code = main(
+            ["lint", str(root / "src"), "--root", str(root),
+             "--select", "wall-clock"]
+        )
+        assert code == 0  # the assert rule was not selected
+        capsys.readouterr()
+
+    def test_lint_unknown_rule_is_a_clean_cli_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--select", "no-such-rule"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out

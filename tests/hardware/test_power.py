@@ -49,9 +49,9 @@ class TestVoltageCurve:
     @pytest.mark.parametrize(
         "kwargs",
         [
-            dict(f_min=2.0, f_max=1.0, v_min=0.6, v_max=1.2),
-            dict(f_min=0.5, f_max=2.0, v_min=1.3, v_max=1.2),
-            dict(f_min=0.5, f_max=2.0, v_min=0.6, v_max=1.2, gamma=0.0),
+            {"f_min": 2.0, "f_max": 1.0, "v_min": 0.6, "v_max": 1.2},
+            {"f_min": 0.5, "f_max": 2.0, "v_min": 1.3, "v_max": 1.2},
+            {"f_min": 0.5, "f_max": 2.0, "v_min": 0.6, "v_max": 1.2, "gamma": 0.0},
         ],
     )
     def test_rejects_invalid(self, kwargs):

@@ -11,10 +11,10 @@ from tests.conftest import build_tiny_spec, build_tiny_workload
 
 
 def model(**kwargs):
-    defaults = dict(
-        r_th=2.0, tau_th=100.0, t_ambient=25.0,
-        throttle_start=60.0, throttle_full=80.0, max_slowdown=1.5,
-    )
+    defaults = {
+        "r_th": 2.0, "tau_th": 100.0, "t_ambient": 25.0,
+        "throttle_start": 60.0, "throttle_full": 80.0, "max_slowdown": 1.5,
+    }
     defaults.update(kwargs)
     return ThermalModel(**defaults)
 
