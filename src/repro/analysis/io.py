@@ -11,7 +11,7 @@ import json
 import pathlib
 from typing import Union
 
-from repro.core.records import CampaignResult, MBOReport, RoundRecord
+from repro.core.records import CampaignResult, ChaosSummary, MBOReport, RoundRecord
 from repro.errors import ConfigurationError
 from repro.types import DvfsConfiguration
 
@@ -76,7 +76,7 @@ def _record_from_dict(payload: dict) -> RoundRecord:
 
 def campaign_to_dict(result: CampaignResult) -> dict:
     """A JSON-safe representation of a campaign result."""
-    return {
+    payload = {
         "format_version": FORMAT_VERSION,
         "controller": result.controller,
         "device": result.device,
@@ -85,6 +85,16 @@ def campaign_to_dict(result: CampaignResult) -> dict:
         "records": [_record_to_dict(r) for r in result.records],
         "final_front": result.final_front,
     }
+    if result.chaos is not None:
+        payload["chaos"] = {
+            "injected": [[r, k] for r, k in result.chaos.injected],
+            "checkpoints": result.chaos.checkpoints,
+            "restores": result.chaos.restores,
+            "escalations": result.chaos.escalations,
+            "dropped_rounds": result.chaos.dropped_rounds,
+            "lost_reports": result.chaos.lost_reports,
+        }
+    return payload
 
 
 def campaign_from_dict(payload: dict) -> CampaignResult:
@@ -106,6 +116,16 @@ def campaign_from_dict(payload: dict) -> CampaignResult:
     result.final_front = (
         None if front is None else [(float(t), float(e)) for t, e in front]
     )
+    chaos = payload.get("chaos")
+    if chaos is not None:
+        result.chaos = ChaosSummary(
+            injected=tuple((int(r), str(k)) for r, k in chaos["injected"]),
+            checkpoints=chaos.get("checkpoints", 0),
+            restores=chaos.get("restores", 0),
+            escalations=chaos.get("escalations", 0),
+            dropped_rounds=chaos.get("dropped_rounds", 0),
+            lost_reports=chaos.get("lost_reports", 0),
+        )
     return result
 
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands:
+Eight subcommands:
 
 * ``list`` — enumerate the reproducible paper artifacts;
 * ``run <experiment>`` — regenerate one table/figure and print its rows
@@ -9,6 +9,9 @@ Seven subcommands:
   (e.g. ``python -m repro campaign --controller bofl --task lstm``);
 * ``sweep`` — run a multi-seed campaign sweep, optionally in parallel
   (e.g. ``python -m repro sweep --task vit --seeds 0 1 2 3 --workers 4``);
+* ``chaos run|report`` — fault-injection campaigns: run a faulted
+  campaign next to its fault-free twin and report resilience metrics, or
+  summarize a recorded chaos trace (``docs/fault_injection.md``);
 * ``cache`` — inspect or clear the persistent campaign result cache;
 * ``trace`` — replay a recorded observability trace (``campaign
   --trace out.jsonl`` records one) as a summary or as the trace-derived
@@ -35,10 +38,13 @@ from repro._version import __version__
 from repro.analysis.tables import render_kv
 from repro.experiments import EXPERIMENTS, get_experiment, warm_experiment_cache
 from repro.sim import (
+    CHAOS_PRESETS,
     CampaignExecutor,
     PersistentCampaignCache,
+    chaos_report_from_trace,
     install_persistent_cache,
     run_campaign,
+    run_chaos,
     sweep_campaign,
 )
 from repro.sim.executor import CampaignTiming, ProgressCallback
@@ -98,6 +104,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro/campaigns)",
     )
+
+    chaos = commands.add_parser(
+        "chaos", help="fault-injection campaigns (see docs/fault_injection.md)"
+    )
+    chaos_commands = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_commands.add_parser(
+        "run", help="run a faulted campaign plus its fault-free twin"
+    )
+    chaos_run.add_argument("--device", default="agx", choices=("agx", "tx2"))
+    chaos_run.add_argument("--task", default="vit", choices=("vit", "resnet50", "lstm"))
+    chaos_run.add_argument("--controller", default="bofl", choices=CONTROLLER_NAMES)
+    chaos_run.add_argument("--ratio", type=float, default=2.0)
+    chaos_run.add_argument("--rounds", type=int, default=20)
+    chaos_run.add_argument("--seed", type=int, default=0)
+    chaos_run.add_argument(
+        "--preset", default="mixed", choices=sorted(CHAOS_PRESETS),
+        help="which fault mix to derive the schedule from",
+    )
+    chaos_run.add_argument(
+        "--faults", type=int, default=4, metavar="N",
+        help="number of fault windows to inject (default 4)",
+    )
+    chaos_run.add_argument(
+        "--no-recovery", action="store_true",
+        help="ablation: disable checkpoints, restores and escalation",
+    )
+    chaos_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record an observability trace to PATH (JSONL); forces a "
+        "serial, uncached run so the trace is complete and byte-stable",
+    )
+    _add_parallel_options(chaos_run)
+    chaos_report = chaos_commands.add_parser(
+        "report", help="summarize the fault/recovery activity of a trace"
+    )
+    chaos_report.add_argument("file", help="trace written by chaos run --trace")
 
     trace = commands.add_parser(
         "trace", help="replay a recorded observability trace (JSONL)"
@@ -274,6 +316,49 @@ def _cmd_cache(args: argparse.Namespace) -> str:
     return cache.stats().render()
 
 
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    if args.chaos_command == "report":
+        return chaos_report_from_trace(args.file)
+    recovery = not args.no_recovery
+    if args.trace:
+        # Tracing forces a serial, uncached, deterministic-capture run:
+        # cached cells would leave the trace empty, and wall-clock payload
+        # fields would break byte-for-byte trace stability.
+        with obs.session(deterministic=True) as session:
+            result = run_chaos(
+                args.device,
+                args.task,
+                args.controller,
+                args.ratio,
+                rounds=args.rounds,
+                seed=args.seed,
+                preset=args.preset,
+                n_faults=args.faults,
+                recovery=recovery,
+                use_cache=False,
+            )
+        trace_path = session.log.dump_jsonl(args.trace)
+        print(f"trace: {session.log.emitted} events -> {trace_path}", file=sys.stderr)
+    else:
+        executor = CampaignExecutor(
+            workers=_normalize_workers(args.workers),
+            progress=_progress_printer(args.progress),
+        )
+        result = run_chaos(
+            args.device,
+            args.task,
+            args.controller,
+            args.ratio,
+            rounds=args.rounds,
+            seed=args.seed,
+            preset=args.preset,
+            n_faults=args.faults,
+            recovery=recovery,
+            executor=executor,
+        )
+    return result.render()
+
+
 def _cmd_trace(args: argparse.Namespace) -> str:
     events = obs.read_jsonl(args.file)
     return obs.render_view(events, args.view)
@@ -322,6 +407,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         elif args.command == "sweep":
             _setup_persistence(args)
             print(_cmd_sweep(args))
+        elif args.command == "chaos":
+            _setup_persistence(args)
+            print(_cmd_chaos(args))
         elif args.command == "cache":
             print(_cmd_cache(args))
         elif args.command == "trace":

@@ -19,8 +19,10 @@ Round lifecycle:
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 from collections.abc import Callable
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -51,6 +53,35 @@ from repro.types import (
 #: Models the cost of one MBO engine run: (n_observations, batch_size) ->
 #: (latency seconds, energy Joules).  ``None`` means free (unit tests).
 MBOCostFn = Callable[[int, int], tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class BoFLCheckpoint:
+    """A resumable snapshot of a :class:`BoFLController`'s learning state.
+
+    Captures everything the explore-then-exploit machinery has learned —
+    the observation store, the optimizer (GPs, Sobol cursor, reference
+    point), the stopping rule's hypervolume history, the guardian's
+    ``T(x_max)`` estimate, the phase machine and both candidate queues —
+    but deliberately **not** the device, the clock, or the round counter:
+    restoring rolls back *what the controller believes*, never the world.
+    A faulted round therefore resumes from the snapshot instead of the
+    controller restarting exploration from scratch.
+    """
+
+    store: ObservationStore
+    optimizer: MultiObjectiveBayesianOptimizer
+    stopping: StoppingCondition
+    guardian: DeadlineGuardian
+    phase: Phase
+    transitions: tuple[PhaseTransition, ...]
+    exploration_queue: tuple[DvfsConfiguration, ...]
+    pending_suggestions: tuple[DvfsConfiguration, ...]
+    phase1_durations: tuple[Seconds, ...]
+    rng: np.random.Generator
+    drift_ewma: float
+    restarts: int
+    escalation_rounds: int
 
 
 class BoFLController(PaceController):
@@ -100,6 +131,8 @@ class BoFLController(PaceController):
         #: Drift-adaptation extension state (see BoFLConfig.drift_reexploration).
         self._drift_ewma = 0.0
         self.restarts = 0
+        #: Rounds left under a resilience escalation (pinning x_max).
+        self._escalation_rounds = 0
 
     # -- public inspection --------------------------------------------------
 
@@ -111,6 +144,67 @@ class BoFLController(PaceController):
         """Objective values of the currently observed Pareto set."""
         _, values = self.store.pareto_set()
         return values
+
+    # -- checkpoint / restore / escalation (resilience hooks) -----------------
+
+    def checkpoint(self) -> BoFLCheckpoint:
+        """Snapshot the learning state (see :class:`BoFLCheckpoint`).
+
+        Deep-copies every stateful component so later rounds cannot mutate
+        the snapshot through shared references.
+        """
+        return BoFLCheckpoint(
+            store=copy.deepcopy(self.store),
+            optimizer=copy.deepcopy(self.optimizer),
+            stopping=copy.deepcopy(self.stopping),
+            guardian=copy.deepcopy(self.guardian),
+            phase=self.phase,
+            transitions=tuple(self.transitions),
+            exploration_queue=tuple(self._exploration_queue),
+            pending_suggestions=tuple(self._pending_suggestions),
+            phase1_durations=tuple(self._phase1_durations),
+            rng=copy.deepcopy(self._rng),
+            drift_ewma=self._drift_ewma,
+            restarts=self.restarts,
+            escalation_rounds=self._escalation_rounds,
+        )
+
+    def restore(self, snapshot: BoFLCheckpoint) -> None:
+        """Roll the learning state back to ``snapshot``.
+
+        The device, simulated clock and round counter are untouched:
+        restoring discards poisoned *beliefs* (e.g. GP observations taken
+        through a faulted power sensor) while the world keeps moving.  The
+        snapshot is deep-copied on the way in so it stays reusable.
+        """
+        self.store = copy.deepcopy(snapshot.store)
+        self.optimizer = copy.deepcopy(snapshot.optimizer)
+        self.stopping = copy.deepcopy(snapshot.stopping)
+        self.guardian = copy.deepcopy(snapshot.guardian)
+        self.phase = snapshot.phase
+        self.transitions = list(snapshot.transitions)
+        self._exploration_queue = deque(snapshot.exploration_queue)
+        self._pending_suggestions = deque(snapshot.pending_suggestions)
+        self._phase1_durations = list(snapshot.phase1_durations)
+        self._rng = copy.deepcopy(snapshot.rng)
+        self._drift_ewma = snapshot.drift_ewma
+        self.restarts = snapshot.restarts
+        self._escalation_rounds = snapshot.escalation_rounds
+
+    def escalate_to_xmax(self, rounds: int) -> None:
+        """Pin the next ``rounds`` rounds to ``x_max`` (safe-harbor mode).
+
+        The resilience layer calls this after detecting an anomaly (thermal
+        trip, deadline miss under fault): until the counter drains, every
+        round sprints at the guardian configuration instead of trusting the
+        possibly-invalidated performance model.  Escalations extend but
+        never shorten an active pin.
+        """
+        self._escalation_rounds = max(self._escalation_rounds, rounds)
+
+    @property
+    def escalation_active(self) -> bool:
+        return self._escalation_rounds > 0
 
     # -- round execution -----------------------------------------------------
 
@@ -128,31 +222,41 @@ class BoFLController(PaceController):
             deadline=deadline,
             jobs=jobs,
         )
-        if self.phase is Phase.PARETO_CONSTRUCTION:
-            record.mbo = self._run_mbo_engine()
-            if obs.enabled():
-                obs.emit(
-                    "mbo.run",
-                    t=self.device.clock.now,
-                    round=round_index,
-                    latency=record.mbo.latency,
-                    energy=record.mbo.energy,
-                    n_observations=record.mbo.n_observations,
-                    batch_size=record.mbo.batch_size,
-                )
-        if self.phase is Phase.EXPLOITATION:
-            self._run_exploitation_round(budget, record, on_job)
+        escalated = self._escalation_rounds > 0
+        if escalated:
+            # Safe-harbor mode (resilience escalation): the whole round runs
+            # at x_max.  No measurements, no MBO, no phase advance — the
+            # learning machinery idles until the pin drains.
+            self._escalation_rounds -= 1
+            record.guardian_triggered = True
+            self._drain_at_x_max(budget, record, on_job)
         else:
-            queue = (
-                self._exploration_queue
-                if self.phase is Phase.RANDOM_EXPLORATION
-                else self._pending_suggestions
-            )
-            self._run_exploration_round(queue, budget, record, on_job)
+            if self.phase is Phase.PARETO_CONSTRUCTION:
+                record.mbo = self._run_mbo_engine()
+                if obs.enabled():
+                    obs.emit(
+                        "mbo.run",
+                        t=self.device.clock.now,
+                        round=round_index,
+                        latency=record.mbo.latency,
+                        energy=record.mbo.energy,
+                        n_observations=record.mbo.n_observations,
+                        batch_size=record.mbo.batch_size,
+                    )
+            if self.phase is Phase.EXPLOITATION:
+                self._run_exploitation_round(budget, record, on_job)
+            else:
+                queue = (
+                    self._exploration_queue
+                    if self.phase is Phase.RANDOM_EXPLORATION
+                    else self._pending_suggestions
+                )
+                self._run_exploration_round(queue, budget, record, on_job)
         record.elapsed = budget.elapsed
         record.energy = self.device.energy_consumed - self._energy_start
         record.missed = budget.elapsed > deadline + 1e-9
-        self._advance_phase(round_index, budget)
+        if not escalated:
+            self._advance_phase(round_index, budget)
         if obs.enabled():
             obs.emit(
                 "controller.round",

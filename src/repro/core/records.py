@@ -66,6 +66,31 @@ class RoundRecord:
         return len(self.explored)
 
 
+@dataclass(frozen=True)
+class ChaosSummary:
+    """What a chaos campaign injected and how the stack fought back.
+
+    Attached to a :class:`CampaignResult` by the chaos path of the campaign
+    runner; a ``None`` summary means the campaign ran fault-free.
+    """
+
+    #: Every injection performed, as (round_index, fault_kind) pairs.
+    injected: tuple[tuple[int, str], ...] = ()
+    checkpoints: int = 0
+    restores: int = 0
+    escalations: int = 0
+    dropped_rounds: int = 0
+    lost_reports: int = 0
+
+    @property
+    def injections(self) -> int:
+        return len(self.injected)
+
+    @property
+    def recovery_actions(self) -> int:
+        return self.restores + self.escalations
+
+
 @dataclass
 class CampaignResult:
     """A full multi-round run of one controller on one device/task."""
@@ -77,6 +102,8 @@ class CampaignResult:
     records: list[RoundRecord] = field(default_factory=list)
     #: The controller's final Pareto-front objective values, if it has one.
     final_front: Optional[list[tuple[Seconds, Joules]]] = None
+    #: Fault-injection summary when the campaign ran under a chaos schedule.
+    chaos: Optional[ChaosSummary] = None
 
     @property
     def rounds(self) -> int:

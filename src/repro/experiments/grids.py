@@ -87,3 +87,30 @@ def ext_controllers_grid(
         devices=("agx",), tasks=("vit",), controllers=CONTROLLER_NAMES,
         ratios=(ratio,), seeds=(seed,), rounds=rounds,
     )
+
+
+def ext_resilience_grid(
+    ratio: float = 2.0, rounds: int = 30, seed: int = 0, preset: str = "mixed"
+) -> list[CampaignSpec]:
+    """Resilience ablation: fault-free baseline plus both recovery policies."""
+    from repro.faults.recovery import NO_RECOVERY, RecoveryPolicy
+    from repro.sim.chaos import preset_schedule
+
+    schedule = preset_schedule(preset, seed, rounds)
+    base = CampaignSpec(
+        device="agx", task="vit", controller="bofl",
+        deadline_ratio=ratio, rounds=rounds, seed=seed,
+    )
+    return [
+        base,
+        CampaignSpec(
+            device="agx", task="vit", controller="bofl",
+            deadline_ratio=ratio, rounds=rounds, seed=seed,
+            fault_schedule=schedule, recovery_policy=RecoveryPolicy(),
+        ),
+        CampaignSpec(
+            device="agx", task="vit", controller="bofl",
+            deadline_ratio=ratio, rounds=rounds, seed=seed,
+            fault_schedule=schedule, recovery_policy=NO_RECOVERY,
+        ),
+    ]

@@ -20,6 +20,7 @@ from repro.experiments import (
     ext_accuracy,
     ext_controllers,
     ext_fleet,
+    ext_resilience,
     fig2_spread,
     fig3_gpu_sweep,
     fig4_cpu_sweep,
@@ -190,6 +191,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             ext_controllers.run,
             ext_controllers.render,
             grid=grids.ext_controllers_grid,
+        ),
+        Experiment(
+            "ext_resilience",
+            "Extension: recovery policies under injected faults",
+            ext_resilience.run,
+            ext_resilience.render,
+            grid=grids.ext_resilience_grid,
         ),
     )
 }

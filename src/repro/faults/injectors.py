@@ -1,0 +1,167 @@
+"""Per-round fault arming: schedules -> device overlays + obs events.
+
+The :class:`FaultInjector` is the only component that interprets fault
+kinds.  Each round the chaos engine calls :meth:`FaultInjector.arm`, which
+
+* collects the schedule's active :class:`~repro.faults.schedule.FaultSpec`
+  windows for that round,
+* folds the hardware-facing ones into one
+  :class:`~repro.hardware.device.FaultOverlay` (straggler inflation,
+  sensor corruption, DVFS rejection) and applies it to the device —
+  including the thermal-trip temperature forcing,
+* reports the federated-facing semantics (deadline tightening from
+  transport stalls, lost reports, client dropout) as a
+  :class:`RoundFaults` summary for the engine to act on, and
+* emits ``fault.injected`` / ``fault.cleared`` obs events exactly on the
+  rounds where a window opens or closes.
+
+Everything here is a pure function of (schedule, round index): no clocks,
+no random draws, so serial and parallel chaos campaigns stay identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.schedule import FaultSchedule, FaultSpec
+from repro.hardware.device import FaultOverlay, SimulatedDevice
+from repro.obs import runtime as obs
+
+#: Training deadlines are never tightened below this fraction of the
+#: reporting deadline, mirroring the transport-layer conversion floor in
+#: :func:`repro.federated.transport.training_deadline_from_reporting`.
+MIN_DEADLINE_FRACTION = 0.1
+
+
+@dataclass(frozen=True)
+class RoundFaults:
+    """What the active fault windows mean for one round."""
+
+    round_index: int
+    specs: tuple[FaultSpec, ...]
+
+    @property
+    def any_active(self) -> bool:
+        return bool(self.specs)
+
+    @property
+    def drops_round(self) -> bool:
+        """The client vanished before training (Fig. 1's drop-out arrow)."""
+        return any(s.kind == "client_dropout" for s in self.specs)
+
+    @property
+    def loses_report(self) -> bool:
+        """The upload is lost in transit — the round trains but never lands."""
+        return any(s.kind == "transport_loss" for s in self.specs)
+
+    @property
+    def forces_thermal(self) -> bool:
+        return any(s.kind == "thermal_trip" for s in self.specs)
+
+    @property
+    def corrupts_measurements(self) -> bool:
+        return any(s.corrupts_measurements for s in self.specs)
+
+    @property
+    def deadline_factor(self) -> float:
+        """Training-deadline shrink from transport stalls (1.0 = none).
+
+        Stalls compose multiplicatively (two concurrent 30 % stalls leave
+        49 % of the budget) and the result is floored so a pathological
+        schedule cannot produce a non-positive training budget.
+        """
+        factor = 1.0
+        for spec in self.specs:
+            if spec.kind == "transport_stall":
+                factor *= 1.0 - spec.magnitude
+        return max(factor, MIN_DEADLINE_FRACTION)
+
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(sorted({s.kind for s in self.specs}))
+
+
+def overlay_for(specs: tuple[FaultSpec, ...]) -> FaultOverlay:
+    """Fold the hardware-facing faults of one round into a device overlay."""
+    latency_factor = 1.0
+    energy_factor = 1.0
+    sensor_factor = 1.0
+    reject = False
+    for spec in specs:
+        if spec.kind == "straggler":
+            latency_factor *= spec.magnitude
+            energy_factor *= spec.magnitude
+        elif spec.kind in ("sensor_outage", "sensor_spike"):
+            sensor_factor *= spec.magnitude
+        elif spec.kind == "dvfs_reject":
+            reject = True
+    return FaultOverlay(
+        latency_factor=latency_factor,
+        energy_factor=energy_factor,
+        sensor_energy_factor=sensor_factor,
+        reject_dvfs=reject,
+    )
+
+
+class FaultInjector:
+    """Arms one device with a schedule's faults, round by round."""
+
+    def __init__(self, schedule: FaultSchedule, device: SimulatedDevice) -> None:
+        self.schedule = schedule
+        self.device = device
+        self._previous: tuple[FaultSpec, ...] = ()
+        #: Every (round, kind) injection performed, in order — the chaos
+        #: summary and the resilience metrics both consume this.
+        self.injections: list[tuple[int, str]] = []
+
+    def arm(self, round_index: int) -> RoundFaults:
+        """Apply the faults active in ``round_index`` and describe them."""
+        specs = self.schedule.active(round_index)
+        faults = RoundFaults(round_index=round_index, specs=specs)
+        overlay = overlay_for(specs)
+        forced_temperature = None
+        for spec in specs:
+            # A thermal trip forces the temperature on the window's first
+            # round only; afterwards the RC dynamics take over.
+            if spec.kind == "thermal_trip" and spec.start_round == round_index:
+                forced_temperature = spec.magnitude
+        self.device.apply_fault_overlay(
+            None if overlay.is_neutral else overlay, forced_temperature
+        )
+        self._emit_transitions(round_index, specs)
+        self._previous = specs
+        return faults
+
+    def disarm(self) -> None:
+        """Clear any armed overlay (end of campaign)."""
+        self.device.apply_fault_overlay(None)
+        self._previous = ()
+
+    def _emit_transitions(
+        self, round_index: int, specs: tuple[FaultSpec, ...]
+    ) -> None:
+        opened = [s for s in specs if s.start_round == round_index]
+        closed = [s for s in self._previous if s.end_round == round_index]
+        for spec in opened:
+            self.injections.append((round_index, spec.kind))
+        if not obs.enabled():
+            return
+        now = self.device.clock.now
+        for spec in closed:
+            obs.emit(
+                "fault.cleared",
+                t=now,
+                round=round_index,
+                fault=spec.kind,
+                active_rounds=spec.rounds,
+            )
+            obs.count("faults.cleared")
+        for spec in opened:
+            obs.emit(
+                "fault.injected",
+                t=now,
+                round=round_index,
+                fault=spec.kind,
+                magnitude=spec.magnitude,
+                until_round=spec.end_round,
+            )
+            obs.count("faults.injected")

@@ -1,0 +1,118 @@
+"""Resilience metrics: what chaos cost and how fast the controller healed.
+
+:class:`ResilienceMetrics` compares a faulted campaign against its
+fault-free twin (same device, task, controller, seed — only the schedule
+differs) and summarizes three things the paper's healthy-board evaluation
+cannot show:
+
+* **deadline-miss rate** under fault, including dropped/lost rounds;
+* **energy regret** — extra Joules spent versus the fault-free run, which
+  bounds how much the injected chaos (and the defensive escalations it
+  provoked) cost;
+* **recovery rounds** — for each fault window, how many rounds after it
+  closed until the controller produced a clean round again (no miss, no
+  guardian fallback, no drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.records import CampaignResult, RoundRecord
+from repro.faults.schedule import FaultSchedule
+
+
+def _is_clean(record: RoundRecord) -> bool:
+    return (
+        not record.missed
+        and not record.guardian_triggered
+        and record.phase != "dropped"
+    )
+
+
+@dataclass(frozen=True)
+class ResilienceMetrics:
+    """How one faulted campaign fared against its fault-free twin."""
+
+    rounds: int
+    faulted_rounds: int
+    missed_rounds: int
+    faulted_energy: float
+    baseline_energy: float
+    #: Per closed fault window: rounds from the window's end until the
+    #: first clean round (deadline met, no guardian fallback, no drop).
+    recovery_rounds: tuple[int, ...]
+
+    @property
+    def miss_rate(self) -> float:
+        return self.missed_rounds / self.rounds if self.rounds else 0.0
+
+    @property
+    def energy_regret(self) -> float:
+        """Extra Joules versus the fault-free twin (can be negative)."""
+        return self.faulted_energy - self.baseline_energy
+
+    @property
+    def energy_regret_fraction(self) -> float:
+        if self.baseline_energy <= 0:
+            return 0.0
+        return self.energy_regret / self.baseline_energy
+
+    @property
+    def mean_recovery_rounds(self) -> float:
+        if not self.recovery_rounds:
+            return 0.0
+        return sum(self.recovery_rounds) / len(self.recovery_rounds)
+
+    @property
+    def max_recovery_rounds(self) -> int:
+        return max(self.recovery_rounds) if self.recovery_rounds else 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rounds": self.rounds,
+            "faulted_rounds": self.faulted_rounds,
+            "missed_rounds": self.missed_rounds,
+            "miss_rate": self.miss_rate,
+            "faulted_energy_j": self.faulted_energy,
+            "baseline_energy_j": self.baseline_energy,
+            "energy_regret_j": self.energy_regret,
+            "energy_regret_fraction": self.energy_regret_fraction,
+            "recovery_rounds": list(self.recovery_rounds),
+            "mean_recovery_rounds": self.mean_recovery_rounds,
+            "max_recovery_rounds": self.max_recovery_rounds,
+        }
+
+    @classmethod
+    def compute(
+        cls,
+        faulted: CampaignResult,
+        baseline: CampaignResult,
+        schedule: FaultSchedule,
+    ) -> "ResilienceMetrics":
+        """Compare ``faulted`` against its fault-free ``baseline`` twin."""
+        records = faulted.records
+        n = len(records)
+        faulted_round_indices = {
+            i for i in range(n) if schedule.active(i)
+        }
+        recovery = []
+        # One recovery measurement per distinct window close that falls
+        # inside the campaign; simultaneous closes collapse to one entry.
+        for end in sorted({f.end_round for f in schedule.faults}):
+            if end > n:
+                continue
+            rounds_to_clean = 0
+            index = end
+            while index < n and not _is_clean(records[index]):
+                rounds_to_clean += 1
+                index += 1
+            recovery.append(rounds_to_clean)
+        return cls(
+            rounds=n,
+            faulted_rounds=len(faulted_round_indices),
+            missed_rounds=faulted.missed_rounds,
+            faulted_energy=faulted.total_energy,
+            baseline_energy=baseline.total_energy,
+            recovery_rounds=tuple(recovery),
+        )

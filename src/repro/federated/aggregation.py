@@ -30,6 +30,12 @@ def _check_updates(updates: Sequence[Weights]) -> None:
 class Aggregator(ABC):
     """Combines per-client weight lists into the new global weights."""
 
+    #: Fewest client updates this rule can combine.  The server validates
+    #: it against the federation size at construction and degrades to
+    #: FedAvg (with a warning event) on rounds where fewer reports land,
+    #: so a robust rule never explodes mid-campaign.
+    min_updates: int = 1
+
     @abstractmethod
     def aggregate(self, updates: Sequence[Weights], weights: Sequence[float]) -> Weights:
         """Combine ``updates`` with per-client importance ``weights``."""
@@ -66,6 +72,8 @@ class TrimmedMeanAggregator(Aggregator):
         if trim < 0:
             raise ConfigurationError(f"trim must be >= 0, got {trim}")
         self.trim = trim
+        #: Trimming ``trim`` from each side needs at least one survivor.
+        self.min_updates = 2 * trim + 1
 
     def aggregate(self, updates: Sequence[Weights], weights: Sequence[float]) -> Weights:
         _check_updates(updates)

@@ -40,6 +40,9 @@ class ServerRound:
     #: Clients that dropped out before training (Fig. 1's drop-out branch).
     dropped: list[str] = field(default_factory=list)
     aggregated: bool = False
+    #: True when too few reports survived for the configured robust
+    #: aggregator and the server degraded to FedAvg for this round.
+    aggregation_fallback: bool = False
     global_accuracy: Optional[float] = None
 
     @property
@@ -75,6 +78,15 @@ class FederatedServer:
         self.clients = list(clients)
         self.global_model = global_model
         self.aggregator = aggregator if aggregator is not None else FedAvg()
+        if self.aggregator.min_updates > len(self.clients):
+            # Surface impossible robust-aggregation setups at construction
+            # instead of exploding mid-round (e.g. TrimmedMean(trim=1) on a
+            # 2-client federation can never see its 3 required updates).
+            raise ConfigurationError(
+                f"aggregator {type(self.aggregator).__name__} needs at least "
+                f"{self.aggregator.min_updates} client updates per round but "
+                f"the federation only has {len(self.clients)} client(s)"
+            )
         self.selector = selector if selector is not None else AllClientsSelector()
         self.deadline_schedule = (
             deadline_schedule if deadline_schedule is not None else UniformDeadlines(2.0)
@@ -123,7 +135,23 @@ class FederatedServer:
 
         successful = [r for r in round_record.reports if r.succeeded and r.weights is not None]
         if self.global_model is not None and successful:
-            new_weights = self.aggregator.aggregate(
+            aggregator = self.aggregator
+            if len(successful) < aggregator.min_updates:
+                # Too few survivors for the robust rule this round (deadline
+                # misses, dropouts): degrade to plain FedAvg rather than
+                # fail the round, and say so on the trace.
+                aggregator = FedAvg()
+                round_record.aggregation_fallback = True
+                if obs.enabled():
+                    obs.emit(
+                        "server.aggregation_fallback",
+                        round=round_index,
+                        aggregator=type(self.aggregator).__name__,
+                        required=self.aggregator.min_updates,
+                        received=len(successful),
+                    )
+                    obs.count("server.aggregation_fallbacks")
+            new_weights = aggregator.aggregate(
                 [r.weights for r in successful],
                 [r.n_samples for r in successful],
             )
@@ -131,6 +159,19 @@ class FederatedServer:
             round_record.aggregated = True
             if self.eval_data is not None:
                 round_record.global_accuracy = accuracy(self.global_model, self.eval_data)
+        elif self.global_model is not None:
+            # Every participant dropped out or missed its deadline: the
+            # round contributes nothing and the previous global weights
+            # stand.  FedAvg's empty-updates branch is never reached.
+            if obs.enabled():
+                obs.emit(
+                    "server.round_failed",
+                    round=round_index,
+                    participants=len(round_record.participants),
+                    dropped=len(round_record.dropped),
+                    stragglers=len(round_record.stragglers),
+                )
+                obs.count("server.failed_rounds")
         self.history.append(round_record)
         if obs.enabled():
             obs.emit(

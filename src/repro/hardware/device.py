@@ -18,6 +18,7 @@ Oracle baseline (offline exhaustive profiling in the paper) may use them.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.clock import SimulationClock
@@ -31,6 +32,40 @@ from repro.hardware.telemetry import EnergyMeter, EventTimer, PowerSensor
 from repro.hardware.thermal import ThermalModel
 from repro.types import DvfsConfiguration, JobResult, Joules, PerformanceSample, Seconds
 from repro.workloads.base import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class FaultOverlay:
+    """Deterministic fault effects a device applies until told otherwise.
+
+    The fault-injection layer (:mod:`repro.faults`) arms one overlay per
+    round; a ``None`` overlay (the default) is the healthy fast path.  All
+    factors are multiplicative on the *true* (pre-noise) quantities so the
+    noise streams — and therefore the fault-free portions of a campaign —
+    are untouched by the presence of the hooks.
+    """
+
+    #: Per-job latency inflation (straggler / contention), >= 1 in practice.
+    latency_factor: float = 1.0
+    #: Per-job energy inflation, usually tracking ``latency_factor``.
+    energy_factor: float = 1.0
+    #: Factor applied to the *measured* window energy at
+    #: :meth:`SimulatedDevice.close_measurement` (sensor outage/spike);
+    #: actual consumption is unaffected — only the reading is wrong.
+    sensor_energy_factor: float = 1.0
+    #: When True the DVFS driver rejects reconfiguration: the board stays
+    #: at its current clocks and the caller is none the wiser (real sysfs
+    #: writes fail exactly this silently under some firmware states).
+    reject_dvfs: bool = False
+
+    @property
+    def is_neutral(self) -> bool:
+        return (
+            self.latency_factor == 1.0  # repro: allow[float-equality] -- exact default sentinel, never a computed value
+            and self.energy_factor == 1.0  # repro: allow[float-equality] -- exact default sentinel, never a computed value
+            and self.sensor_energy_factor == 1.0  # repro: allow[float-equality] -- exact default sentinel, never a computed value
+            and not self.reject_dvfs
+        )
 
 
 class SimulatedDevice:
@@ -61,6 +96,8 @@ class SimulatedDevice:
         self._jobs_executed = 0
         self._energy_consumed: Joules = 0.0
         self._last_utilization: tuple[float, float, float] = (0.0, 0.0, 0.0)
+        #: Active fault effects; ``None`` (healthy) is the fast path.
+        self.fault_overlay: Optional[FaultOverlay] = None
 
     # -- basic state ---------------------------------------------------------
 
@@ -95,9 +132,34 @@ class SimulatedDevice:
     # -- actuation -----------------------------------------------------------
 
     def set_configuration(self, config: DvfsConfiguration) -> None:
-        """Apply a DVFS configuration (a no-op if already applied)."""
+        """Apply a DVFS configuration (a no-op if already applied).
+
+        Under an armed ``reject_dvfs`` fault the driver refuses silently —
+        the board keeps its current clocks, as failed sysfs writes do on
+        real firmware — so callers must not assume actuation succeeded.
+        """
         self.meter_guard()
+        if self.fault_overlay is not None and self.fault_overlay.reject_dvfs:
+            return
         self.dvfs.apply(config)
+
+    def apply_fault_overlay(
+        self, overlay: Optional[FaultOverlay], forced_temperature: Optional[float] = None
+    ) -> None:
+        """Arm (or with ``None`` clear) fault effects on this device.
+
+        ``forced_temperature`` models a thermal trip: the board temperature
+        jumps to the given value immediately (requires a thermal model) and
+        then evolves under the normal RC dynamics — exactly the profile a
+        blocked fan or a sun-soaked enclosure produces.
+        """
+        self.fault_overlay = overlay
+        if forced_temperature is not None:
+            if self.thermal is None:
+                raise DeviceError(
+                    "cannot force a board temperature without a thermal model"
+                )
+            self.thermal.temperature = float(forced_temperature)
 
     def meter_guard(self) -> None:
         """Forbid reconfiguration inside an open measurement window.
@@ -132,6 +194,9 @@ class SimulatedDevice:
             factor = self.thermal.throttle_factor()
             true_latency *= factor
             true_energy *= factor
+        if self.fault_overlay is not None:
+            true_latency *= self.fault_overlay.latency_factor
+            true_energy *= self.fault_overlay.energy_factor
         self._jobs_executed += 1
         key = [self.space.flat_index_of(config), self._jobs_executed]
         actual_latency, actual_energy = self.noise.perturb_job(
@@ -160,8 +225,22 @@ class SimulatedDevice:
         self.meter.open(self.dvfs.current, settling_remaining)
 
     def close_measurement(self) -> PerformanceSample:
-        """Close the window and return the noisy per-job sample."""
-        return self.meter.close()
+        """Close the window and return the noisy per-job sample.
+
+        An armed sensor fault corrupts only the *reported* energy — the
+        actual consumption ledger and the per-job timings (CUDA events,
+        which survive power-sensor outages) are untouched.
+        """
+        sample = self.meter.close()
+        if (
+            self.fault_overlay is not None
+            and self.fault_overlay.sensor_energy_factor != 1.0  # repro: allow[float-equality] -- exact default sentinel, never a computed value
+        ):
+            sample = replace(
+                sample,
+                energy=sample.energy * self.fault_overlay.sensor_energy_factor,
+            )
+        return sample
 
     def measure_configuration(
         self, config: DvfsConfiguration, min_duration: Seconds, max_jobs: Optional[int] = None

@@ -50,8 +50,25 @@ EVENT_KINDS = frozenset(
         "ilp.solve",
         "executor.cell",
         "server.round",
+        "server.round_failed",
+        "server.aggregation_fallback",
+        "chaos.schedule",
+        "fault.injected",
+        "fault.cleared",
+        "recovery.checkpoint",
+        "recovery.restore",
+        "recovery.escalation",
     }
 )
+
+
+#: Payload keys that carry wall-clock durations — the only
+#: nondeterministic data the event schema permits (``t`` is always
+#: simulated or round-relative time).  Deterministic trace capture
+#: (``EventLog(deterministic=True)``) drops these keys at emit time so a
+#: fixed seed yields byte-identical JSONL traces across runs; the chaos
+#: determinism gate relies on this.
+WALL_CLOCK_PAYLOAD_KEYS = frozenset({"seconds", "wall_seconds"})
 
 
 def is_registered_kind(kind: str) -> bool:
@@ -104,13 +121,23 @@ class EventLog:
     sink:
         An optional open text stream; every event is additionally written
         to it as one JSON line at emit time (streaming trace capture).
+    deterministic:
+        When True, strip :data:`WALL_CLOCK_PAYLOAD_KEYS` from every
+        payload at emit time so the captured trace is a pure function of
+        the simulation seed (byte-identical across runs).
     """
 
-    def __init__(self, capacity: Optional[int] = None, sink: Optional[IO[str]] = None) -> None:
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        sink: Optional[IO[str]] = None,
+        deterministic: bool = False,
+    ) -> None:
         if capacity is not None and capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.sink = sink
+        self.deterministic = deterministic
         self._events: deque[Event] = deque(maxlen=capacity)
         #: Total events ever emitted (survives ring eviction).
         self.emitted = 0
@@ -119,6 +146,11 @@ class EventLog:
 
     def emit(self, kind: str, t: float = 0.0, **payload: object) -> Event:
         """Record one event and return it."""
+        if self.deterministic:
+            payload = {
+                k: v for k, v in payload.items()
+                if k not in WALL_CLOCK_PAYLOAD_KEYS
+            }
         event = Event(kind=kind, t=float(t), payload=payload)
         self._events.append(event)
         self.emitted += 1

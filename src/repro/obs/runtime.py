@@ -31,10 +31,17 @@ from repro.obs.metrics import NULL_TIMER, Metrics, TimerSpan
 
 
 class ObsSession:
-    """One activation of the observability layer: an event log + metrics."""
+    """One activation of the observability layer: an event log + metrics.
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
-        self.log = EventLog(capacity=capacity)
+    ``deterministic=True`` captures a seed-reproducible trace: wall-clock
+    payload fields are stripped at emit time (see
+    :data:`repro.obs.events.WALL_CLOCK_PAYLOAD_KEYS`).
+    """
+
+    def __init__(
+        self, capacity: Optional[int] = None, deterministic: bool = False
+    ) -> None:
+        self.log = EventLog(capacity=capacity, deterministic=deterministic)
         self.metrics = Metrics()
 
 
@@ -52,10 +59,12 @@ def current() -> Optional[ObsSession]:
     return _ACTIVE
 
 
-def enable(capacity: Optional[int] = None) -> ObsSession:
+def enable(
+    capacity: Optional[int] = None, deterministic: bool = False
+) -> ObsSession:
     """Activate a fresh session (replacing any active one) and return it."""
     global _ACTIVE
-    _ACTIVE = ObsSession(capacity=capacity)
+    _ACTIVE = ObsSession(capacity=capacity, deterministic=deterministic)
     return _ACTIVE
 
 
@@ -66,7 +75,9 @@ def disable() -> None:
 
 
 @contextlib.contextmanager
-def session(capacity: Optional[int] = None) -> Iterator[ObsSession]:
+def session(
+    capacity: Optional[int] = None, deterministic: bool = False
+) -> Iterator[ObsSession]:
     """Context manager: activate a session, restore the previous state after.
 
     Nested sessions are allowed; the inner one simply shadows the outer
@@ -74,7 +85,7 @@ def session(capacity: Optional[int] = None) -> Iterator[ObsSession]:
     """
     global _ACTIVE
     previous = _ACTIVE
-    _ACTIVE = ObsSession(capacity=capacity)
+    _ACTIVE = ObsSession(capacity=capacity, deterministic=deterministic)
     try:
         yield _ACTIVE
     finally:

@@ -10,6 +10,13 @@ in-process so benchmark modules can share campaigns; a durable
 processes with results identical to the serial path.
 """
 
+from repro.sim.chaos import (
+    CHAOS_PRESETS,
+    ChaosRunResult,
+    chaos_report_from_trace,
+    preset_schedule,
+    run_chaos,
+)
 from repro.sim.cache import (
     CACHE_DIR_ENV,
     CACHE_SCHEMA_VERSION,
@@ -43,11 +50,13 @@ from repro.sim.sweep import SummaryStat, SweepResult, sweep_campaign
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
+    "CHAOS_PRESETS",
     "CONTROLLER_NAMES",
     "CacheStats",
     "CampaignExecutor",
     "CampaignSpec",
     "CampaignTiming",
+    "ChaosRunResult",
     "ExecutionReport",
     "MBOCostModel",
     "PersistentCampaignCache",
@@ -55,6 +64,7 @@ __all__ = [
     "SweepResult",
     "cache_key_hash",
     "campaign_key",
+    "chaos_report_from_trace",
     "clear_campaign_cache",
     "default_cache_dir",
     "execute_campaigns",
@@ -62,8 +72,10 @@ __all__ = [
     "get_persistent_cache",
     "install_persistent_cache",
     "make_controller",
+    "preset_schedule",
     "prime_campaign_cache",
     "resolve_workers",
     "run_campaign",
+    "run_chaos",
     "sweep_campaign",
 ]

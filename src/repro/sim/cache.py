@@ -33,17 +33,31 @@ from repro.analysis.io import campaign_from_dict, campaign_to_dict
 from repro.core.config import BoFLConfig
 from repro.core.records import CampaignResult
 from repro.errors import ConfigurationError
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.schedule import FaultSchedule
 
 #: Bump whenever the campaign key layout or the serialized result format
 #: changes; older entries then read as misses and are rewritten.
-CACHE_SCHEMA_VERSION = 1
+#: v2: fault schedule + recovery policy joined the key (chaos campaigns).
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: The in-process campaign key: (device, task, controller, ratio, rounds,
-#: seed, BoFLConfig-or-None) — the same tuple the runner memoizes on.
-CampaignKey = tuple[str, str, str, float, int, int, Optional[BoFLConfig]]
+#: seed, BoFLConfig-or-None, FaultSchedule-or-None, RecoveryPolicy-or-None)
+#: — the same tuple the runner memoizes on.
+CampaignKey = tuple[
+    str,
+    str,
+    str,
+    float,
+    int,
+    int,
+    Optional[BoFLConfig],
+    Optional[FaultSchedule],
+    Optional[RecoveryPolicy],
+]
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -59,9 +73,11 @@ def cache_token(key: CampaignKey) -> dict[str, object]:
 
     ``BoFLConfig`` is expanded field by field so that adding a knob (or
     changing a default) produces a different token — the persistent cache
-    must never conflate configs that the in-memory key distinguishes.
+    must never conflate configs that the in-memory key distinguishes.  The
+    fault schedule and recovery policy expand the same way, so a faulted
+    campaign can never be served its fault-free twin (or vice versa).
     """
-    device, task, controller, ratio, rounds, seed, config = key
+    device, task, controller, ratio, rounds, seed, config, schedule, policy = key
     return {
         "schema": CACHE_SCHEMA_VERSION,
         "device": device,
@@ -71,6 +87,8 @@ def cache_token(key: CampaignKey) -> dict[str, object]:
         "rounds": int(rounds),
         "seed": int(seed),
         "bofl_config": None if config is None else dataclasses.asdict(config),
+        "fault_schedule": None if schedule is None else schedule.to_dict(),
+        "recovery_policy": None if policy is None else policy.to_dict(),
     }
 
 

@@ -35,6 +35,8 @@ from typing import Optional
 from repro.core.config import BoFLConfig
 from repro.core.records import CampaignResult
 from repro.errors import ConfigurationError
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.schedule import FaultSchedule
 from repro.obs import runtime as obs
 from repro.sim import runner as _runner
 from repro.sim.cache import PersistentCampaignCache
@@ -75,18 +77,26 @@ class CampaignSpec:
     rounds: int = 100
     seed: int = 0
     bofl_config: Optional[BoFLConfig] = None
+    #: Optional chaos inputs: a fault schedule switches the cell onto the
+    #: chaos engine; both participate in the cache key.
+    fault_schedule: Optional[FaultSchedule] = None
+    recovery_policy: Optional[RecoveryPolicy] = None
 
     def key(self) -> CampaignKey:
         return campaign_key(
             self.device, self.task, self.controller, self.deadline_ratio,
             self.rounds, self.seed, self.bofl_config,
+            self.fault_schedule, self.recovery_policy,
         )
 
     def label(self) -> str:
-        return (
+        base = (
             f"{self.device}/{self.task}/{self.controller}"
             f"/r{self.deadline_ratio:g}/n{self.rounds}/s{self.seed}"
         )
+        if self.fault_schedule is not None and not self.fault_schedule.is_empty:
+            base += f"/chaos{len(self.fault_schedule)}"
+        return base
 
     def run(self, *, use_cache: bool = True) -> CampaignResult:
         """Execute this spec in-process through the ordinary runner path."""
@@ -99,6 +109,8 @@ class CampaignSpec:
             seed=self.seed,
             bofl_config=self.bofl_config,
             use_cache=use_cache,
+            fault_schedule=self.fault_schedule,
+            recovery_policy=self.recovery_policy,
         )
 
 

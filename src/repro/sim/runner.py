@@ -17,7 +17,7 @@ from typing import Optional, Protocol
 from repro.core.config import BoFLConfig
 from repro.core.controller import BoFLController
 from repro.core.base import PaceController
-from repro.core.records import CampaignResult
+from repro.core.records import CampaignResult, ChaosSummary
 from repro.baselines import (
     LinearPaceController,
     OndemandGovernorController,
@@ -26,11 +26,15 @@ from repro.baselines import (
     RandomSearchController,
 )
 from repro.errors import ConfigurationError
+from repro.faults.engine import ChaosRoundEngine
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.schedule import FaultSchedule
 from repro.federated.deadlines import UniformDeadlines
 from repro.obs import runtime as obs
 from repro.federated.task import FLTaskSpec, cifar10_vit, imagenet_resnet50, imdb_lstm
 from repro.hardware.device import SimulatedDevice
 from repro.hardware.devices import get_device
+from repro.hardware.thermal import ThermalModel
 from repro.sim.mbo_cost import MBOCostModel
 
 #: The canonical campaign cache key: a flat tuple of hashable scalars
@@ -83,12 +87,27 @@ def campaign_key(
     rounds: int,
     seed: int,
     bofl_config: Optional[BoFLConfig] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
+    recovery_policy: Optional[RecoveryPolicy] = None,
 ) -> CampaignKey:
     """The canonical cache key for one campaign.
 
     Shared by the in-memory memo, the persistent cache and the parallel
-    executor so all three agree on what "the same campaign" means.
+    executor so all three agree on what "the same campaign" means.  The
+    fault schedule and recovery policy are part of the key: a faulted
+    campaign must never collide with its fault-free twin (or with a
+    differently-defended run of the same schedule).  Chaos arguments are
+    normalized the same way :func:`run_campaign` executes them — an empty
+    schedule keys as fault-free, and a missing policy keys as the default
+    :class:`~repro.faults.recovery.RecoveryPolicy` — so every caller maps
+    equivalent runs to the same key.
     """
+    if fault_schedule is not None and fault_schedule.is_empty:
+        fault_schedule = None
+    if fault_schedule is None:
+        recovery_policy = None
+    elif recovery_policy is None:
+        recovery_policy = RecoveryPolicy()
     return (
         device_name,
         task_name,
@@ -97,6 +116,8 @@ def campaign_key(
         int(rounds),
         int(seed),
         bofl_config,
+        fault_schedule,
+        recovery_policy,
     )
 
 
@@ -180,16 +201,32 @@ def run_campaign(
     seed: int = 0,
     bofl_config: Optional[BoFLConfig] = None,
     use_cache: bool = True,
+    fault_schedule: Optional[FaultSchedule] = None,
+    recovery_policy: Optional[RecoveryPolicy] = None,
 ) -> CampaignResult:
     """Run (or fetch from cache) one full campaign.
 
     Parameters mirror the paper's experiment grid: device in {agx, tx2},
     task in {vit, resnet50, lstm}, controller in
     :data:`CONTROLLER_NAMES`, ``deadline_ratio`` = ``T_max / T_min``.
+
+    A non-empty ``fault_schedule`` switches the round loop onto the chaos
+    engine (:mod:`repro.faults`): faults arm per round, the
+    ``recovery_policy`` (default :class:`~repro.faults.recovery.RecoveryPolicy`)
+    defends the controller, and the result carries a
+    :class:`~repro.core.records.ChaosSummary`.  The deadline sequence and
+    the device noise stream stay identical to the fault-free twin, so the
+    two runs are directly comparable round by round.
     """
+    chaos = fault_schedule is not None and not fault_schedule.is_empty
+    if not chaos:
+        fault_schedule = None
+        recovery_policy = None
+    elif recovery_policy is None:
+        recovery_policy = RecoveryPolicy()
     key = campaign_key(
         device_name, task_name, controller_name, deadline_ratio, rounds, seed,
-        bofl_config,
+        bofl_config, fault_schedule, recovery_policy,
     )
     if use_cache:
         cached = _CAMPAIGN_CACHE.get(key)
@@ -210,7 +247,15 @@ def run_campaign(
     # scenario, not the controller.  (zlib.crc32 is stable across processes,
     # unlike the builtin string hash.)
     scenario_seed = zlib.crc32(f"{device_name}/{task_name}/{seed}".encode()) % (2**31)
-    device = SimulatedDevice(spec, task.workload, seed=scenario_seed)
+    # Thermal-trip faults need a thermal state to force; attaching the
+    # model only when required keeps fault-free twins byte-identical to
+    # historical runs.
+    thermal = (
+        ThermalModel()
+        if fault_schedule is not None and fault_schedule.needs_thermal
+        else None
+    )
+    device = SimulatedDevice(spec, task.workload, seed=scenario_seed, thermal=thermal)
     controller = make_controller(
         controller_name, device, seed=seed, bofl_config=bofl_config
     )
@@ -238,8 +283,30 @@ def run_campaign(
         seed=int(seed),
         jobs_per_round=jobs,
     )
-    for deadline in deadlines:
-        result.records.append(controller.run_round(jobs, deadline))
+    if fault_schedule is not None and recovery_policy is not None:
+        obs.emit(
+            "chaos.schedule",
+            t=device.clock.now,
+            schedule=fault_schedule.to_dict(),
+            policy=recovery_policy.to_dict(),
+        )
+        engine = ChaosRoundEngine(
+            device, controller, fault_schedule, recovery_policy
+        )
+        for index, deadline in enumerate(deadlines):
+            result.records.append(engine.run_round(index, jobs, deadline))
+        engine.finish()
+        result.chaos = ChaosSummary(
+            injected=tuple(engine.log.injected),
+            checkpoints=engine.log.checkpoints,
+            restores=engine.log.restores,
+            escalations=engine.log.escalations,
+            dropped_rounds=engine.log.dropped_rounds,
+            lost_reports=engine.log.lost_reports,
+        )
+    else:
+        for deadline in deadlines:
+            result.records.append(controller.run_round(jobs, deadline))
 
     _annotate(result, controller)
     obs.emit(

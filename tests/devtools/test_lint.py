@@ -289,6 +289,37 @@ class TestObsEventKind:
         })
         assert run_lint(root, select=["obs-event-kind"]).ok
 
+    def test_fault_and_recovery_kinds_registered(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/faults/loop.py": """\
+                from repro import obs
+
+                def tick(t):
+                    obs.emit("chaos.schedule", t, faults=3)
+                    obs.emit("fault.injected", t, round=2, fault="straggler")
+                    obs.emit("fault.cleared", t, round=4, fault="straggler")
+                    obs.emit("recovery.checkpoint", t, round=2)
+                    obs.emit("recovery.restore", t, round=3, kinds=["sensor_spike"])
+                    obs.emit("recovery.escalation", t, round=3, rounds=2)
+                    obs.emit("server.round_failed", t, round=5)
+                    obs.emit("server.aggregation_fallback", t, round=6)
+            """,
+        })
+        assert run_lint(root, select=["obs-event-kind"]).ok
+
+    def test_misspelled_fault_kind_flagged(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/faults/loop.py": """\
+                from repro import obs
+
+                def tick(t):
+                    obs.emit("fault.injectd", t, round=2)
+            """,
+        })
+        hits = rule_hits(run_lint(root, select=["obs-event-kind"]), "obs-event-kind")
+        assert len(hits) == 1
+        assert "fault.injectd" in hits[0].message
+
     def test_obs_package_itself_exempt(self, tmp_path):
         root = make_repo(tmp_path, {
             "src/repro/obs/runtime.py": """\

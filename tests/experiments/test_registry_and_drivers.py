@@ -29,6 +29,7 @@ EXPECTED_IDS = {
     "fig9", "fig10", "fig11", "tab3", "fig12", "fig13",
     "abl_guardian", "abl_acquisition", "abl_tau", "abl_exploit", "abl_parego",
     "abl_thermal", "ext_accuracy", "ext_fleet", "ext_controllers",
+    "ext_resilience",
 }
 
 

@@ -1,0 +1,147 @@
+"""Fault overlays, round semantics, and injector transitions."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.faults import FaultInjector, FaultSchedule, FaultSpec, RoundFaults
+from repro.faults.injectors import MIN_DEADLINE_FRACTION, overlay_for
+from repro.hardware import SimulatedDevice
+from repro.hardware.thermal import ThermalModel
+from repro.obs import runtime as obs
+from tests.conftest import build_tiny_spec, build_tiny_workload
+
+
+def spec_of(kind, start=0, rounds=1, magnitude=1.0):
+    return FaultSpec(kind=kind, start_round=start, rounds=rounds, magnitude=magnitude)
+
+
+class TestOverlayFolding:
+    def test_neutral_for_no_hardware_faults(self):
+        overlay = overlay_for((spec_of("transport_loss"), spec_of("client_dropout")))
+        assert overlay.is_neutral
+
+    def test_straggler_inflates_latency_and_energy(self):
+        overlay = overlay_for((spec_of("straggler", magnitude=1.5),))
+        assert overlay.latency_factor == pytest.approx(1.5)
+        assert overlay.energy_factor == pytest.approx(1.5)
+
+    def test_stragglers_compose_multiplicatively(self):
+        overlay = overlay_for(
+            (spec_of("straggler", magnitude=1.5), spec_of("straggler", magnitude=2.0))
+        )
+        assert overlay.latency_factor == pytest.approx(3.0)
+
+    def test_sensor_faults_touch_only_the_sensor(self):
+        overlay = overlay_for((spec_of("sensor_spike", magnitude=5.0),))
+        assert overlay.sensor_energy_factor == pytest.approx(5.0)
+        assert overlay.latency_factor == pytest.approx(1.0)
+        assert not overlay.is_neutral
+
+    def test_dvfs_reject_sets_flag(self):
+        assert overlay_for((spec_of("dvfs_reject"),)).reject_dvfs
+
+
+class TestRoundFaults:
+    def test_federated_semantics(self):
+        faults = RoundFaults(
+            round_index=3,
+            specs=(spec_of("client_dropout", start=3), spec_of("transport_loss", start=3)),
+        )
+        assert faults.any_active
+        assert faults.drops_round
+        assert faults.loses_report
+        assert not faults.forces_thermal
+        assert faults.kinds() == ("client_dropout", "transport_loss")
+
+    def test_deadline_factor_composes_stalls(self):
+        faults = RoundFaults(
+            round_index=0,
+            specs=(
+                spec_of("transport_stall", magnitude=0.3),
+                spec_of("transport_stall", magnitude=0.3),
+            ),
+        )
+        assert faults.deadline_factor == pytest.approx(0.49)
+
+    def test_deadline_factor_floored(self):
+        faults = RoundFaults(
+            round_index=0,
+            specs=tuple(spec_of("transport_stall", magnitude=0.9) for _ in range(4)),
+        )
+        assert faults.deadline_factor == pytest.approx(MIN_DEADLINE_FRACTION)
+
+    def test_clean_round(self):
+        faults = RoundFaults(round_index=0, specs=())
+        assert not faults.any_active
+        assert faults.deadline_factor == pytest.approx(1.0)
+
+
+class TestFaultInjector:
+    def make_device(self, thermal=None):
+        return SimulatedDevice(
+            build_tiny_spec(), build_tiny_workload(), thermal=thermal, seed=0
+        )
+
+    def test_arm_applies_and_clears_overlay(self):
+        device = self.make_device()
+        schedule = FaultSchedule(
+            faults=(spec_of("straggler", start=1, rounds=2, magnitude=1.4),)
+        )
+        injector = FaultInjector(schedule, device)
+        injector.arm(0)
+        assert device.fault_overlay is None
+        injector.arm(1)
+        assert device.fault_overlay is not None
+        assert device.fault_overlay.latency_factor == pytest.approx(1.4)
+        injector.arm(3)
+        assert device.fault_overlay is None
+        injector.disarm()
+        assert device.fault_overlay is None
+
+    def test_injections_record_window_openings_once(self):
+        schedule = FaultSchedule(
+            faults=(spec_of("straggler", start=1, rounds=3, magnitude=1.4),)
+        )
+        injector = FaultInjector(schedule, self.make_device())
+        for round_index in range(5):
+            injector.arm(round_index)
+        assert injector.injections == [(1, "straggler")]
+
+    def test_thermal_trip_forces_temperature_on_first_round_only(self):
+        device = self.make_device(thermal=ThermalModel())
+        schedule = FaultSchedule(
+            faults=(spec_of("thermal_trip", start=1, rounds=2, magnitude=88.0),)
+        )
+        injector = FaultInjector(schedule, device)
+        injector.arm(0)
+        injector.arm(1)
+        assert device.thermal.temperature == pytest.approx(88.0)
+        device.thermal.temperature = 40.0
+        injector.arm(2)  # window still open, but no re-forcing
+        assert device.thermal.temperature == pytest.approx(40.0)
+
+    def test_thermal_trip_without_thermal_model_raises(self):
+        schedule = FaultSchedule(
+            faults=(spec_of("thermal_trip", start=0, magnitude=88.0),)
+        )
+        injector = FaultInjector(schedule, self.make_device())
+        with pytest.raises(DeviceError, match="thermal model"):
+            injector.arm(0)
+
+    def test_emits_injected_and_cleared_events(self):
+        schedule = FaultSchedule(
+            faults=(spec_of("sensor_spike", start=1, rounds=1, magnitude=4.0),)
+        )
+        injector = FaultInjector(schedule, self.make_device())
+        with obs.session() as session:
+            for round_index in range(3):
+                injector.arm(round_index)
+        injected = session.log.events("fault.injected")
+        cleared = session.log.events("fault.cleared")
+        assert len(injected) == 1
+        assert injected[0].payload["fault"] == "sensor_spike"
+        assert injected[0].payload["round"] == 1
+        assert injected[0].payload["until_round"] == 2
+        assert len(cleared) == 1
+        assert cleared[0].payload["round"] == 2
+        assert session.metrics.counters["faults.injected"] == 1

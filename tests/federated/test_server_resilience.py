@@ -1,0 +1,127 @@
+"""Server resilience: all-failed rounds and robust-aggregation fallback."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PerformantController
+from repro.errors import ConfigurationError
+from repro.federated.aggregation import FedAvg, TrimmedMeanAggregator
+from repro.federated.client import FederatedClient
+from repro.federated.deadlines import DeadlineSchedule
+from repro.federated.server import FederatedServer
+from repro.federated.task import FLTaskSpec
+from repro.hardware import SimulatedDevice
+from repro.ml.data import make_blobs_classification
+from repro.ml.models import MLPClassifier
+from repro.obs import runtime as obs
+from tests.conftest import build_tiny_spec, build_tiny_workload
+
+
+class ImpossibleDeadlines(DeadlineSchedule):
+    """Deadlines far below T_min: every client misses every round."""
+
+    def generate(self, t_min, rounds, seed=0):
+        return [t_min * 1e-6] * rounds
+
+
+def tiny_task():
+    return FLTaskSpec(
+        workload=build_tiny_workload(),
+        batch_size=8,
+        epochs=1,
+        minibatches={"tiny": 4},
+        rounds=10,
+    )
+
+
+def make_client(client_id, seed=0):
+    device = SimulatedDevice(build_tiny_spec(), build_tiny_workload(), seed=seed)
+    data = make_blobs_classification(32, n_features=8, n_classes=2, seed=seed)
+    model = MLPClassifier(8, [8], 2, seed=seed)
+    return FederatedClient(
+        client_id,
+        PerformantController(device),
+        tiny_task(),
+        model=model,
+        data=data,
+        seed=seed,
+    )
+
+
+def make_server(n_clients=3, aggregator=None, deadline_schedule=None, seed=0):
+    clients = [make_client(f"c{i}", seed=seed + i) for i in range(n_clients)]
+    eval_data = make_blobs_classification(32, n_features=8, n_classes=2, seed=99)
+    return FederatedServer(
+        clients,
+        global_model=MLPClassifier(8, [8], 2, seed=7),
+        aggregator=aggregator,
+        deadline_schedule=deadline_schedule,
+        eval_data=eval_data,
+        seed=seed,
+    )
+
+
+def weights_equal(a, b):
+    return all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestAllFailedRounds:
+    def test_all_failed_round_keeps_previous_weights(self):
+        server = make_server(deadline_schedule=ImpossibleDeadlines())
+        before = [w.copy() for w in server.global_model.get_weights()]
+        record = server.run_round(0, 3)
+        assert not record.aggregated
+        assert len(record.stragglers) == len(record.participants)
+        assert weights_equal(server.global_model.get_weights(), before)
+
+    def test_all_failed_round_emits_event(self):
+        server = make_server(deadline_schedule=ImpossibleDeadlines())
+        with obs.session() as session:
+            server.run_round(0, 3)
+        (event,) = session.log.events("server.round_failed")
+        assert event.payload["participants"] == 3
+        assert event.payload["stragglers"] == 3
+        assert session.metrics.counters["server.failed_rounds"] == 1
+
+    def test_campaign_survives_repeated_failed_rounds(self):
+        server = make_server(deadline_schedule=ImpossibleDeadlines())
+        history = server.run(3)
+        assert all(not r.aggregated for r in history)
+
+
+class TestTrimmedMeanGuards:
+    def test_impossible_federation_rejected_at_construction(self):
+        clients = [make_client(f"c{i}", seed=i) for i in range(2)]
+        with pytest.raises(ConfigurationError, match="at least 3 client updates"):
+            FederatedServer(
+                clients,
+                global_model=MLPClassifier(8, [8], 2, seed=7),
+                aggregator=TrimmedMeanAggregator(trim=1),
+            )
+
+    def test_min_updates_advertised(self):
+        assert FedAvg().min_updates == 1
+        assert TrimmedMeanAggregator(trim=1).min_updates == 3
+        assert TrimmedMeanAggregator(trim=2).min_updates == 5
+
+    def test_short_round_degrades_to_fedavg_with_event(self):
+        class FirstClientOnly:
+            def select(self, clients, round_index):
+                return clients[:1]
+
+        server = make_server(n_clients=3, aggregator=TrimmedMeanAggregator(trim=1))
+        server.selector = FirstClientOnly()
+        with obs.session() as session:
+            record = server.run_round(0, 3)
+        assert record.aggregated
+        assert record.aggregation_fallback
+        (event,) = session.log.events("server.aggregation_fallback")
+        assert event.payload["aggregator"] == "TrimmedMeanAggregator"
+        assert event.payload["required"] == 3
+        assert event.payload["received"] == 1
+
+    def test_full_round_uses_the_robust_rule(self):
+        server = make_server(n_clients=3, aggregator=TrimmedMeanAggregator(trim=1))
+        record = server.run_round(0, 3)
+        assert record.aggregated
+        assert not record.aggregation_fallback

@@ -90,6 +90,61 @@ class TestDeadlineConversion:
         assert deadline == pytest.approx(20.0)
 
 
+class TestDeadlineConversionEdgeCases:
+    def test_near_zero_bandwidth_stays_finite_and_floored(self):
+        estimator = BandwidthEstimator(initial_mbps=1e-9, conservatism=1.0)
+        deadline = training_deadline_from_reporting(60.0, 50.0, estimator)
+        assert np.isfinite(deadline)
+        assert deadline == pytest.approx(6.0)  # the 10% floor
+
+    def test_near_zero_bandwidth_link_draws_are_finite(self):
+        link = LinkModel(bandwidth_mbps=1e-9, variability=0.5, latency=0.1)
+        rng = np.random.default_rng(0)
+        draws = [link.transfer_time(10.0, rng) for _ in range(20)]
+        assert all(np.isfinite(d) and d > 0 for d in draws)
+
+    def test_upload_exactly_consuming_the_deadline_hits_the_floor(self):
+        # predicted upload == reporting deadline -> remaining budget is 0,
+        # the conversion must still return the positive floor.
+        estimator = BandwidthEstimator(initial_mbps=1.0, conservatism=1.0)
+        deadline = training_deadline_from_reporting(50.0, 50.0, estimator)
+        assert deadline == pytest.approx(5.0)
+
+    def test_nonpositive_explicit_minimum_rejected(self):
+        estimator = BandwidthEstimator(initial_mbps=5.0)
+        with pytest.raises(ConfigurationError, match="minimum"):
+            training_deadline_from_reporting(60.0, 50.0, estimator, minimum=0.0)
+
+    def test_ewma_converges_from_above_and_below(self):
+        for initial in (0.5, 50.0):
+            estimator = BandwidthEstimator(initial_mbps=initial, smoothing=0.3)
+            for _ in range(60):
+                estimator.observe_transfer(50.0, 10.0)  # 5 Mbps truth
+            assert estimator.estimate_mbps == pytest.approx(5.0, rel=0.01)
+
+    def test_ewma_step_is_a_convex_blend(self):
+        estimator = BandwidthEstimator(initial_mbps=4.0, smoothing=0.25)
+        estimator.observe_transfer(80.0, 10.0)  # one 8 Mbps observation
+        assert estimator.estimate_mbps == pytest.approx(0.75 * 4.0 + 0.25 * 8.0)
+
+    def test_fixed_link_latency_exceeding_deadline_misses_reporting(self):
+        # The handshake alone outlasts the reporting deadline: training still
+        # gets its floored budget, but the round can never report in time.
+        device = SimulatedDevice(build_tiny_spec(), build_tiny_workload(), seed=0)
+        adapter = ReportingDeadlineAdapter(
+            PerformantController(device),
+            model_size_mbit=1.0,
+            link=LinkModel(bandwidth_mbps=100.0, variability=0.0, latency=1000.0),
+            seed=3,
+        )
+        jobs = 40
+        t_min = device.model.latency(device.space.max_configuration()) * jobs
+        record = adapter.run_round(jobs, reporting_deadline=t_min * 3 + 5.0)
+        assert not record.reported_in_time
+        assert record.training_deadline > 0
+        assert record.upload_time > record.reporting_deadline
+
+
 class TestReportingDeadlineAdapter:
     JOBS = 40
 
