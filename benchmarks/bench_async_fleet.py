@@ -1,0 +1,47 @@
+"""Extension — federation disciplines (sync / semi-sync / async).
+
+Regenerates ``ext_async_fleet`` and asserts the scaling story: buffered
+asynchronous aggregation cuts mean round latency well past the 10 %
+acceptance bar versus synchronous FedAvg while accounting for byte-equal
+aggregate energy (both disciplines consume every client's full trace).
+The timed kernel is the composition step — trace gathering is memoized.
+"""
+
+import pytest
+
+from repro.experiments import ext_async_fleet
+from repro.sim.fleet import compose_fleet, prepare_fleet
+
+PAYLOAD = {}
+
+
+@pytest.fixture(scope="module")
+def payload():
+    if "ext_async_fleet" not in PAYLOAD:
+        PAYLOAD["ext_async_fleet"] = ext_async_fleet.run()
+    return PAYLOAD["ext_async_fleet"]
+
+
+def test_async_fleet_disciplines(benchmark, publish, payload):
+    publish("ext_async_fleet", ext_async_fleet.render(payload))
+    benchmark(ext_async_fleet.render, payload)
+
+    modes = payload["modes"]
+    # The acceptance bar: >= 10 % lower mean round latency than sync at
+    # equal aggregate energy accounting.
+    assert payload["async_latency_reduction"] >= 0.10, payload
+    assert payload["energy_parity"] < 1e-9, payload["energy_parity"]
+    # Async staleness is real but bounded by the buffer discipline.
+    assert modes["async"]["mean_staleness"] > 0
+    # Semi-sync cuts stragglers relative to sync's blocking rounds.
+    assert modes["semisync"]["mean_round_latency"] < modes["sync"]["mean_round_latency"]
+    assert modes["semisync"]["cutoff_reports"] > 0
+
+
+def test_async_fleet_compose_kernel(benchmark, payload):
+    """Time the pure composition over prepared traces (campaigns memoized)."""
+    base = ext_async_fleet.base_spec()
+    clients = prepare_fleet(base, workers=1)
+    spec = ext_async_fleet.mode_spec(base, "async")
+    result = benchmark(compose_fleet, spec, clients)
+    assert result.aggregations == payload["modes"]["async"]["aggregations"]

@@ -1,0 +1,35 @@
+"""Extension — 10-client heterogeneous fleet under synchronous FedAvg.
+
+Regenerates the ``ext_fleet`` artifact (fleet-level energy, BoFL vs
+Performant pacing) and asserts its shape claims; the golden-trace test in
+``tests/federated/test_fleet_golden.py`` pins the exact numbers at a
+smaller round count.
+"""
+
+import pytest
+
+from repro.experiments import ext_fleet
+
+PAYLOAD = {}
+
+
+@pytest.fixture(scope="module")
+def payload():
+    if "ext_fleet" not in PAYLOAD:
+        PAYLOAD["ext_fleet"] = ext_fleet.run(rounds=25, deadline_ratio=2.5, seed=0)
+    return PAYLOAD["ext_fleet"]
+
+
+def test_ext_fleet_energy(benchmark, publish, payload):
+    publish("ext_fleet", ext_fleet.render(payload))
+    benchmark(ext_fleet.render, payload)
+
+    performant = payload["results"]["performant"]
+    bofl = payload["results"]["bofl"]
+    # BoFL pacing saves fleet energy without creating stragglers.
+    assert payload["fleet_saving"] > 0.10, payload["fleet_saving"]
+    assert bofl["fleet_energy"] < performant["fleet_energy"]
+    assert bofl["stragglers"] == 0, bofl["stragglers"]
+    # Every client individually saves (the per-device claim composes).
+    for client_id, p_energy in performant["per_client"].items():
+        assert bofl["per_client"][client_id] < p_energy, client_id

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands:
+Nine subcommands:
 
 * ``list`` — enumerate the reproducible paper artifacts;
 * ``run <experiment>`` — regenerate one table/figure and print its rows
@@ -12,6 +12,10 @@ Eight subcommands:
 * ``chaos run|report`` — fault-injection campaigns: run a faulted
   campaign next to its fault-free twin and report resilience metrics, or
   summarize a recorded chaos trace (``docs/fault_injection.md``);
+* ``fleet run|report`` — fleet-scale federation: prepare a heterogeneous
+  client population (traces shard over ``--workers``) and compose it
+  under sync / semi-sync / async aggregation, or summarize a recorded
+  fleet trace (``docs/async_federation.md``);
 * ``cache`` — inspect or clear the persistent campaign result cache;
 * ``trace`` — replay a recorded observability trace (``campaign
   --trace out.jsonl`` records one) as a summary or as the trace-derived
@@ -37,16 +41,24 @@ from repro import obs
 from repro._version import __version__
 from repro.analysis.tables import render_kv
 from repro.experiments import EXPERIMENTS, get_experiment, warm_experiment_cache
+from repro.federated.async_engine import FLEET_MODES
 from repro.sim import (
     CHAOS_PRESETS,
+    FLEET_SELECTORS,
     CampaignExecutor,
+    FleetSpec,
     PersistentCampaignCache,
     chaos_report_from_trace,
+    compose_fleet,
+    fleet_summary,
     install_persistent_cache,
+    prepare_fleet,
+    render_fleet_summary,
     run_campaign,
     run_chaos,
     sweep_campaign,
 )
+from repro.sim.fleet import fleet_report_from_trace
 from repro.sim.executor import CampaignTiming, ProgressCallback
 from repro.sim.runner import CONTROLLER_NAMES
 
@@ -140,6 +152,64 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="summarize the fault/recovery activity of a trace"
     )
     chaos_report.add_argument("file", help="trace written by chaos run --trace")
+
+    fleet = commands.add_parser(
+        "fleet", help="fleet-scale federation runs (see docs/async_federation.md)"
+    )
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_commands.add_parser(
+        "run", help="prepare and compose one heterogeneous fleet"
+    )
+    fleet_run.add_argument("--clients", type=int, default=100, metavar="N")
+    fleet_run.add_argument("--rounds", type=int, default=10)
+    fleet_run.add_argument("--mode", default="sync", choices=FLEET_MODES)
+    fleet_run.add_argument("--ratio", type=float, default=2.0)
+    fleet_run.add_argument("--seed", type=int, default=0)
+    fleet_run.add_argument(
+        "--archetypes", type=int, default=12, metavar="K",
+        help="pool clients onto K shared trace seeds (0 = all distinct)",
+    )
+    fleet_run.add_argument(
+        "--participants", type=int, default=None, metavar="N",
+        help="aggregation target per round (default: everyone)",
+    )
+    fleet_run.add_argument(
+        "--over-selection", type=float, default=1.3,
+        help="semisync: select ceil(participants x this) clients",
+    )
+    fleet_run.add_argument(
+        "--buffer", type=int, default=16,
+        help="async: reports per buffered aggregation",
+    )
+    fleet_run.add_argument(
+        "--staleness-exponent", type=float, default=0.5,
+        help="async: staleness-discount exponent for report weights",
+    )
+    fleet_run.add_argument(
+        "--max-staleness", type=int, default=None, metavar="S",
+        help="async: drop reports staler than S model versions",
+    )
+    fleet_run.add_argument(
+        "--selector", default="random", choices=FLEET_SELECTORS,
+    )
+    fleet_run.add_argument(
+        "--controllers", default=None, metavar="A,B",
+        help="comma-separated pace-controller mix (default: bofl,performant)",
+    )
+    fleet_run.add_argument(
+        "--chaos", type=float, default=0.0, metavar="FRACTION",
+        help="fraction of clients under dropout/stall chaos schedules",
+    )
+    fleet_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a deterministic obs trace of the composition to PATH "
+        "(JSONL); the trace is byte-identical for any --workers value",
+    )
+    _add_parallel_options(fleet_run)
+    fleet_report = fleet_commands.add_parser(
+        "report", help="summarize the fleet activity of a recorded trace"
+    )
+    fleet_report.add_argument("file", help="trace written by fleet run --trace")
 
     trace = commands.add_parser(
         "trace", help="replay a recorded observability trace (JSONL)"
@@ -359,6 +429,46 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
     return result.render()
 
 
+def _cmd_fleet(args: argparse.Namespace) -> str:
+    if args.fleet_command == "report":
+        return fleet_report_from_trace(args.file)
+    extra: dict = {}
+    if args.controllers:
+        extra["controllers"] = tuple(args.controllers.split(","))
+    spec = FleetSpec(
+        n_clients=args.clients,
+        rounds=args.rounds,
+        mode=args.mode,
+        deadline_ratio=args.ratio,
+        seed=args.seed,
+        archetypes=args.archetypes if args.archetypes else None,
+        participants=args.participants,
+        over_selection=args.over_selection,
+        buffer_size=args.buffer,
+        staleness_exponent=args.staleness_exponent,
+        max_staleness=args.max_staleness,
+        selector=args.selector,
+        chaos_fraction=args.chaos,
+        **extra,
+    )
+    # Trace gathering may shard over workers and hit caches; the
+    # composition below is serial and pure, so the deterministic trace
+    # captured around it is byte-identical regardless of --workers.
+    clients = prepare_fleet(
+        spec,
+        workers=_normalize_workers(args.workers),
+        progress=_progress_printer(args.progress),
+    )
+    if args.trace:
+        with obs.session(deterministic=True) as session:
+            result = compose_fleet(spec, clients)
+        trace_path = session.log.dump_jsonl(args.trace)
+        print(f"trace: {session.log.emitted} events -> {trace_path}", file=sys.stderr)
+    else:
+        result = compose_fleet(spec, clients)
+    return render_fleet_summary(fleet_summary(spec, result))
+
+
 def _cmd_trace(args: argparse.Namespace) -> str:
     events = obs.read_jsonl(args.file)
     return obs.render_view(events, args.view)
@@ -410,6 +520,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         elif args.command == "chaos":
             _setup_persistence(args)
             print(_cmd_chaos(args))
+        elif args.command == "fleet":
+            _setup_persistence(args)
+            print(_cmd_fleet(args))
         elif args.command == "cache":
             print(_cmd_cache(args))
         elif args.command == "trace":

@@ -89,6 +89,28 @@ def ext_controllers_grid(
     )
 
 
+def ext_async_fleet_grid(
+    ratio: float = 2.0, rounds: int = 6, seed: int = 0, clients: int = 36
+) -> list[CampaignSpec]:
+    """Async-fleet extension: the unique client-trace campaigns.
+
+    Archetype pooling means a 36-client fleet needs far fewer than 36
+    campaigns; the dedup here mirrors the executor's key-level dedup so
+    the warmed set is exactly what :func:`prepare_fleet` will request.
+    """
+    from repro.experiments.ext_async_fleet import base_spec
+    from repro.sim.fleet import build_fleet_clients, campaign_spec_for
+
+    fleet = base_spec(clients=clients, rounds=rounds, ratio=ratio, seed=seed)
+    seen, specs = set(), []
+    for client in build_fleet_clients(fleet):
+        spec = campaign_spec_for(client, fleet)
+        if spec.key() not in seen:
+            seen.add(spec.key())
+            specs.append(spec)
+    return specs
+
+
 def ext_resilience_grid(
     ratio: float = 2.0, rounds: int = 30, seed: int = 0, preset: str = "mixed"
 ) -> list[CampaignSpec]:

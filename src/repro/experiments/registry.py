@@ -18,6 +18,7 @@ from repro.sim.executor import ProgressCallback
 from repro.experiments import (
     ablations,
     ext_accuracy,
+    ext_async_fleet,
     ext_controllers,
     ext_fleet,
     ext_resilience,
@@ -184,6 +185,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Extension: fleet-level energy in a heterogeneous federation",
             ext_fleet.run,
             ext_fleet.render,
+        ),
+        Experiment(
+            "ext_async_fleet",
+            "Extension: sync vs semi-sync vs async federation disciplines",
+            ext_async_fleet.run,
+            ext_async_fleet.render,
+            grid=grids.ext_async_fleet_grid,
         ),
         Experiment(
             "ext_controllers",

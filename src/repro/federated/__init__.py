@@ -20,6 +20,15 @@ from repro.federated.deadlines import (
     UniformDeadlines,
 )
 from repro.federated.aggregation import FedAvg, TrimmedMeanAggregator
+from repro.federated.async_engine import (
+    FLEET_MODES,
+    AsyncFederationEngine,
+    FleetClient,
+    FleetReport,
+    FleetResult,
+    FleetRound,
+    staleness_weight,
+)
 from repro.federated.selection import (
     AllClientsSelector,
     EnergyAwareSelector,
@@ -32,14 +41,21 @@ from repro.federated.reporting import ReportingDeadlineAdapter
 
 __all__ = [
     "AllClientsSelector",
+    "AsyncFederationEngine",
     "BandwidthEstimator",
     "DeadlineSchedule",
     "EnergyAwareSelector",
+    "FLEET_MODES",
     "FLTaskSpec",
     "FedAvg",
     "FederatedClient",
     "FederatedServer",
+    "FleetClient",
+    "FleetReport",
+    "FleetResult",
+    "FleetRound",
     "LinkModel",
+    "staleness_weight",
     "RandomSelector",
     "ReportingDeadlineAdapter",
     "StaticDeadlines",

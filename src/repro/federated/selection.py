@@ -36,8 +36,26 @@ class AllClientsSelector(ClientSelector):
         return list(clients)
 
 
+def _round_rng(seed: int, round_index: int) -> np.random.Generator:
+    """The RNG for one (seed, round) pair.
+
+    Deriving a fresh generator per round — instead of consuming a single
+    stream across ``select`` calls — makes selection a pure function of
+    ``(seed, round_index)``: the fleet engine can replay any round in
+    isolation and two servers walking the rounds in different orders (or
+    skipping some) still agree on every round's participants.
+    """
+    if round_index < 0:
+        raise ConfigurationError(f"round_index must be >= 0, got {round_index}")
+    return np.random.default_rng((seed, round_index))
+
+
 class RandomSelector(ClientSelector):
-    """A uniform random subset of fixed size each round."""
+    """A uniform random subset of fixed size each round.
+
+    Stateless across rounds: the draw for round ``i`` depends only on
+    ``(seed, i)``, never on which rounds were selected before.
+    """
 
     def __init__(self, participants_per_round: int, seed: int = 0) -> None:
         if participants_per_round < 1:
@@ -45,13 +63,14 @@ class RandomSelector(ClientSelector):
                 f"participants_per_round must be >= 1, got {participants_per_round}"
             )
         self.participants_per_round = participants_per_round
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
 
     def select(self, clients: Sequence[ClientT], round_index: int) -> list[ClientT]:
         if not clients:
             raise ConfigurationError("no clients registered")
+        rng = _round_rng(self.seed, round_index)
         count = min(self.participants_per_round, len(clients))
-        indices = self._rng.choice(len(clients), size=count, replace=False)
+        indices = rng.choice(len(clients), size=count, replace=False)
         return [clients[i] for i in sorted(indices)]
 
 
@@ -86,7 +105,7 @@ class EnergyAwareSelector(ClientSelector):
         self.participants_per_round = participants_per_round
         self.epsilon = epsilon
         self.smoothing = smoothing
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
         self._energy_ewma: dict = {}
 
     def observe(self, client_id: str, round_energy: float) -> None:
@@ -108,6 +127,7 @@ class EnergyAwareSelector(ClientSelector):
     def select(self, clients: Sequence[ClientT], round_index: int) -> list[ClientT]:
         if not clients:
             raise ConfigurationError("no clients registered")
+        rng = _round_rng(self.seed, round_index)
         count = min(self.participants_per_round, len(clients))
         n_random = int(round(self.epsilon * count))
         ranked = sorted(
@@ -119,7 +139,7 @@ class EnergyAwareSelector(ClientSelector):
         explore: list[int] = []
         if n_random and remaining:
             explore = list(
-                self._rng.choice(len(remaining), size=min(n_random, len(remaining)), replace=False)
+                rng.choice(len(remaining), size=min(n_random, len(remaining)), replace=False)
             )
             explore = [remaining[i] for i in explore]
         picked = sorted(set(greedy) | set(explore))

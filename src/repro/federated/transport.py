@@ -75,6 +75,14 @@ class BandwidthEstimator:
     bandwidth costs a little energy, overestimating costs a deadline.
     """
 
+    #: Bounds a single observation is clamped into before entering the
+    #: EWMA.  A timer glitch (duration ~ 0) would otherwise inject an
+    #: inf/overflowing Mbps sample and poison every later estimate; a
+    #: stalled transfer clamps to a still-positive floor so
+    #: :meth:`upload_time` can never divide by zero.
+    MIN_MBPS = 1e-3
+    MAX_MBPS = 1e5
+
     def __init__(self, initial_mbps: float = 5.0, smoothing: float = 0.3,
                  conservatism: float = 0.8) -> None:
         require_positive("initial_mbps", initial_mbps)
@@ -96,10 +104,16 @@ class BandwidthEstimator:
         return self._estimate * self.conservatism
 
     def observe_transfer(self, size_mbit: float, duration: Seconds) -> None:
-        """Fold one completed transfer into the estimate."""
+        """Fold one completed transfer into the estimate.
+
+        Non-positive or non-finite durations are rejected outright; a
+        valid but extreme observation is clamped into
+        ``[MIN_MBPS, MAX_MBPS]`` so a single mis-timed transfer cannot
+        drive the estimate to inf (or collapse it to zero).
+        """
         require_positive("size_mbit", size_mbit)
         require_positive("duration", duration)
-        measured = size_mbit / duration
+        measured = min(max(size_mbit / duration, self.MIN_MBPS), self.MAX_MBPS)
         self._estimate = (
             (1 - self.smoothing) * self._estimate + self.smoothing * measured
         )

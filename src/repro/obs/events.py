@@ -52,6 +52,12 @@ EVENT_KINDS = frozenset(
         "server.round",
         "server.round_failed",
         "server.aggregation_fallback",
+        "fleet.start",
+        "fleet.enqueue",
+        "fleet.aggregate",
+        "fleet.staleness_drop",
+        "fleet.round",
+        "fleet.end",
         "chaos.schedule",
         "fault.injected",
         "fault.cleared",

@@ -34,6 +34,17 @@ from repro.sim.executor import (
     expand_grid,
     resolve_workers,
 )
+from repro.sim.fleet import (
+    FLEET_SELECTORS,
+    FleetSpec,
+    build_fleet_clients,
+    campaign_spec_for,
+    compose_fleet,
+    fleet_summary,
+    prepare_fleet,
+    render_fleet_summary,
+    run_fleet,
+)
 from repro.sim.mbo_cost import MBOCostModel
 from repro.sim.runner import (
     CONTROLLER_NAMES,
@@ -58,12 +69,21 @@ __all__ = [
     "CampaignTiming",
     "ChaosRunResult",
     "ExecutionReport",
+    "FLEET_SELECTORS",
+    "FleetSpec",
     "MBOCostModel",
     "PersistentCampaignCache",
     "SummaryStat",
     "SweepResult",
+    "build_fleet_clients",
     "cache_key_hash",
     "campaign_key",
+    "campaign_spec_for",
+    "compose_fleet",
+    "fleet_summary",
+    "prepare_fleet",
+    "render_fleet_summary",
+    "run_fleet",
     "chaos_report_from_trace",
     "clear_campaign_cache",
     "default_cache_dir",

@@ -39,7 +39,9 @@ from repro.faults.schedule import FaultSchedule
 #: Bump whenever the campaign key layout or the serialized result format
 #: changes; older entries then read as misses and are rewritten.
 #: v2: fault schedule + recovery policy joined the key (chaos campaigns).
-CACHE_SCHEMA_VERSION = 2
+#: v3: tokens grew a ``kind`` discriminator — fleet-layer artifacts share
+#: the store's namespace with plain campaigns and must never collide.
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -80,6 +82,7 @@ def cache_token(key: CampaignKey) -> dict[str, object]:
     device, task, controller, ratio, rounds, seed, config, schedule, policy = key
     return {
         "schema": CACHE_SCHEMA_VERSION,
+        "kind": "campaign",
         "device": device,
         "task": task,
         "controller": controller,

@@ -1,0 +1,405 @@
+"""Fleet orchestration: build, trace, and compose thousand-client federations.
+
+This is the scaling layer on top of :mod:`repro.federated.async_engine`.
+A :class:`FleetSpec` declares a heterogeneous client population — devices,
+tasks and pace controllers assigned round-robin — and the fleet run splits
+into two phases with very different execution profiles:
+
+1. **Trace gathering** (:func:`prepare_fleet`): every client's local
+   training rounds are an ordinary campaign
+   (:func:`repro.sim.runner.run_campaign`), so the fleet rides the whole
+   campaign machinery for free — the in-process memo, the persistent
+   on-disk cache, and the :class:`~repro.sim.executor.CampaignExecutor`
+   process pool.  ``archetypes`` pools clients onto shared trace seeds
+   (real fleets show population-level redundancy; simulation exploits it):
+   a 1,000-client fleet collapses to a handful of unique campaigns, which
+   is what makes it run in minutes on one machine.
+2. **Composition** (:func:`compose_fleet`): a pure, serial, deterministic
+   function of the traces and the fleet seed.  No wall clock, no pool —
+   which is why serial and sharded trace gathering yield byte-identical
+   deterministic observability traces: open the obs session around *this*
+   phase (the CLI's ``repro fleet run --trace`` does), and the only events
+   captured are the engine's own ``fleet.*`` kinds, independent of how the
+   traces were computed.
+
+Fault composition: each chaotic client derives one schedule of
+``client_dropout`` + ``transport_stall`` windows from the fleet seed; the
+dropout windows join the client's *campaign* key (the chaos engine idles
+the device through them), while the stall windows stay fleet-side and
+delay report arrivals.  Both effects land in the same composition without
+either subsystem knowing about the other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import pathlib
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.federated.aggregation import FedAvg
+from repro.federated.async_engine import (
+    FLEET_MODES,
+    AsyncFederationEngine,
+    FleetClient,
+    FleetResult,
+)
+from repro.federated.selection import (
+    ClientSelector,
+    EnergyAwareSelector,
+    RandomSelector,
+)
+from repro.federated.transport import MODEL_SIZES_MBIT, LinkModel
+from repro.faults.schedule import FaultSchedule, FaultSpec
+from repro.sim.cache import PersistentCampaignCache
+from repro.sim.executor import CampaignExecutor, CampaignSpec, ProgressCallback
+
+#: Default heterogeneous population: both testbed boards, all three paper
+#: tasks, BoFL pacing against the Performant baseline.
+FLEET_DEVICES: tuple[str, ...] = ("agx", "tx2")
+FLEET_TASKS: tuple[str, ...] = ("vit", "resnet50", "lstm")
+FLEET_CONTROLLERS: tuple[str, ...] = ("bofl", "performant")
+
+#: Selector strategies ``compose_fleet`` knows how to build.
+FLEET_SELECTORS: tuple[str, ...] = ("all", "random", "energy")
+
+
+def _stable_seed(label: str) -> int:
+    """A process-stable 31-bit seed derived from a label string.
+
+    The same crc32 derivation the campaign runner uses for scenario
+    seeds: stable across processes and Python versions, unlike the
+    builtin string hash.
+    """
+    return zlib.crc32(label.encode()) % (2**31)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One declarative fleet run: population, pacing, and discipline."""
+
+    n_clients: int = 100
+    rounds: int = 10
+    mode: str = "sync"
+    deadline_ratio: float = 2.0
+    seed: int = 0
+    devices: tuple[str, ...] = FLEET_DEVICES
+    tasks: tuple[str, ...] = FLEET_TASKS
+    controllers: tuple[str, ...] = FLEET_CONTROLLERS
+    #: Pool clients onto this many shared trace seeds (None: all distinct).
+    archetypes: Optional[int] = 12
+    #: Aggregation target per round (None: everyone participates).
+    participants: Optional[int] = None
+    #: ``semisync``: select ``ceil(participants x over_selection)`` clients.
+    over_selection: float = 1.3
+    #: ``async``: commit a model version per this many buffered reports.
+    buffer_size: int = 16
+    #: ``async``: staleness-discount exponent for report weights.
+    staleness_exponent: float = 0.5
+    #: ``async``: drop reports staler than this many versions (None: keep).
+    max_staleness: Optional[int] = None
+    selector: str = "random"
+    #: Fraction of clients running under a derived chaos schedule.
+    chaos_fraction: float = 0.0
+    chaos_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ConfigurationError(f"n_clients must be >= 1, got {self.n_clients}")
+        if self.rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {self.rounds}")
+        if self.mode not in FLEET_MODES:
+            raise ConfigurationError(
+                f"unknown fleet mode {self.mode!r}; available: "
+                f"{', '.join(FLEET_MODES)}"
+            )
+        if self.deadline_ratio <= 0:
+            raise ConfigurationError(
+                f"deadline_ratio must be positive, got {self.deadline_ratio}"
+            )
+        for name, values in (
+            ("devices", self.devices),
+            ("tasks", self.tasks),
+            ("controllers", self.controllers),
+        ):
+            if not values:
+                raise ConfigurationError(f"{name} must be non-empty")
+        for task in self.tasks:
+            if task not in MODEL_SIZES_MBIT:
+                raise ConfigurationError(
+                    f"no model size known for task {task!r}; available: "
+                    f"{', '.join(sorted(MODEL_SIZES_MBIT))}"
+                )
+        if self.archetypes is not None and self.archetypes < 1:
+            raise ConfigurationError(
+                f"archetypes must be >= 1 or None, got {self.archetypes}"
+            )
+        if self.participants is not None and self.participants < 1:
+            raise ConfigurationError(
+                f"participants must be >= 1 or None, got {self.participants}"
+            )
+        if self.over_selection < 1.0:
+            raise ConfigurationError(
+                f"over_selection must be >= 1, got {self.over_selection}"
+            )
+        if self.buffer_size < 1:
+            raise ConfigurationError(
+                f"buffer_size must be >= 1, got {self.buffer_size}"
+            )
+        if self.staleness_exponent < 0:
+            raise ConfigurationError(
+                f"staleness_exponent must be >= 0, got {self.staleness_exponent}"
+            )
+        if self.max_staleness is not None and self.max_staleness < 0:
+            raise ConfigurationError(
+                f"max_staleness must be >= 0 or None, got {self.max_staleness}"
+            )
+        if self.selector not in FLEET_SELECTORS:
+            raise ConfigurationError(
+                f"unknown selector {self.selector!r}; available: "
+                f"{', '.join(FLEET_SELECTORS)}"
+            )
+        if not 0.0 <= self.chaos_fraction <= 1.0:
+            raise ConfigurationError(
+                f"chaos_fraction must lie in [0, 1], got {self.chaos_fraction}"
+            )
+
+    def effective_participants(self) -> int:
+        """The per-round aggregation target, capped at the fleet size."""
+        if self.participants is None:
+            return self.n_clients
+        return min(self.participants, self.n_clients)
+
+
+def _client_chaos(
+    spec: FleetSpec, client_id: str, device: str, task: str,
+    controller: str, trace_seed: int,
+) -> tuple[Optional[FaultSchedule], tuple[FaultSpec, ...]]:
+    """Derive a chaotic client's (dropout schedule, stall windows).
+
+    Whether a client is chaotic hashes from its id; the *windows* hash
+    from its archetype (device/task/controller/trace seed), so archetype
+    mates that are both chaotic share one campaign key and the trace
+    gathering stays pooled.
+    """
+    if spec.chaos_fraction <= 0:
+        return None, ()
+    roll = _stable_seed(f"fleet-chaos/{spec.chaos_seed}/{client_id}") % 10_000
+    if roll >= int(spec.chaos_fraction * 10_000):
+        return None, ()
+    schedule = FaultSchedule.generate(
+        _stable_seed(
+            f"fleet-fault/{spec.chaos_seed}/{device}/{task}/{controller}/{trace_seed}"
+        ),
+        spec.rounds,
+        kinds=("client_dropout", "transport_stall"),
+        n_faults=2,
+        settle_rounds=min(1, max(spec.rounds - 1, 0)),
+    )
+    dropout = tuple(f for f in schedule.faults if f.kind == "client_dropout")
+    stalls = tuple(f for f in schedule.faults if f.kind == "transport_stall")
+    campaign_schedule = (
+        FaultSchedule(faults=dropout, seed=schedule.seed) if dropout else None
+    )
+    return campaign_schedule, stalls
+
+
+def build_fleet_clients(spec: FleetSpec) -> list[FleetClient]:
+    """Materialize the fleet population (traces still empty).
+
+    Device, task and controller are assigned on interleaved cycles so
+    every attribute mixes independently; sample counts and upload seeds
+    hash from the client id, making each client's transport behaviour a
+    pure function of the fleet spec.
+    """
+    nd, nt, nc = len(spec.devices), len(spec.tasks), len(spec.controllers)
+    clients: list[FleetClient] = []
+    for index in range(spec.n_clients):
+        device = spec.devices[index % nd]
+        task = spec.tasks[(index // nd) % nt]
+        controller = spec.controllers[(index // (nd * nt)) % nc]
+        archetype = (
+            index % spec.archetypes if spec.archetypes is not None else index
+        )
+        trace_seed = spec.seed + archetype
+        client_id = f"client-{index:04d}"
+        campaign_schedule, stalls = _client_chaos(
+            spec, client_id, device, task, controller, trace_seed
+        )
+        clients.append(
+            FleetClient(
+                client_id=client_id,
+                index=index,
+                device=device,
+                task=task,
+                controller=controller,
+                trace_seed=trace_seed,
+                n_samples=200 + _stable_seed(f"samples/{spec.seed}/{client_id}") % 801,
+                model_size_mbit=MODEL_SIZES_MBIT[task],
+                stall_windows=stalls,
+                upload_seed=_stable_seed(f"upload/{spec.seed}/{client_id}"),
+                fault_schedule=campaign_schedule,
+            )
+        )
+    return clients
+
+
+def campaign_spec_for(client: FleetClient, spec: FleetSpec) -> CampaignSpec:
+    """The campaign producing this client's local-round trace."""
+    return CampaignSpec(
+        device=client.device,
+        task=client.task,
+        controller=client.controller,
+        deadline_ratio=spec.deadline_ratio,
+        rounds=spec.rounds,
+        seed=client.trace_seed,
+        fault_schedule=client.fault_schedule,
+    )
+
+
+def prepare_fleet(
+    spec: FleetSpec,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[PersistentCampaignCache] = None,
+    progress: Optional[ProgressCallback] = None,
+    use_cache: bool = True,
+) -> list[FleetClient]:
+    """Build the population and fill every client's trace.
+
+    The executor dedups identical campaign keys, so pooled archetypes cost
+    one simulation each regardless of fleet size; ``workers`` shards the
+    unique campaigns over the process pool.  Run this *outside* any
+    deterministic obs session meant for fleet traces — executor cache/cell
+    events depend on worker count and cache state, the composition does
+    not.
+    """
+    clients = build_fleet_clients(spec)
+    specs = [campaign_spec_for(client, spec) for client in clients]
+    executor = CampaignExecutor(workers=workers, cache=cache, progress=progress)
+    report = executor.run(specs, use_cache=use_cache)
+    for client, result in zip(clients, report.results):
+        # A fresh list per client: duplicate keys share RoundRecord
+        # objects, and the async engine trims its own copy of the list.
+        client.records = list(result.records)
+    return clients
+
+
+def compose_fleet(spec: FleetSpec, clients: list[FleetClient]) -> FleetResult:
+    """Run the federation engine over prepared traces (pure, serial).
+
+    Clients are cloned first, so the same prepared population can be
+    composed repeatedly — e.g. once per mode for a sync/semisync/async
+    comparison — without one composition consuming another's traces.
+    """
+    target = spec.effective_participants()
+    if spec.mode == "semisync":
+        selection_size = min(
+            spec.n_clients, math.ceil(target * spec.over_selection)
+        )
+    else:
+        selection_size = target
+    selector: Optional[ClientSelector] = None
+    if spec.selector == "random" and selection_size < spec.n_clients:
+        selector = RandomSelector(selection_size, seed=spec.seed)
+    elif spec.selector == "energy" and selection_size < spec.n_clients:
+        selector = EnergyAwareSelector(selection_size, seed=spec.seed)
+    engine = AsyncFederationEngine(
+        [
+            dataclasses.replace(client, records=list(client.records))
+            for client in clients
+        ],
+        mode=spec.mode,
+        link=LinkModel(),
+        selector=selector,
+        aggregator=FedAvg(),
+        target_reports=target if spec.mode == "semisync" else None,
+        buffer_size=spec.buffer_size,
+        staleness_exponent=spec.staleness_exponent,
+        max_staleness=spec.max_staleness,
+    )
+    return engine.run(spec.rounds)
+
+
+def run_fleet(
+    spec: FleetSpec,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[PersistentCampaignCache] = None,
+    progress: Optional[ProgressCallback] = None,
+    use_cache: bool = True,
+) -> FleetResult:
+    """Prepare and compose one fleet in a single call."""
+    clients = prepare_fleet(
+        spec, workers=workers, cache=cache, progress=progress, use_cache=use_cache
+    )
+    return compose_fleet(spec, clients)
+
+
+def fleet_summary(spec: FleetSpec, result: FleetResult) -> dict[str, object]:
+    """The JSON-stable scorecard of one fleet run (CLI report, goldens)."""
+    return {
+        "mode": result.mode,
+        "clients": result.n_clients,
+        "rounds": len(result.rounds),
+        "aggregations": result.aggregations,
+        "makespan": round(result.makespan, 6),
+        "mean_round_latency": round(result.mean_round_latency, 6),
+        "total_energy": round(result.total_energy, 6),
+        "mean_staleness": round(result.mean_staleness, 6),
+        "straggler_reports": result.straggler_reports,
+        "cutoff_reports": result.cutoff_reports,
+        "staleness_drops": result.staleness_drops,
+        "dropout_rounds": result.dropout_rounds,
+        "deadline_ratio": spec.deadline_ratio,
+        "seed": spec.seed,
+    }
+
+
+def render_fleet_summary(summary: dict[str, object]) -> str:
+    """Human-readable rendering of :func:`fleet_summary`."""
+    lines = [f"{key:18s} : {value}" for key, value in summary.items()]
+    return "\n".join(lines)
+
+
+def fleet_report_from_trace(path: Union[str, pathlib.Path]) -> str:
+    """Summarize the ``fleet.*`` activity of a recorded obs trace.
+
+    The replay half of ``repro fleet run --trace``: event counts by kind,
+    the run's configuration from ``fleet.start``, and the closing
+    scorecard from ``fleet.end``.
+    """
+    from collections import Counter
+
+    from repro.obs.events import read_jsonl
+
+    events = [e for e in read_jsonl(path) if e.layer == "fleet"]
+    if not events:
+        raise ConfigurationError(f"no fleet events found in {path}")
+    counts = Counter(e.kind for e in events)
+    lines = [f"Fleet trace: {path}", ""]
+    for kind in sorted(counts):
+        lines.append(f"  {kind:22s} {counts[kind]}")
+    start = next((e for e in events if e.kind == "fleet.start"), None)
+    if start is not None:
+        lines.append("")
+        lines.append(
+            "run: mode={mode} clients={clients} rounds={rounds}".format(
+                mode=start.payload.get("mode"),
+                clients=start.payload.get("clients"),
+                rounds=start.payload.get("rounds"),
+            )
+        )
+    end = next((e for e in reversed(events) if e.kind == "fleet.end"), None)
+    if end is not None:
+        for key in (
+            "aggregations", "total_energy", "makespan", "mean_latency",
+            "stragglers", "cutoffs", "staleness_drops", "dropouts",
+        ):
+            if key in end.payload:
+                lines.append(f"  {key:18s} : {end.payload[key]}")
+    return "\n".join(lines)
+

@@ -28,8 +28,8 @@ EXPECTED_IDS = {
     "fig2", "fig3", "fig4", "fig5", "tab1", "tab2",
     "fig9", "fig10", "fig11", "tab3", "fig12", "fig13",
     "abl_guardian", "abl_acquisition", "abl_tau", "abl_exploit", "abl_parego",
-    "abl_thermal", "ext_accuracy", "ext_fleet", "ext_controllers",
-    "ext_resilience",
+    "abl_thermal", "ext_accuracy", "ext_fleet", "ext_async_fleet",
+    "ext_controllers", "ext_resilience",
 }
 
 

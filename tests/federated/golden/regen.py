@@ -1,0 +1,19 @@
+"""Regenerate the ``ext_fleet`` golden artifacts.
+
+Usage (from the repository root):
+
+    PYTHONPATH=src:. python tests/federated/golden/regen.py
+
+Overwrites ``ext_fleet_summary.txt`` and ``ext_fleet_trace.jsonl`` next
+to this script with a fresh run of the pinned configuration (see
+``tests/federated/test_fleet_golden.py`` for the parameters).  Review the
+diff before committing — the whole point of the goldens is that drift is
+a deliberate act.
+"""
+
+from tests.federated.test_fleet_golden import GOLDEN_DIR, produce_artifacts
+
+if __name__ == "__main__":
+    summary = produce_artifacts(GOLDEN_DIR / "ext_fleet_trace.jsonl")
+    (GOLDEN_DIR / "ext_fleet_summary.txt").write_text(summary)
+    print(f"regenerated goldens under {GOLDEN_DIR}")

@@ -1,0 +1,181 @@
+"""Property-based (Hypothesis) tests over the federated layer.
+
+Aggregation rules and client selectors are the parts of the federation
+stack every later scaling layer composes with, so their algebraic
+contracts are pinned here as properties rather than examples:
+
+* FedAvg is invariant under weight rescaling and equivariant under
+  client permutation;
+* the trimmed mean stays inside the per-coordinate envelope of the
+  updates and degrades to the unweighted mean at ``trim=0``;
+* selectors are pure functions of ``(seed, round_index)`` and always
+  return exactly ``participants_per_round`` distinct clients.
+
+CI runs these with ``--hypothesis-seed=0`` for reproducible examples.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated.aggregation import FedAvg, TrimmedMeanAggregator
+from repro.federated.selection import EnergyAwareSelector, RandomSelector
+
+#: Bounded, finite floats: aggregation contracts are algebraic, not
+#: about float-overflow edge cases.
+FINITE = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+WEIGHT = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False)
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+ROUNDS = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def updates_and_weights(draw, min_clients=1, max_clients=6):
+    """N client updates (same layer shapes) with positive weights."""
+    n_clients = draw(st.integers(min_value=min_clients, max_value=max_clients))
+    shapes = draw(
+        st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3)
+    )
+    updates = [
+        [
+            np.asarray(
+                draw(st.lists(FINITE, min_size=size, max_size=size)), dtype=float
+            )
+            for size in shapes
+        ]
+        for _ in range(n_clients)
+    ]
+    weights = [draw(WEIGHT) for _ in range(n_clients)]
+    return updates, weights
+
+
+def _assert_layers_close(a, b):
+    assert len(a) == len(b)
+    for layer_a, layer_b in zip(a, b):
+        np.testing.assert_allclose(layer_a, layer_b, rtol=1e-9, atol=1e-6)
+
+
+class TestFedAvgProperties:
+    @settings(deadline=None)
+    @given(uw=updates_and_weights(), scale=WEIGHT)
+    def test_weight_normalization_invariant(self, uw, scale):
+        """Rescaling every weight by the same factor changes nothing."""
+        updates, weights = uw
+        base = FedAvg().aggregate(updates, weights)
+        rescaled = FedAvg().aggregate(updates, [w * scale for w in weights])
+        _assert_layers_close(base, rescaled)
+
+    @settings(deadline=None)
+    @given(uw=updates_and_weights(min_clients=2), seed=SEEDS)
+    def test_permutation_equivariant(self, uw, seed):
+        """Client order is irrelevant as long as weights travel along."""
+        updates, weights = uw
+        perm = np.random.default_rng(seed).permutation(len(updates))
+        base = FedAvg().aggregate(updates, weights)
+        shuffled = FedAvg().aggregate(
+            [updates[i] for i in perm], [weights[i] for i in perm]
+        )
+        _assert_layers_close(base, shuffled)
+
+
+class TestTrimmedMeanProperties:
+    @settings(deadline=None)
+    @given(data=st.data(), trim=st.integers(min_value=0, max_value=2))
+    def test_bounded_by_coordinate_envelope(self, data, trim):
+        """Each output coordinate lies within the updates' min/max there."""
+        updates, weights = data.draw(
+            updates_and_weights(min_clients=2 * trim + 1, max_clients=2 * trim + 5)
+        )
+        out = TrimmedMeanAggregator(trim=trim).aggregate(updates, weights)
+        for layer_index, layer in enumerate(out):
+            stacked = np.stack([u[layer_index] for u in updates])
+            assert np.all(layer >= stacked.min(axis=0) - 1e-9)
+            assert np.all(layer <= stacked.max(axis=0) + 1e-9)
+
+    @settings(deadline=None)
+    @given(uw=updates_and_weights())
+    def test_trim_zero_degrades_to_fedavg(self, uw):
+        """No trimming == FedAvg under equal weights (the plain mean)."""
+        updates, weights = uw
+        trimmed = TrimmedMeanAggregator(trim=0).aggregate(updates, weights)
+        fedavg = FedAvg().aggregate(updates, [1.0] * len(updates))
+        _assert_layers_close(trimmed, fedavg)
+
+
+class _Client:
+    def __init__(self, client_id):
+        self.client_id = client_id
+
+    def __repr__(self):
+        return self.client_id
+
+
+class TestSelectorProperties:
+    @settings(deadline=None)
+    @given(
+        pool=st.integers(min_value=1, max_value=40),
+        participants=st.integers(min_value=1, max_value=40),
+        seed=SEEDS,
+        round_index=ROUNDS,
+    )
+    def test_random_selector_deterministic_and_exact(
+        self, pool, participants, seed, round_index
+    ):
+        clients = [f"c{i}" for i in range(pool)]
+        first = RandomSelector(participants, seed=seed).select(clients, round_index)
+        second = RandomSelector(participants, seed=seed).select(clients, round_index)
+        assert first == second
+        expected = min(participants, pool)
+        assert len(first) == expected == len(set(first))
+        assert set(first) <= set(clients)
+
+    @settings(deadline=None)
+    @given(
+        pool=st.integers(min_value=2, max_value=25),
+        participants=st.integers(min_value=1, max_value=25),
+        epsilon=st.floats(min_value=0.0, max_value=1.0),
+        seed=SEEDS,
+        round_index=ROUNDS,
+        energies=st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            max_size=25,
+        ),
+    )
+    def test_energy_selector_deterministic_and_exact(
+        self, pool, participants, epsilon, seed, round_index, energies
+    ):
+        clients = [_Client(f"c{i}") for i in range(pool)]
+
+        def build():
+            selector = EnergyAwareSelector(participants, epsilon=epsilon, seed=seed)
+            for i, energy in enumerate(energies):
+                selector.observe(f"c{i % pool}", energy)
+            return selector
+
+        first = build().select(clients, round_index)
+        second = build().select(clients, round_index)
+        assert [c.client_id for c in first] == [c.client_id for c in second]
+        expected = min(participants, pool)
+        picked = {c.client_id for c in first}
+        assert len(first) == expected == len(picked)
+
+    @settings(deadline=None)
+    @given(
+        pool=st.integers(min_value=2, max_value=20),
+        seed=SEEDS,
+        round_a=ROUNDS,
+        round_b=ROUNDS,
+    )
+    def test_random_selector_pure_in_round_index(self, pool, seed, round_a, round_b):
+        """Selecting rounds out of order (or twice) never changes a round."""
+        clients = [f"c{i}" for i in range(pool)]
+        selector = RandomSelector(max(1, pool // 2), seed=seed)
+        forward = (
+            selector.select(clients, round_a),
+            selector.select(clients, round_b),
+        )
+        backward = (
+            selector.select(clients, round_b),
+            selector.select(clients, round_a),
+        )
+        assert forward == (backward[1], backward[0])

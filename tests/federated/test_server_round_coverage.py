@@ -1,0 +1,143 @@
+"""Coverage for ServerRound accounting, selector cold-start, and the
+all-clients-straggle edge case."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import RoundRecord
+from repro.errors import ConfigurationError
+from repro.federated.client import ClientReport
+from repro.federated.deadlines import DeadlineSchedule
+from repro.federated.selection import EnergyAwareSelector
+from repro.federated.server import FederatedServer, ServerRound
+from repro.ml.data import make_blobs_classification
+from repro.ml.models import MLPClassifier
+from tests.federated.test_client_server import make_client
+
+
+def make_report(client_id, *, energy=10.0, missed=False, weights=None):
+    record = RoundRecord(
+        round_index=0,
+        phase="exploit",
+        deadline=10.0,
+        jobs=4,
+        elapsed=12.0 if missed else 5.0,
+        energy=energy,
+        missed=missed,
+    )
+    return ClientReport(
+        client_id=client_id, weights=weights, n_samples=50, record=record
+    )
+
+
+class TestServerRoundAccounting:
+    def test_total_energy_sums_all_reports_including_stragglers(self):
+        rnd = ServerRound(
+            round_index=0,
+            participants=["a", "b", "c"],
+            reports=[
+                make_report("a", energy=3.0),
+                make_report("b", energy=5.0, missed=True),
+                make_report("c", energy=7.0),
+            ],
+        )
+        # A missed deadline wastes the energy but the fleet still paid it.
+        assert rnd.total_energy == pytest.approx(15.0)
+
+    def test_stragglers_are_the_failed_reports_in_order(self):
+        rnd = ServerRound(
+            round_index=0,
+            participants=["a", "b", "c"],
+            reports=[
+                make_report("a", missed=True),
+                make_report("b"),
+                make_report("c", missed=True),
+            ],
+        )
+        assert rnd.stragglers == ["a", "c"]
+
+    def test_empty_round_has_zero_energy_and_no_stragglers(self):
+        rnd = ServerRound(round_index=0, participants=[])
+        assert rnd.total_energy == 0.0
+        assert rnd.stragglers == []
+
+
+class TestEnergyAwareSelectorColdStart:
+    def test_unobserved_clients_estimate_as_free(self):
+        selector = EnergyAwareSelector(2, seed=0)
+        assert selector.estimated_energy("never-seen") == 0.0
+
+    def test_selection_works_before_any_observation(self):
+        # Cold start: no history at all; selection must still return the
+        # requested count without raising.
+        selector = EnergyAwareSelector(3, epsilon=0.5, seed=0)
+        picked = selector.select([f"c{i}" for i in range(8)], 0)
+        assert len(picked) == 3 == len(set(picked))
+
+    def test_first_observation_seeds_the_ewma_exactly(self):
+        selector = EnergyAwareSelector(1, smoothing=0.3, seed=0)
+        selector.observe("c0", 40.0)
+        assert selector.estimated_energy("c0") == pytest.approx(40.0)
+        selector.observe("c0", 80.0)
+        assert selector.estimated_energy("c0") == pytest.approx(0.7 * 40.0 + 0.3 * 80.0)
+
+    def test_newcomers_outrank_observed_clients(self):
+        # Greedy share prefers the cheapest estimate; a cold client's 0.0
+        # beats any observed cost, so newcomers get measured.
+        selector = EnergyAwareSelector(1, epsilon=0.0, seed=0)
+        selector.observe("old", 1.0)
+
+        class C:
+            def __init__(self, client_id):
+                self.client_id = client_id
+
+        picked = selector.select([C("old"), C("new")], 0)
+        assert [c.client_id for c in picked] == ["new"]
+
+    def test_rejects_negative_energy(self):
+        selector = EnergyAwareSelector(1)
+        with pytest.raises(ConfigurationError):
+            selector.observe("c0", -1.0)
+
+
+class ImpossibleDeadlines(DeadlineSchedule):
+    """Deadlines no controller can meet: a twentieth of ``T_min``."""
+
+    def generate(self, t_min, rounds, seed=0):
+        self._check(t_min, rounds)
+        return [0.05 * t_min] * rounds
+
+
+class TestAllClientsStraggle:
+    def test_round_survives_with_everyone_straggling(self):
+        clients = [make_client(f"c{i}", seed=i) for i in range(3)]
+        server = FederatedServer(
+            clients, deadline_schedule=ImpossibleDeadlines(), seed=0
+        )
+        history = server.run(2)
+        assert len(history) == 2
+        for rnd in history:
+            assert sorted(rnd.stragglers) == ["c0", "c1", "c2"]
+            assert not rnd.aggregated
+            # The wasted rounds still show up in the energy ledger.
+            assert rnd.total_energy > 0
+        assert server.total_energy == pytest.approx(
+            sum(r.total_energy for r in history)
+        )
+
+    def test_global_model_is_untouched_when_no_report_survives(self):
+        data = make_blobs_classification(64, n_features=8, n_classes=2, seed=0)
+        clients = [make_client(f"c{i}", with_model=True, seed=i) for i in range(2)]
+        model = MLPClassifier(8, [8], 2, seed=0)
+        server = FederatedServer(
+            clients,
+            global_model=model,
+            deadline_schedule=ImpossibleDeadlines(),
+            eval_data=data,
+            seed=0,
+        )
+        before = [w.copy() for w in model.get_weights()]
+        history = server.run(1)
+        assert not history[0].aggregated
+        for old, new in zip(before, model.get_weights()):
+            np.testing.assert_array_equal(old, new)

@@ -70,6 +70,43 @@ class TestBandwidthEstimator:
         with pytest.raises(ConfigurationError):
             estimator.observe_transfer(0.0, 1.0)
 
+    def test_rejects_non_positive_duration(self):
+        estimator = BandwidthEstimator()
+        for duration in (0.0, -1.0):
+            with pytest.raises(ConfigurationError):
+                estimator.observe_transfer(50.0, duration)
+        assert estimator.observations == 0
+
+    def test_rejects_non_finite_duration(self):
+        estimator = BandwidthEstimator()
+        for duration in (float("inf"), float("nan")):
+            with pytest.raises(ConfigurationError):
+                estimator.observe_transfer(50.0, duration)
+        assert estimator.observations == 0
+
+    def test_tiny_duration_cannot_poison_the_estimate(self):
+        # Regression: a timer glitch (duration ~ 0) used to inject an
+        # astronomically large Mbps sample; the EWMA then never recovered
+        # and upload_time collapsed toward zero forever.
+        estimator = BandwidthEstimator(initial_mbps=5.0, smoothing=0.5)
+        estimator.observe_transfer(50.0, 1e-300)
+        assert np.isfinite(estimator.estimate_mbps)
+        assert estimator.estimate_mbps <= 0.5 * (5.0 + BandwidthEstimator.MAX_MBPS)
+        assert estimator.upload_time(50.0) > 0.0
+
+    def test_stalled_transfer_clamps_to_positive_floor(self):
+        estimator = BandwidthEstimator(initial_mbps=5.0, smoothing=1.0)
+        estimator.observe_transfer(1e-6, 1e6)  # effectively zero Mbps
+        assert estimator.estimate_mbps == pytest.approx(BandwidthEstimator.MIN_MBPS)
+        assert estimator.safe_mbps > 0.0
+        assert np.isfinite(estimator.upload_time(50.0))
+
+    def test_clamped_observation_still_counts(self):
+        estimator = BandwidthEstimator(smoothing=0.3)
+        estimator.observe_transfer(50.0, 1e-300)
+        estimator.observe_transfer(50.0, 10.0)
+        assert estimator.observations == 2
+
 
 class TestDeadlineConversion:
     def test_subtracts_predicted_upload(self):

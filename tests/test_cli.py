@@ -147,3 +147,60 @@ class TestTraceCommand:
         capsys.readouterr()
         assert main(["trace", str(path), "--view", "tab3"]) == 1
         assert "no bofl campaign" in capsys.readouterr().err
+
+
+class TestFleetCommand:
+    #: Performant-only, two archetypes: two fast campaigns total.
+    FAST = [
+        "--clients", "6", "--rounds", "2", "--archetypes", "2",
+        "--controllers", "performant", "--workers", "1",
+    ]
+
+    def test_run_parses_fleet_options(self):
+        args = build_parser().parse_args(
+            ["fleet", "run", "--mode", "async", "--buffer", "8", "--chaos", "0.2"]
+        )
+        assert args.fleet_command == "run"
+        assert args.mode == "async"
+        assert args.buffer == 8
+        assert args.chaos == 0.2
+
+    def test_mode_is_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "run", "--mode", "firehose"])
+
+    def test_report_requires_a_file(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "report"])
+
+    def test_run_prints_the_scorecard(self, capsys):
+        assert main(["fleet", "run", *self.FAST]) == 0
+        out = capsys.readouterr().out
+        for key in ("mode", "clients", "aggregations", "total_energy"):
+            assert key in out
+
+    def test_trace_round_trips_through_report(self, tmp_path, capsys):
+        trace = tmp_path / "fleet.jsonl"
+        assert main(["fleet", "run", *self.FAST, "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet.start" in out
+        assert "mode=sync" in out
+
+    def test_trace_is_seed_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(["fleet", "run", *self.FAST, "--trace", str(a)]) == 0
+        assert main(["fleet", "run", *self.FAST, "--trace", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_report_on_fleetless_trace_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "perf.jsonl"
+        assert main(
+            ["campaign", "--controller", "performant", "--rounds", "2",
+             "--task", "lstm", "--trace", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["fleet", "report", str(path)]) == 1
+        assert "no fleet events" in capsys.readouterr().err
