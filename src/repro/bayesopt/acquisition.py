@@ -31,28 +31,70 @@ from __future__ import annotations
 
 
 import numpy as np
-from scipy import stats
+from scipy import special
+
+from typing import Optional
 
 from repro.bayesopt.pareto import pareto_front
 from repro.errors import OptimizationError
+
+#: Shared standard-deviation floor below which a Gaussian is treated as
+#: deterministic.  EI and EHVI must agree on this boundary: a candidate
+#: with (numerically) zero posterior variance has an exactly known value,
+#: so its expected improvement is the plain positive-part improvement —
+#: exactly 0 for an already-observed point.
+MIN_STD = 1e-12
+
+_SQRT_2PI = np.sqrt(2.0 * np.pi)
+
+
+def _norm_pdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal density (avoids the scipy ``stats`` wrapper overhead)."""
+    return np.exp(-(z**2) / 2.0) / _SQRT_2PI
 
 
 def _psi(c: np.ndarray, mean: np.ndarray, std: np.ndarray) -> np.ndarray:
     """``E[(c - V)^+]`` for ``V ~ N(mean, std^2)``, elementwise.
 
     ``c`` may contain ``-inf`` (contributing zero).  Shapes broadcast.
+    Standard deviations at or below :data:`MIN_STD` are treated as
+    deterministic: the expectation collapses to ``max(c - mean, 0)``.
     """
     c = np.asarray(c, dtype=float)
     mean = np.asarray(mean, dtype=float)
-    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    std = np.asarray(std, dtype=float)
+    deterministic = std <= MIN_STD
+    std_safe = np.maximum(std, MIN_STD)
     neg_inf = np.isneginf(c)
     # -inf cutoffs contribute exactly zero improvement mass; substitute a
-    # finite value to keep the arithmetic warning-free, then mask.
-    c_safe = np.where(neg_inf, 0.0, c)
-    z = (c_safe - mean) / std
-    out = (c_safe - mean) * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+    # finite value to keep the arithmetic warning-free, then mask.  The
+    # mask/where passes are skipped entirely when no element needs them
+    # (the hot path): an all-False where returns its input unchanged.
+    has_neg_inf = bool(neg_inf.any())
+    c_safe = np.where(neg_inf, 0.0, c) if has_neg_inf else c
+    improvement = c_safe - mean
+    z = improvement / std_safe
+    # In-place evaluation of (c - mean) * Phi(z) + std * phi(z): the same
+    # IEEE operations as the naive expression (multiplication commutes
+    # exactly), minus four large temporaries on the EHVI hot path.
+    out = special.ndtr(z)
+    out *= improvement
+    np.square(z, out=z)
+    z *= -0.5
+    np.exp(z, out=z)
+    z /= _SQRT_2PI
+    z *= std_safe
+    out += z
     out = np.asarray(out)
-    return np.where(np.broadcast_to(neg_inf, out.shape), 0.0, out)
+    if deterministic.any():
+        out = np.where(
+            np.broadcast_to(deterministic, out.shape),
+            np.maximum(improvement, 0.0),
+            out,
+        )
+    if has_neg_inf:
+        out = np.where(np.broadcast_to(neg_inf, out.shape), 0.0, out)
+    return out
 
 
 def _strips(front: np.ndarray, reference: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -107,20 +149,149 @@ def expected_hypervolume_improvement(
             f"mean/var must both be (m, 2); got {mean.shape} and {var.shape}"
         )
     std = np.sqrt(np.maximum(var, 0.0))
-    lower, upper, heights = _strips(front, reference)
-    # psi tables: candidates along axis 0, strips along axis 1.
+    _, upper, heights = _strips(front, reference)
+    return _ehvi_core(mean, std, upper, heights)
+
+
+def _ehvi_core(
+    mean: np.ndarray, std: np.ndarray, upper: np.ndarray, heights: np.ndarray
+) -> np.ndarray:
+    """EHVI from precomputed strips — rows are independent of one another."""
+    # psi tables: candidates along axis 0, strips along axis 1.  Interior
+    # strip boundaries are shared — ``lower[1:] == upper[:-1]`` — and psi
+    # at the ``-inf`` sentinel in ``lower[0]`` is exactly zero, so the
+    # single table over ``upper`` serves both cutoffs: the strip widths
+    # ``psi1(upper) - psi1(lower)`` are first differences of that table.
     psi1_u = _psi(upper[None, :], mean[:, 0, None], std[:, 0, None])
-    psi1_l = _psi(lower[None, :], mean[:, 0, None], std[:, 0, None])
     psi2_h = _psi(heights[None, :], mean[:, 1, None], std[:, 1, None])
-    ehvi = np.sum((psi1_u - psi1_l) * psi2_h, axis=1)
+    widths = np.empty_like(psi1_u)
+    widths[:, 0] = psi1_u[:, 0]
+    widths[:, 1:] = psi1_u[:, 1:] - psi1_u[:, :-1]
+    ehvi = np.sum(widths * psi2_h, axis=1)
     return np.maximum(ehvi, 0.0)
+
+
+#: Candidates whose exact EHVI is computed per pruning round in
+#: :func:`ehvi_argmax`; bound-sorting concentrates the winner in the
+#: first block for realistic surrogates.
+_ARGMAX_BLOCK = 256
+#: Minimum strip count before bound pruning pays for itself — the bound
+#: costs about four psi columns, so narrow tables are computed exactly.
+_ARGMAX_MIN_STRIPS = 14
+
+
+def ehvi_argmax(
+    mean: np.ndarray,
+    var: np.ndarray,
+    front: np.ndarray,
+    reference: np.ndarray,
+    active: Optional[np.ndarray] = None,
+) -> tuple[int, float]:
+    """Index and value of the EHVI maximizer, with sound bound pruning.
+
+    Returns exactly ``(int(np.argmax(e)), float(e[argmax]))`` for
+    ``e = expected_hypervolume_improvement(mean, var, front, reference)``
+    — including NumPy's first-index tie resolution — but usually without
+    building the full candidate-by-strip psi tables.  The strip sum
+    telescopes to ``psi1(r_0)`` and every strip ceiling is at most
+    ``r_1``, so ``EHVI(x) <= psi1(r_0; x) psi2(r_1; x)``: an O(m) bound.
+    Exact EHVI is then evaluated block-wise in decreasing-bound order and
+    the scan stops once no remaining bound can reach the incumbent.
+
+    ``active`` optionally restricts the search to a boolean mask of rows
+    (the returned index is still into the full arrays); the result then
+    matches the argmax over the compacted active subset.
+    """
+    mean = np.atleast_2d(np.asarray(mean, dtype=float))
+    var = np.atleast_2d(np.asarray(var, dtype=float))
+    if mean.shape != var.shape or mean.shape[1] != 2:
+        raise OptimizationError(
+            f"mean/var must both be (m, 2); got {mean.shape} and {var.shape}"
+        )
+    std = np.sqrt(np.maximum(var, 0.0))
+    _, upper, heights = _strips(front, reference)
+    m = mean.shape[0]
+    n_active = m if active is None else int(np.count_nonzero(active))
+    if n_active == 0:
+        raise OptimizationError("ehvi_argmax needs at least one active candidate")
+    if upper.shape[0] < _ARGMAX_MIN_STRIPS or n_active <= _ARGMAX_BLOCK:
+        # Narrow tables are cheaper to evaluate outright than to bound:
+        # the bound costs ~4 psi columns regardless of the strip count.
+        vals = _ehvi_core(mean, std, upper, heights)
+        if active is not None:
+            # Evaluating the handful of masked rows is cheaper than
+            # compacting the arrays; mask them out of the argmax instead.
+            vals[~active] = -np.inf
+        best_idx = int(np.argmax(vals))
+        best = float(vals[best_idx])
+        if best <= 0.0:
+            # Saturated: every active EHVI is exactly 0 — match the argmax
+            # of an all-zero compacted array (its first active element).
+            first = best_idx if active is None else int(np.argmax(active))
+            return first, 0.0
+        return best_idx, best
+    # Two-strip coarsening of the exact sum: strip 0 kept exact, strips
+    # >= 1 bounded by their common height ceiling ``heights[1]`` (heights
+    # descend) with telescoped total width ``psi1(r_0) - psi1(u_0)``.
+    # Much tighter than the single-product bound when the front is rich.
+    psi1_b = _psi(
+        np.array([upper[0], upper[-1]])[None, :], mean[:, 0, None], std[:, 0, None]
+    )
+    psi2_b = _psi(
+        np.array([heights[0], heights[1]])[None, :], mean[:, 1, None], std[:, 1, None]
+    )
+    bound = psi1_b[:, 0] * psi2_b[:, 0] + (psi1_b[:, 1] - psi1_b[:, 0]) * psi2_b[:, 1]
+    if active is not None:
+        # psi is non-negative, so active bounds are >= 0: the masked rows
+        # sort strictly last and slicing them off keeps blocks all-active.
+        bound[~active] = -np.inf
+    # An unstable sort is fine: equal-bound orderings cannot change the
+    # result — the scan continues through bound ties and value ties are
+    # resolved by original index.
+    order = np.argsort(-bound)[:n_active]
+    best_idx = 0
+    best_val = -np.inf
+    for start in range(0, n_active, _ARGMAX_BLOCK):
+        block = order[start : start + _ARGMAX_BLOCK]
+        # Sorted descending: if even this block's best bound cannot reach
+        # the incumbent, no later block can (ties continue the scan so
+        # an equal-value candidate with a smaller index is never missed).
+        if bound[block[0]] < best_val:
+            break
+        vals = _ehvi_core(mean[block], std[block], upper, heights)
+        block_max = float(vals.max())
+        if block_max < best_val:
+            continue
+        block_idx = int(block[vals == block_max].min())
+        if block_max > best_val or block_idx < best_idx:
+            best_val = block_max
+            best_idx = block_idx
+    if best_val <= 0.0:
+        # Saturated surrogate: every EHVI is exactly 0, and the argmax of
+        # an all-zero array is its first element.
+        return (0 if active is None else int(np.argmax(active))), 0.0
+    return best_idx, best_val
 
 
 def expected_improvement(
     mean: np.ndarray, var: np.ndarray, best: float
 ) -> np.ndarray:
-    """Classic single-objective EI for minimization (used in ablations)."""
+    """Classic single-objective EI for minimization (used in ablations).
+
+    Shares the :data:`MIN_STD` deterministic floor with EHVI's ``_psi``:
+    a zero-variance candidate contributes ``max(best - mean, 0)`` — so an
+    exactly-observed incumbent scores exactly 0, consistent across EI
+    ablations and the EHVI main path.
+    """
     mean = np.asarray(mean, dtype=float)
-    std = np.sqrt(np.maximum(np.asarray(var, dtype=float), 1e-18))
-    z = (best - mean) / std
-    return (best - mean) * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+    std = np.sqrt(np.maximum(np.asarray(var, dtype=float), 0.0))
+    deterministic = std <= MIN_STD
+    std_safe = np.maximum(std, MIN_STD)
+    improvement = best - mean
+    z = improvement / std_safe
+    out = np.asarray(improvement * special.ndtr(z) + std_safe * _norm_pdf(z))
+    return np.where(
+        np.broadcast_to(deterministic, out.shape),
+        np.maximum(improvement, 0.0),
+        out,
+    )

@@ -25,12 +25,13 @@ def _scaled_sq_dists(x1: np.ndarray, x2: np.ndarray, lengthscales: np.ndarray) -
     a = x1 / lengthscales
     b = x2 / lengthscales
     # ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b, clipped for numerical safety.
-    sq = (
-        np.sum(a**2, axis=1)[:, None]
-        + np.sum(b**2, axis=1)[None, :]
-        - 2.0 * (a @ b.T)
-    )
-    return np.maximum(sq, 0.0)
+    # Written with in-place updates (same IEEE operations, fewer large
+    # temporaries): this runs once per kernel evaluation on the MBO hot path.
+    sq = np.sum(a**2, axis=1)[:, None] + np.sum(b**2, axis=1)[None, :]
+    cross = a @ b.T
+    cross *= 2.0
+    sq -= cross
+    return np.maximum(sq, 0.0, out=sq)
 
 
 class Kernel(ABC):
@@ -72,9 +73,19 @@ class Kernel(ABC):
         """A deep copy with the same hyperparameters."""
         return type(self)(self.lengthscales.copy(), self.variance)
 
-    @abstractmethod
     def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
         """The covariance matrix between rows of ``x1`` and ``x2``."""
+        sq = _scaled_sq_dists(np.atleast_2d(x1), np.atleast_2d(x2), self.lengthscales)
+        return self.from_scaled_sq_dists(sq)
+
+    @abstractmethod
+    def from_scaled_sq_dists(self, sq: np.ndarray) -> np.ndarray:
+        """The covariance matrix from precomputed scaled squared distances.
+
+        Lets callers that already hold the pairwise distances (e.g. a
+        factor extension that reuses a distance block) skip recomputing
+        them; ``__call__`` routes through this hook.
+        """
 
     def diag(self, x: np.ndarray) -> np.ndarray:
         """The diagonal of ``self(x, x)`` without building the full matrix."""
@@ -94,10 +105,20 @@ class Matern52(Kernel):
     rough enough for real performance surfaces; the paper's choice.
     """
 
-    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
-        sq = _scaled_sq_dists(np.atleast_2d(x1), np.atleast_2d(x2), self.lengthscales)
-        a = np.sqrt(5.0 * sq)
-        return self.variance * (1.0 + a + a**2 / 3.0) * np.exp(-a)
+    def from_scaled_sq_dists(self, sq: np.ndarray) -> np.ndarray:
+        # In-place form of ``v * (1 + a + a^2/3) * exp(-a)`` — identical
+        # IEEE operations and association order, fewer large temporaries.
+        t = 5.0 * sq
+        a = np.sqrt(t, out=t)
+        poly = 1.0 + a
+        third = a * a
+        third /= 3.0
+        poly += third
+        poly *= self.variance
+        np.negative(a, out=a)
+        np.exp(a, out=a)
+        poly *= a
+        return poly
 
 
 class RBF(Kernel):
@@ -106,6 +127,5 @@ class RBF(Kernel):
     Infinitely smooth; included for kernel ablations.
     """
 
-    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
-        sq = _scaled_sq_dists(np.atleast_2d(x1), np.atleast_2d(x2), self.lengthscales)
+    def from_scaled_sq_dists(self, sq: np.ndarray) -> np.ndarray:
         return self.variance * np.exp(-0.5 * sq)

@@ -19,8 +19,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.bayesopt.acquisition import expected_hypervolume_improvement
-from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.acquisition import (
+    ehvi_argmax,
+    expected_hypervolume_improvement,
+)
+from repro.bayesopt.gp import BatchPosterior, GaussianProcess
 from repro.bayesopt.hypervolume import hypervolume_2d, reference_from_observations
 from repro.bayesopt.kernels import Matern52
 from repro.bayesopt.pareto import pareto_mask
@@ -44,6 +47,18 @@ class MultiObjectiveBayesianOptimizer:
     reference_margin:
         Relative margin added to the observed-worst reference point so that
         boundary points keep positive hypervolume contribution.
+    warm_start:
+        Seed refits from the previous round's fitted hyperparameters
+        (lengthscales, signal and noise variance) instead of rebuilding
+        both GPs from the ``Matern52(0.5)`` prior.  Warm refits skip the
+        random L-BFGS-B restarts: the incumbent start is already near the
+        optimum, which is what makes repeated refits cheap.  The first fit
+        is always cold, so single-fit behavior is unchanged.
+    fast_path:
+        Use the O(n^2) rank-1 Cholesky extension and the cached candidate
+        posterior in :meth:`suggest` (see ``docs/kernel_fastpath.md``).
+        ``False`` restores the O(n^3)-per-pick refit loop — kept for the
+        equivalence tests and benchmarks.
     """
 
     def __init__(
@@ -53,17 +68,30 @@ class MultiObjectiveBayesianOptimizer:
         seed: int = 0,
         fit_restarts: int = 2,
         reference_margin: float = 0.05,
+        warm_start: bool = True,
+        fast_path: bool = True,
     ) -> None:
         self.space = space
         self._rng = np.random.default_rng(seed)
         self.fit_restarts = fit_restarts
         self.reference_margin = reference_margin
+        self.warm_start = warm_start
+        self.fast_path = fast_path
         self._observations: dict[DvfsConfiguration, tuple[float, float]] = {}
         self._gp_latency: Optional[GaussianProcess] = None
         self._gp_energy: Optional[GaussianProcess] = None
         self._reference: Optional[np.ndarray] = None
         self._fit_count = 0
         self._last_max_ehvi: Optional[float] = None
+        self._suggest_cache: Optional[
+            tuple[
+                tuple[int, int, int],
+                list[DvfsConfiguration],
+                np.ndarray,
+                BatchPosterior,
+                BatchPosterior,
+            ]
+        ] = None
 
     # -- observations -----------------------------------------------------
 
@@ -146,15 +174,36 @@ class MultiObjectiveBayesianOptimizer:
                 f"need at least 2 observations to fit the surrogates, have {len(configs)}"
             )
         x = self.space.normalize_many(configs)
+        prev_latency, prev_energy = self._gp_latency, self._gp_energy
+        warm = self.warm_start and prev_latency is not None and prev_energy is not None
         with obs.timer("mbo.gp_fit_seconds") as span:
-            self._gp_latency = GaussianProcess(Matern52(np.full(3, 0.5)))
-            self._gp_energy = GaussianProcess(Matern52(np.full(3, 0.5)))
+            if self.warm_start and prev_latency is not None and prev_energy is not None:
+                # Reuse the previous round's fitted hyperparameters as the
+                # L-BFGS-B incumbent and skip the random restarts — the
+                # surface moved by one batch of observations, not far.
+                gp_latency = GaussianProcess(
+                    prev_latency.kernel.clone(),
+                    noise_variance=prev_latency.noise_variance,
+                )
+                gp_energy = GaussianProcess(
+                    prev_energy.kernel.clone(),
+                    noise_variance=prev_energy.noise_variance,
+                )
+                restarts = 0
+            else:
+                gp_latency = GaussianProcess(Matern52(np.full(3, 0.5)))
+                gp_energy = GaussianProcess(Matern52(np.full(3, 0.5)))
+                restarts = self.fit_restarts
+            self._gp_latency = gp_latency
+            self._gp_energy = gp_energy
             self._gp_latency.fit(x, values[:, 0])
             self._gp_energy.fit(x, values[:, 1])
             if optimize_hyperparameters:
-                self._gp_latency.optimize_hyperparameters(self._rng, n_restarts=self.fit_restarts)
-                self._gp_energy.optimize_hyperparameters(self._rng, n_restarts=self.fit_restarts)
+                self._gp_latency.optimize_hyperparameters(self._rng, n_restarts=restarts)
+                self._gp_energy.optimize_hyperparameters(self._rng, n_restarts=restarts)
         self._fit_count += 1
+        if warm and obs.enabled():
+            obs.count("mbo.warm_fits")
         if obs.enabled():
             obs.count("mbo.gp_fits")
             obs.emit(
@@ -195,43 +244,125 @@ class MultiObjectiveBayesianOptimizer:
             raise OptimizationError(f"batch_size must be >= 1, got {batch_size}")
         if self._gp_latency is None or self._gp_energy is None:
             raise NotFittedError("call fit() before suggest()")
-        skip = set(self._observations)
-        if exclude:
-            skip.update(exclude)
-        candidates = [c for c in self.space.all_configurations() if c not in skip]
+        gp_l, gp_e = self._gp_latency, self._gp_energy
+        fast = self.fast_path
+        # The candidate set and the base posteriors are pure functions of
+        # (fitted GPs, observation set), so repeated suggests against an
+        # unchanged optimizer reuse them.  Any refit bumps ``fit_count``
+        # and any new observation changes ``n_observations``, so staleness
+        # is impossible; ``exclude`` bypasses the cache entirely.
+        cached = self._suggest_cache if fast and not exclude else None
+        candidates: Optional[list[DvfsConfiguration]] = None
+        post_l: Optional[BatchPosterior] = None
+        post_e: Optional[BatchPosterior] = None
+        if cached is not None:
+            key, candidates, candidate_x, post_l, post_e = cached
+            if key[:2] != (self._fit_count, self.n_observations) or key[2] < batch_size:
+                candidates = post_l = post_e = None
+        if candidates is None:
+            skip = set(self._observations)
+            if exclude:
+                skip.update(exclude)
+            candidates = [c for c in self.space.all_configurations() if c not in skip]
+            if not candidates:
+                return []
+            candidate_x = self.space.normalize_many(candidates)
         if not candidates:
             return []
-        candidate_x = self.space.normalize_many(candidates)
         reference = self.reference_point()
 
-        gp_l, gp_e = self._gp_latency, self._gp_energy
         _, observed = self.objectives_matrix()
         front = observed[pareto_mask(observed)]
+
+        n_picks = min(batch_size, len(candidates))
+        if fast and post_l is None:
+            # Cache k(X, C) and L^-1 k(X, C) over the full candidate set
+            # once; each fantasy pick extends them by a single row instead
+            # of rebuilding the O(n^2 m) substitution from scratch.  The
+            # capacity preallocates one buffer row per upcoming fantasy.
+            post_l = BatchPosterior(gp_l, candidate_x, capacity=n_picks)
+            post_e = BatchPosterior(gp_e, candidate_x, capacity=n_picks)
+            if not exclude:
+                self._suggest_cache = (
+                    (self._fit_count, self.n_observations, n_picks),
+                    candidates,
+                    candidate_x,
+                    post_l,
+                    post_e,
+                )
 
         picks: list[DvfsConfiguration] = []
         active = np.ones(len(candidates), dtype=bool)
         max_ehvi_first = None
         ehvi_evaluations = 0
-        for _ in range(min(batch_size, len(candidates))):
-            idx_active = np.flatnonzero(active)
-            x_active = candidate_x[idx_active]
-            mean_l, var_l = gp_l.predict(x_active)
-            mean_e, var_e = gp_e.predict(x_active)
-            mean = np.stack([mean_l, mean_e], axis=1)
-            var = np.stack([var_l, var_e], axis=1)
-            ehvi = expected_hypervolume_improvement(mean, var, front, reference)
-            ehvi_evaluations += int(ehvi.size)
-            best_local = int(np.argmax(ehvi))
+        n_active = len(candidates)
+        for _ in range(n_picks):
+            if fast and post_l is not None and post_e is not None:
+                # Work in global candidate indices: the cached posteriors
+                # cover every candidate, and ehvi_argmax masks out the
+                # already-picked rows — no per-pick array compaction.
+                mean_l, var_l = post_l.predict()
+                mean_e, var_e = post_e.predict()
+                mean = np.stack([mean_l, mean_e], axis=1)
+                var = np.stack([var_l, var_e], axis=1)
+                best, best_ehvi = ehvi_argmax(
+                    mean, var, front, reference, active=active
+                )
+            else:
+                idx_active = np.flatnonzero(active)
+                x_active = candidate_x[idx_active]
+                mean_l, var_l = gp_l.predict(x_active)
+                mean_e, var_e = gp_e.predict(x_active)
+                mean = np.stack([mean_l, mean_e], axis=1)
+                var = np.stack([var_l, var_e], axis=1)
+                ehvi = expected_hypervolume_improvement(mean, var, front, reference)
+                best_local = int(np.argmax(ehvi))
+                best_ehvi = float(ehvi[best_local])
+                best = int(idx_active[best_local])
+            ehvi_evaluations += n_active
             if max_ehvi_first is None:
-                max_ehvi_first = float(ehvi[best_local])
-            best = idx_active[best_local]
+                max_ehvi_first = best_ehvi
+            if best_ehvi <= 0.0:
+                # Surrogate saturated: no candidate improves the fantasy
+                # front anywhere.  Every further iteration would fantasize
+                # another zero-EHVI argmax — deterministically the first
+                # active candidate — so emit the remaining picks directly
+                # instead of paying two GP updates per pick for nothing.
+                remaining = np.flatnonzero(active)[: n_picks - len(picks)]
+                picks.extend(candidates[int(i)] for i in remaining)
+                if obs.enabled():
+                    obs.count("mbo.suggest_short_circuits")
+                break
             picks.append(candidates[best])
             active[best] = False
+            n_active -= 1
             # Kriging believer: pretend the pick returned its posterior mean.
             fantasy_x = candidate_x[best : best + 1]
-            gp_l = gp_l.conditioned_on(fantasy_x, mean_l[best_local : best_local + 1])
-            gp_e = gp_e.conditioned_on(fantasy_x, mean_e[best_local : best_local + 1])
-            front = np.vstack([front, mean[best_local]])
+            if fast and post_l is not None and post_e is not None:
+                # The fantasy point is a candidate: its cross-kernel
+                # forward substitution is already a cached column.
+                fantasy_row = best
+                gp_l = gp_l.conditioned_on(
+                    fantasy_x,
+                    mean_l[fantasy_row : fantasy_row + 1],
+                    l21=post_l.cross_column(best),
+                )
+                gp_e = gp_e.conditioned_on(
+                    fantasy_x,
+                    mean_e[fantasy_row : fantasy_row + 1],
+                    l21=post_e.cross_column(best),
+                )
+                post_l = post_l.extended(gp_l)
+                post_e = post_e.extended(gp_e)
+                front = np.vstack([front, mean[fantasy_row]])
+            else:
+                gp_l = gp_l.conditioned_on(
+                    fantasy_x, mean_l[best_local : best_local + 1], fast=fast
+                )
+                gp_e = gp_e.conditioned_on(
+                    fantasy_x, mean_e[best_local : best_local + 1], fast=fast
+                )
+                front = np.vstack([front, mean[best_local]])
         self._last_max_ehvi = max_ehvi_first
         if obs.enabled():
             obs.count("mbo.ehvi_evaluations", ehvi_evaluations)

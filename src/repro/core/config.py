@@ -39,6 +39,11 @@ class BoFLConfig:
     max_batch_size: int = 10
     #: Random restarts per GP hyperparameter fit.
     fit_restarts: int = 2
+    #: Warm-start GP refits from the previous round's fitted
+    #: hyperparameters (restart-free) instead of re-searching from the
+    #: Matern52(0.5) prior every round.  Disable to force cold refits —
+    #: cheaper surrogate quality, but the legacy per-round cost.
+    warm_start_fits: bool = True
     #: Relative deadline headroom the exploitation planner reserves for
     #: measurement noise and DVFS switch latency.
     safety_margin: float = 0.02

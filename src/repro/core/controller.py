@@ -106,7 +106,10 @@ class BoFLController(PaceController):
             self.config.safety_margin, exact=self.config.exploit_mixture
         )
         self.optimizer = MultiObjectiveBayesianOptimizer(
-            space, seed=self.config.seed, fit_restarts=self.config.fit_restarts
+            space,
+            seed=self.config.seed,
+            fit_restarts=self.config.fit_restarts,
+            warm_start=self.config.warm_start_fits,
         )
         self.stopping = StoppingCondition(
             self.config.min_explored(len(space)),
@@ -520,7 +523,10 @@ class BoFLController(PaceController):
         space = self.device.space
         self.store = ObservationStore()
         self.optimizer = MultiObjectiveBayesianOptimizer(
-            space, seed=episode_seed, fit_restarts=self.config.fit_restarts
+            space,
+            seed=episode_seed,
+            fit_restarts=self.config.fit_restarts,
+            warm_start=self.config.warm_start_fits,
         )
         self.stopping = StoppingCondition(
             self.config.min_explored(len(space)),

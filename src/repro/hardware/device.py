@@ -184,10 +184,16 @@ class SimulatedDevice:
         observable through the meter, with sensor noise).
         """
         config = self.dvfs.current
-        true_latency = self.model.latency(config)
-        true_energy = self.model.energy(config)
-        busy = self.model.busy_times(config)
-        self._last_utilization = tuple(t / true_latency for t in busy)
+        # One flat-index lookup into the shared objective tensor replaces
+        # three scalar surface evaluations on the per-minibatch hot path.
+        index = self.space.flat_index_of(config)
+        true_latency, true_energy = self.model.objectives_at(index)
+        busy = self.model.busy_times_at(index)
+        self._last_utilization = (
+            busy[0] / true_latency,
+            busy[1] / true_latency,
+            busy[2] / true_latency,
+        )
         if self.thermal is not None:
             # Throttling stretches the job at (approximately) constant
             # power, so latency and energy inflate together.
@@ -198,7 +204,7 @@ class SimulatedDevice:
             true_latency *= self.fault_overlay.latency_factor
             true_energy *= self.fault_overlay.energy_factor
         self._jobs_executed += 1
-        key = [self.space.flat_index_of(config), self._jobs_executed]
+        key = [index, self._jobs_executed]
         actual_latency, actual_energy = self.noise.perturb_job(
             key, true_latency, true_energy
         )

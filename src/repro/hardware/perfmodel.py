@@ -40,6 +40,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.hardware.devices import DeviceSpec
 from repro.hardware.power import DevicePowerModel, UnitPowerModel
+from repro.obs import runtime as obs
 from repro.types import (
     DvfsConfiguration,
     Joules,
@@ -101,6 +102,39 @@ class CalibrationTarget:
         _require_simplex("dynamic_split", self.dynamic_split)
         require_fraction("serial_fraction", self.serial_fraction)
         require_fraction("overhead_fraction", self.overhead_fraction)
+
+
+@dataclass(frozen=True, eq=False)
+class ObjectiveTensor:
+    """Whole-space precomputed surfaces for one calibrated (device, workload).
+
+    All three arrays are aligned with
+    ``device.space.all_configurations()`` and marked read-only: the tensor
+    is shared across every simulated device with the same calibration (the
+    fleet layer instantiates thousands of devices from a handful of
+    archetypes), so per-job evaluation becomes one array lookup.
+    """
+
+    #: ``(n,)`` noise-free per-job latency ``T(x)`` in seconds.
+    latencies: np.ndarray
+    #: ``(n,)`` noise-free per-job energy ``E(x)`` in Joules.
+    energies: np.ndarray
+    #: ``(n, 3)`` per-unit (cpu, gpu, mem) busy seconds.
+    busy_times: np.ndarray
+
+
+#: Process-wide tensor cache.  Keys are built from the *values* that
+#: determine the surface (calibration target, frequency tables, power
+#: rails) rather than object identity, so two models calibrated the same
+#: way — e.g. every AGX-class client running ViT — share one tensor.
+#: Recalibrating means constructing a new model with a new target, which
+#: is a different key; there is no in-place invalidation to miss.
+_TENSOR_CACHE: dict[object, ObjectiveTensor] = {}
+
+
+def clear_objective_tensor_cache() -> None:
+    """Drop every cached objective tensor (tests and memory pressure)."""
+    _TENSOR_CACHE.clear()
 
 
 class AnalyticPerformanceModel:
@@ -216,10 +250,69 @@ class AnalyticPerformanceModel:
         """Exhaustively profile the whole space (the Oracle's offline pass).
 
         Returns ``(latencies, energies)`` aligned with
-        ``device.space.all_configurations()``.
+        ``device.space.all_configurations()``.  Served from the shared
+        objective tensor; the arrays are read-only.
         """
+        tensor = self.objective_tensor()
+        return tensor.latencies, tensor.energies
+
+    # -- whole-space tensor (shared across same-calibration models) --------
+
+    def _tensor_key(self) -> tuple[object, ...]:
+        """The value-equality cache key for this model's surface."""
+        device = self.device
+        return (
+            device.name,
+            tuple(table.frequencies for table in device.space.tables),
+            device.static_watts,
+            device.idle_watts,
+            device.waiting_fractions,
+            (device.cpu_voltage, device.gpu_voltage, device.mem_voltage),
+            self.target,
+        )
+
+    def objective_tensor(self) -> ObjectiveTensor:
+        """The whole-space ``T(x)``/``E(x)``/busy-time tensor, cached.
+
+        Built once per distinct calibration (O(|X|) vectorized math),
+        then shared by every model — and therefore every simulated
+        device — with the same key.  The arrays are exactly what
+        ``latency_array``/``energy_array`` return for the full space.
+        """
+        key = self._tensor_key()
+        cached = _TENSOR_CACHE.get(key)
+        if cached is not None:
+            return cached
         freqs = self.device.space.as_array()
-        return self.latency_array(freqs), self.energy_array(freqs)
+        latencies = self.latency_array(freqs)
+        energies = np.asarray(self.energy_array(freqs), dtype=float)
+        busy_times = self._work[None, :] / freqs
+        for array in (latencies, energies, busy_times):
+            array.setflags(write=False)
+        tensor = ObjectiveTensor(latencies, energies, busy_times)
+        _TENSOR_CACHE[key] = tensor
+        if obs.enabled():
+            obs.count("perfmodel.tensor_builds")
+        return tensor
+
+    def objectives_many(
+        self, configs: Sequence[DvfsConfiguration]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``(T, E)`` over in-space configurations, via the tensor."""
+        tensor = self.objective_tensor()
+        space = self.device.space
+        indices = np.array([space.flat_index_of(c) for c in configs], dtype=int)
+        return tensor.latencies[indices], tensor.energies[indices]
+
+    def objectives_at(self, index: int) -> tuple[Seconds, Joules]:
+        """``(T, E)`` at a flat space index (see ``flat_index_of``)."""
+        tensor = self.objective_tensor()
+        return float(tensor.latencies[index]), float(tensor.energies[index])
+
+    def busy_times_at(self, index: int) -> tuple[float, float, float]:
+        """Per-unit busy seconds at a flat space index."""
+        times = self.objective_tensor().busy_times[index]
+        return (float(times[0]), float(times[1]), float(times[2]))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

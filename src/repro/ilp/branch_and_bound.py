@@ -104,7 +104,10 @@ def solve_milp(
                 lp.with_bound(frac, upper=math.floor(value)),
                 lp.with_bound(frac, lower=math.ceil(value)),
             ):
-                child_sol = solve_lp(child)
+                # Seed the child's simplex from the parent's optimal basis:
+                # the child differs by one appended bound row, so the dual
+                # simplex usually reoptimizes in a handful of pivots.
+                child_sol = solve_lp(child, warm_start=relaxed.basis)
                 if child_sol.status is SolutionStatus.OPTIMAL:
                     if child_sol.objective < prune_threshold():
                         heapq.heappush(

@@ -31,6 +31,23 @@ class SolutionStatus(enum.Enum):
 
 
 @dataclass(frozen=True)
+class SimplexBasis:
+    """An optimal simplex basis, for warm-starting closely related solves.
+
+    ``columns[i]`` is the basic column of constraint row ``i`` in the
+    solver's stacked row order (inequality rows first, then equalities):
+    structural variables are ``< n_vars``, slack of inequality row ``j``
+    is ``n_vars + j``.  ``n_ub_rows`` records how many inequality rows
+    (including expanded per-variable upper bounds) the producing solve
+    had, so a consumer can detect that exactly one branching row was
+    appended and remap the slack indices.
+    """
+
+    columns: tuple[int, ...]
+    n_ub_rows: int
+
+
+@dataclass(frozen=True)
 class Solution:
     """Result of an LP or MILP solve."""
 
@@ -39,6 +56,9 @@ class Solution:
     objective: Optional[float] = None
     #: Branch-and-bound node count (MILP) or simplex pivots (LP).
     work: int = 0
+    #: The optimal basis of an LP solve (when cleanly extractable);
+    #: branch-and-bound seeds child solves from the parent's basis.
+    basis: Optional[SimplexBasis] = None
 
     @property
     def is_optimal(self) -> bool:

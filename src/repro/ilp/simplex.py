@@ -17,13 +17,28 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import SolverError
-from repro.ilp.model import LinearProgram, Solution, SolutionStatus
+from repro.ilp.model import LinearProgram, SimplexBasis, Solution, SolutionStatus
+from repro.obs import runtime as obs
 
 _EPS = 1e-9
+#: Feasibility/optimality verification tolerance for warm-started solves.
+_FEAS_TOL = 1e-7
 
 
-def solve_lp(problem: LinearProgram, max_pivots: int = 10_000) -> Solution:
-    """Solve a linear program with the two-phase primal simplex method."""
+def solve_lp(
+    problem: LinearProgram,
+    max_pivots: int = 10_000,
+    warm_start: Optional[SimplexBasis] = None,
+) -> Solution:
+    """Solve a linear program with the two-phase primal simplex method.
+
+    ``warm_start`` may carry the optimal basis of a *parent* problem that
+    differs from this one by exactly one inequality row appended at the
+    end of its original ``a_ub`` (the branch-and-bound child shape); the
+    solve is then seeded by dual simplex from that basis, skipping both
+    phases.  Any structural mismatch or numerical doubt falls back to the
+    cold two-phase path, so the result is always the cold result.
+    """
     c = problem.c
     a_ub, b_ub = problem.a_ub, problem.b_ub
     if problem.upper_bounds is not None:
@@ -32,6 +47,14 @@ def solve_lp(problem: LinearProgram, max_pivots: int = 10_000) -> Solution:
             rows = np.eye(problem.n_vars)[finite]
             a_ub = np.vstack([a_ub, rows]) if a_ub.size else rows
             b_ub = np.concatenate([b_ub, problem.upper_bounds[finite]])
+    if warm_start is not None:
+        if obs.enabled():
+            obs.count("ilp.lp_warm_attempts")
+        warm = _warm_solve(problem, c, a_ub, b_ub, warm_start, max_pivots)
+        if warm is not None:
+            if obs.enabled():
+                obs.count("ilp.lp_warm_hits")
+            return warm
     tableau, basis, n_structural, n_slack = _build_phase1(
         c, a_ub, b_ub, problem.a_eq, problem.b_eq
     )
@@ -75,6 +98,122 @@ def solve_lp(problem: LinearProgram, max_pivots: int = 10_000) -> Solution:
         x=solution,
         objective=float(c @ solution),
         work=pivots,
+        basis=_extract_basis(basis, n_structural, n_slack),
+    )
+
+
+def _extract_basis(
+    basis: list[Optional[int]], n_structural: int, n_slack: int
+) -> Optional[SimplexBasis]:
+    """Record the final basis, or ``None`` if it is not cleanly reusable.
+
+    A basis still holding an artificial column (redundant constraint row)
+    or an unassigned row is skipped: warm starts must never inherit
+    phase-1 bookkeeping.
+    """
+    columns = []
+    for var in basis:
+        if var is None or var >= n_structural + n_slack:
+            return None
+        columns.append(int(var))
+    return SimplexBasis(columns=tuple(columns), n_ub_rows=n_slack)
+
+
+def _warm_solve(
+    problem: LinearProgram,
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    warm: SimplexBasis,
+    max_pivots: int,
+) -> Optional[Solution]:
+    """Dual-simplex solve seeded from a parent basis; ``None`` = fall back.
+
+    The parent's optimal basis stays *dual* feasible after one inequality
+    row is appended (the objective did not change), while the appended
+    row's own slack completes it to a full basis that may be primal
+    infeasible — exactly the dual simplex starting point.  The final
+    solution is verified against the problem's constraints before being
+    returned; every doubt (singular rebuild, lost dual feasibility, pivot
+    budget, infeasibility signal) returns ``None`` so the cold two-phase
+    path decides.
+    """
+    n = c.size
+    a_eq, b_eq = problem.a_eq, problem.b_eq
+    m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
+    m = m_ub + m_eq
+    # The branch row is the last row of the *unexpanded* a_ub; expanded
+    # upper-bound rows follow it, in the same order as in the parent.
+    k = problem.a_ub.shape[0] - 1 if problem.a_ub is not None else -1
+    if k < 0 or warm.n_ub_rows != m_ub - 1 or len(warm.columns) != m - 1:
+        return None
+
+    def remap(var: int) -> int:
+        if var < n:
+            return var
+        slack = var - n
+        return n + slack if slack < k else n + slack + 1
+
+    columns = [remap(v) for v in warm.columns[:k]]
+    columns.append(n + k)  # the branch row starts basic in its own slack
+    columns.extend(remap(v) for v in warm.columns[k:])
+
+    a = np.vstack([a_ub, a_eq]) if m else np.zeros((0, n))
+    b = np.concatenate([b_ub, b_eq])
+    tableau = np.zeros((m + 1, n + m_ub + 1))
+    tableau[:m, :n] = a
+    for i in range(m_ub):
+        tableau[i, n + i] = 1.0
+    tableau[:m, -1] = b
+    tableau[-1, :n] = c
+    basis: list[Optional[int]] = list(columns)
+    for row, var in enumerate(columns):
+        if abs(tableau[row, var]) < _EPS:
+            return None  # proposed basis is (numerically) singular here
+        _pivot(tableau, row, var)
+    if np.any(tableau[-1, :-1] < -_FEAS_TOL):
+        return None  # dual feasibility lost; cold primal handles it
+
+    pivots = 0
+    while pivots < max_pivots:
+        rhs = tableau[:m, -1]
+        leaving = int(np.argmin(rhs))
+        if rhs[leaving] >= -_EPS:
+            break
+        row_vals = tableau[leaving, :-1]
+        negative = np.flatnonzero(row_vals < -_EPS)
+        if negative.size == 0:
+            return None  # dual unbounded => primal infeasible; let cold confirm
+        ratios = np.full(row_vals.size, np.inf)
+        ratios[negative] = tableau[-1, negative] / -row_vals[negative]
+        entering = int(np.argmin(ratios))
+        _pivot(tableau, leaving, entering)
+        basis[leaving] = entering
+        pivots += 1
+    else:
+        return None
+
+    status, extra = _iterate(tableau, basis, max_pivots)
+    pivots += extra
+    if status is not SolutionStatus.OPTIMAL:
+        return None
+    x = np.zeros(n + m_ub)
+    for row, var in enumerate(basis):
+        if var is not None:
+            x[var] = tableau[row, -1]
+    solution = x[:n]
+    if np.any(solution < -_FEAS_TOL):
+        return None
+    if a_ub.size and np.any(a_ub @ solution - b_ub > _FEAS_TOL):
+        return None
+    if a_eq.size and np.any(np.abs(a_eq @ solution - b_eq) > _FEAS_TOL):
+        return None
+    return Solution(
+        status=SolutionStatus.OPTIMAL,
+        x=solution,
+        objective=float(c @ solution),
+        work=pivots,
+        basis=_extract_basis(basis, n, m_ub),
     )
 
 

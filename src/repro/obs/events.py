@@ -46,6 +46,7 @@ EVENT_KINDS = frozenset(
         "mbo.run",
         "mbo.fit",
         "mbo.suggest",
+        "mbo.jitter_escalated",
         "guardian.decision",
         "ilp.solve",
         "executor.cell",

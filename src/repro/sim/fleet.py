@@ -260,6 +260,22 @@ def campaign_spec_for(client: FleetClient, spec: FleetSpec) -> CampaignSpec:
     )
 
 
+def _warm_objective_tensors(specs: list[CampaignSpec]) -> None:
+    """Precompute the objective tensor of every unique (device, task) pair.
+
+    A fleet instantiates thousands of clients from a handful of
+    archetypes; warming here means each calibration's O(|X|) surface is
+    built exactly once in the parent process (forked workers inherit the
+    cache) instead of lazily inside every campaign.
+    """
+    from repro.hardware.devices import get_device
+    from repro.sim.runner import _task_by_name
+
+    for device_name, task_name in sorted({(s.device, s.task) for s in specs}):
+        task = _task_by_name(task_name)
+        task.workload.performance_model(get_device(device_name)).objective_tensor()
+
+
 def prepare_fleet(
     spec: FleetSpec,
     *,
@@ -279,6 +295,7 @@ def prepare_fleet(
     """
     clients = build_fleet_clients(spec)
     specs = [campaign_spec_for(client, spec) for client in clients]
+    _warm_objective_tensors(specs)
     executor = CampaignExecutor(workers=workers, cache=cache, progress=progress)
     report = executor.run(specs, use_cache=use_cache)
     for client, result in zip(clients, report.results):

@@ -307,6 +307,18 @@ class TestObsEventKind:
         })
         assert run_lint(root, select=["obs-event-kind"]).ok
 
+    def test_mbo_fastpath_kinds_registered(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/bayesopt/loop.py": """\
+                from repro import obs
+
+                def tick(t):
+                    obs.emit("mbo.jitter_escalated", t, where="refactorize",
+                             size=60, jitter=1e-4, retries=1)
+            """,
+        })
+        assert run_lint(root, select=["obs-event-kind"]).ok
+
     def test_misspelled_fault_kind_flagged(self, tmp_path):
         root = make_repo(tmp_path, {
             "src/repro/faults/loop.py": """\

@@ -118,3 +118,55 @@ class TestSurfaceStructure:
         for config in tiny_spec.space.all_configurations()[::7]:
             latency = model.latency(config)
             assert all(t <= latency + 1e-12 for t in model.busy_times(config))
+
+
+class TestObjectiveTensor:
+    """The whole-space tensor must agree with scalar evaluation and be shared."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        from repro.hardware.perfmodel import clear_objective_tensor_cache
+
+        clear_objective_tensor_cache()
+        yield
+        clear_objective_tensor_cache()
+
+    def test_tensor_matches_scalar_objectives(self, tiny_spec, tiny_workload):
+        model = tiny_workload.performance_model(tiny_spec)
+        tensor = model.objective_tensor()
+        for config in tiny_spec.space.all_configurations():
+            index = tiny_spec.space.flat_index_of(config)
+            assert tensor.latencies[index] == model.latency(config)
+            assert tensor.energies[index] == model.energy(config)
+            assert tuple(tensor.busy_times[index]) == model.busy_times(config)
+
+    def test_objectives_at_uses_the_tensor(self, tiny_spec, tiny_workload):
+        model = tiny_workload.performance_model(tiny_spec)
+        config = tiny_spec.space.all_configurations()[3]
+        index = tiny_spec.space.flat_index_of(config)
+        assert model.objectives_at(index) == model.objectives(config)
+        assert model.busy_times_at(index) == model.busy_times(config)
+
+    def test_identically_calibrated_models_share_one_tensor(
+        self, tiny_spec, tiny_workload
+    ):
+        first = tiny_workload.performance_model(tiny_spec)
+        second = tiny_workload.performance_model(tiny_spec)
+        assert first is not second
+        assert first.objective_tensor() is second.objective_tensor()
+
+    def test_tensor_arrays_are_read_only(self, tiny_spec, tiny_workload):
+        tensor = tiny_workload.performance_model(tiny_spec).objective_tensor()
+        for array in (tensor.latencies, tensor.energies, tensor.busy_times):
+            with pytest.raises(ValueError):
+                array[0] = 0.0
+
+    def test_cache_clear_forces_rebuild(self, tiny_spec, tiny_workload):
+        from repro.hardware.perfmodel import clear_objective_tensor_cache
+
+        model = tiny_workload.performance_model(tiny_spec)
+        before = model.objective_tensor()
+        clear_objective_tensor_cache()
+        after = model.objective_tensor()
+        assert before is not after
+        np.testing.assert_array_equal(before.latencies, after.latencies)

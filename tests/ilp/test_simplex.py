@@ -133,3 +133,78 @@ class TestModelValidation:
     def test_with_bound_requires_a_bound(self):
         with pytest.raises(ConfigurationError):
             LinearProgram(c=[1.0]).with_bound(0)
+
+
+class TestWarmStart:
+    """Dual-simplex warm starts must reproduce the cold two-phase result."""
+
+    def parent(self):
+        return LinearProgram(
+            c=[-3.0, -5.0],
+            a_ub=[[1.0, 0.0], [0.0, 2.0], [3.0, 2.0]],
+            b_ub=[4.0, 12.0, 18.0],
+        )
+
+    def test_optimal_solve_exposes_a_basis(self):
+        sol = solve_lp(self.parent())
+        assert sol.basis is not None
+        assert sol.basis.n_ub_rows == 3
+        assert len(sol.basis.columns) == 3
+        # only structural and slack columns, never phase-1 artificials
+        assert all(var < 2 + 3 for var in sol.basis.columns)
+
+    def test_warm_child_matches_cold_child(self):
+        parent = self.parent()
+        warm_basis = solve_lp(parent).basis
+        child = parent.with_bound(0, upper=1.0)
+        cold = solve_lp(child)
+        warm = solve_lp(child, warm_start=warm_basis)
+        assert warm.is_optimal and cold.is_optimal
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+        assert warm.x == pytest.approx(cold.x, abs=1e-9)
+
+    def test_warm_start_counts_hits(self):
+        from repro.obs import runtime as obs
+
+        parent = self.parent()
+        warm_basis = solve_lp(parent).basis
+        child = parent.with_bound(0, upper=1.0)
+        with obs.session() as session:
+            solve_lp(child, warm_start=warm_basis)
+        assert session.metrics.counter("ilp.lp_warm_attempts") == 1
+        assert session.metrics.counter("ilp.lp_warm_hits") == 1
+
+    def test_mismatched_basis_falls_back_to_cold(self):
+        from repro.ilp.model import SimplexBasis
+
+        child = self.parent().with_bound(0, upper=1.0)
+        bogus = SimplexBasis(columns=(0,), n_ub_rows=0)
+        sol = solve_lp(child, warm_start=bogus)
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(solve_lp(child).objective, abs=1e-9)
+
+    @pytest.mark.parametrize("trial", range(25))
+    def test_random_branching_children_match_cold(self, trial):
+        rng = np.random.default_rng(1000 + trial)
+        n, m = 4, 3
+        lp = LinearProgram(
+            c=rng.uniform(-1.0, 1.0, size=n),
+            a_ub=rng.uniform(0.1, 1.0, size=(m, n)),
+            b_ub=rng.uniform(1.0, 4.0, size=m),
+            upper_bounds=np.full(n, 3.0),
+        )
+        parent = solve_lp(lp)
+        assert parent.is_optimal
+        if parent.basis is None:
+            pytest.skip("degenerate parent basis not extractable")
+        var = int(rng.integers(0, n))
+        value = parent.x[var]
+        for child in (
+            lp.with_bound(var, upper=np.floor(value)),
+            lp.with_bound(var, lower=np.ceil(value)),
+        ):
+            cold = solve_lp(child)
+            warm = solve_lp(child, warm_start=parent.basis)
+            assert warm.status is cold.status
+            if cold.is_optimal:
+                assert warm.objective == pytest.approx(cold.objective, abs=1e-7)
