@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine subcommands:
+Eleven subcommands:
 
 * ``list`` — enumerate the reproducible paper artifacts;
 * ``run <experiment>`` — regenerate one table/figure and print its rows
@@ -16,6 +16,12 @@ Nine subcommands:
   client population (traces shard over ``--workers``) and compose it
   under sync / semi-sync / async aggregation, or summarize a recorded
   fleet trace (``docs/async_federation.md``);
+* ``serve`` — answer a JSONL stream of pace-decision requests through
+  the long-running decision service and print the canonical decision log
+  (``docs/pace_decision_service.md``);
+* ``loadtest`` — replay a deterministic fleet trace as decision traffic
+  and report p50/p99 latency, throughput, cache hit rate and coalescing
+  (e.g. ``python -m repro loadtest --clients 60 --passes 2``);
 * ``cache`` — inspect or clear the persistent campaign result cache;
 * ``trace`` — replay a recorded observability trace (``campaign
   --trace out.jsonl`` records one) as a summary or as the trace-derived
@@ -40,6 +46,7 @@ from typing import Optional
 from repro import obs
 from repro._version import __version__
 from repro.analysis.tables import render_kv
+from repro.errors import ConfigurationError
 from repro.experiments import EXPERIMENTS, get_experiment, warm_experiment_cache
 from repro.federated.async_engine import FLEET_MODES
 from repro.sim import (
@@ -57,6 +64,13 @@ from repro.sim import (
     run_campaign,
     run_chaos,
     sweep_campaign,
+)
+from repro.service import (
+    DecisionRequest,
+    PaceDecisionService,
+    ServiceConfig,
+    run_loadtest,
+    service_report_from_trace,
 )
 from repro.sim.fleet import fleet_report_from_trace
 from repro.sim.executor import CampaignTiming, ProgressCallback
@@ -109,6 +123,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", type=int, nargs="+", default=[0, 1, 2], metavar="SEED"
     )
     _add_parallel_options(sweep)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the pace-decision service over a JSONL request stream "
+        "(see docs/pace_decision_service.md)",
+    )
+    serve.add_argument(
+        "file", nargs="?", default=None,
+        help="JSONL file of DecisionRequest objects (default: stdin)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=200.0, metavar="RPS",
+        help="simulated arrival rate for the stream (default 200 req/s)",
+    )
+    _add_service_options(serve)
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a deterministic obs trace of the service to PATH (JSONL)",
+    )
+
+    loadtest = commands.add_parser(
+        "loadtest",
+        help="deterministic service load test: replay a fleet trace as "
+        "decision traffic and report p50/p99 latency",
+    )
+    loadtest.add_argument("--clients", type=int, default=60, metavar="N")
+    loadtest.add_argument("--rounds", type=int, default=3)
+    loadtest.add_argument(
+        "--passes", type=int, default=2,
+        help="replay the same trace this many times (pass 2+ measures a "
+        "warm cache; default 2)",
+    )
+    loadtest.add_argument("--rate", type=float, default=200.0, metavar="RPS")
+    loadtest.add_argument("--ratio", type=float, default=2.0)
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument(
+        "--archetypes", type=int, default=12, metavar="K",
+        help="pool clients onto K archetypes (0 = all distinct)",
+    )
+    _add_service_options(loadtest)
+    loadtest.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the full JSON report to PATH",
+    )
+    loadtest.add_argument(
+        "--decision-log", default=None, metavar="PATH",
+        help="write the canonical decision log (byte-stable JSONL) to PATH",
+    )
+    loadtest.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a deterministic obs trace of the replay to PATH (JSONL)",
+    )
+    loadtest.add_argument(
+        "--from-trace", default=None, metavar="PATH",
+        help="skip the replay: recompute the summary from a recorded trace",
+    )
 
     cache = commands.add_parser("cache", help="persistent result cache maintenance")
     cache.add_argument("action", choices=("stats", "clear"))
@@ -248,6 +318,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_service_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--timeout", type=float, default=0.25, metavar="S",
+        help="simulated decision deadline before the degraded path answers "
+        "(default 0.25 s)",
+    )
+    subparser.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="bounded request queue depth (default 256)",
+    )
+    subparser.add_argument(
+        "--cache-entries", type=int, default=2048, metavar="N",
+        help="decision cache capacity (default 2048)",
+    )
+
+
 def _add_parallel_options(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--workers", type=int, default=1, metavar="N",
@@ -376,6 +462,92 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         ("workers", executor.workers),
     ]
     return render_kv(pairs, title="Sweep summary")
+
+
+def _service_config(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        max_queue=args.max_queue,
+        timeout=args.timeout,
+        cache_entries=args.cache_entries,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    """Answer a JSONL request stream; the decision log goes to stdout."""
+    import json as _json
+
+    if args.file:
+        lines = pathlib.Path(args.file).read_text().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+    requests = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            requests.append(DecisionRequest.from_dict(_json.loads(line)))
+        except Exception as error:
+            raise ConfigurationError(f"request line {lineno}: {error}") from error
+    if not requests:
+        raise ConfigurationError("the request stream is empty")
+
+    def _replay() -> PaceDecisionService:
+        service = PaceDecisionService(_service_config(args))
+        for index, request in enumerate(requests):
+            service.submit(request, at=index / args.rate)
+        service.close()
+        return service
+
+    if args.trace:
+        with obs.session(deterministic=True) as session:
+            service = _replay()
+        trace_path = session.log.dump_jsonl(args.trace)
+        print(f"trace: {session.log.emitted} events -> {trace_path}", file=sys.stderr)
+    else:
+        service = _replay()
+    stats = service.stats()
+    print(
+        f"served {stats.decisions} decision(s): "
+        f"{stats.evaluations} evaluation(s), "
+        f"hit rate {stats.cache_hit_rate:.1%}, "
+        f"{stats.coalesced} coalesced, "
+        f"{stats.timeouts + stats.rejections} degraded",
+        file=sys.stderr,
+    )
+    return "\n".join(d.log_line() for d in service.decisions)
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> str:
+    if args.from_trace:
+        return service_report_from_trace(args.from_trace)
+    spec = FleetSpec(
+        n_clients=args.clients,
+        rounds=args.rounds,
+        deadline_ratio=args.ratio,
+        seed=args.seed,
+        archetypes=args.archetypes if args.archetypes else None,
+    )
+    config = _service_config(args)
+    if args.trace:
+        with obs.session(deterministic=True) as session:
+            report = run_loadtest(
+                spec, rate=args.rate, passes=args.passes, config=config
+            )
+        trace_path = session.log.dump_jsonl(args.trace)
+        print(f"trace: {session.log.emitted} events -> {trace_path}", file=sys.stderr)
+    else:
+        with obs.session():
+            report = run_loadtest(
+                spec, rate=args.rate, passes=args.passes, config=config
+            )
+    if args.report:
+        path = report.write_json(args.report)
+        print(f"report: {path}", file=sys.stderr)
+    if args.decision_log:
+        path = report.write_decision_log(args.decision_log)
+        print(f"decision log: {len(report.decisions)} line(s) -> {path}",
+              file=sys.stderr)
+    return report.render()
 
 
 def _cmd_cache(args: argparse.Namespace) -> str:
@@ -523,6 +695,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         elif args.command == "fleet":
             _setup_persistence(args)
             print(_cmd_fleet(args))
+        elif args.command == "serve":
+            print(_cmd_serve(args))
+        elif args.command == "loadtest":
+            print(_cmd_loadtest(args))
         elif args.command == "cache":
             print(_cmd_cache(args))
         elif args.command == "trace":

@@ -148,6 +148,34 @@ class BoFLController(PaceController):
         _, values = self.store.pareto_set()
         return values
 
+    def decision_candidates(
+        self,
+    ) -> tuple[tuple[DvfsConfiguration, ...], np.ndarray, np.ndarray]:
+        """The (configs, latencies, energies) pool a pace decision plans over.
+
+        Exactly the candidate set :class:`ExploitationPlanner` solves the
+        Eqn. 1 ILP against: the observed Pareto set plus the fastest
+        observed configuration (guaranteed present so the ILP stays
+        feasible whenever the deadline is meetable).  The pace-decision
+        service (:mod:`repro.service`) consumes this to serve plans from a
+        device's *learned* measurements instead of the analytic surface.
+
+        Raises :class:`~repro.errors.InfeasibleError` before any
+        observation exists.
+        """
+        pareto_configs, pareto_values = self.store.pareto_set()
+        if not pareto_configs:
+            raise InfeasibleError("no observations to build decision candidates from")
+        fastest = self.store.fastest()
+        configs = list(pareto_configs)
+        latencies = list(pareto_values[:, 0])
+        energies = list(pareto_values[:, 1])
+        if fastest.config not in configs:
+            configs.append(fastest.config)
+            latencies.append(fastest.latency)
+            energies.append(fastest.energy)
+        return tuple(configs), np.asarray(latencies), np.asarray(energies)
+
     # -- checkpoint / restore / escalation (resilience hooks) -----------------
 
     def checkpoint(self) -> BoFLCheckpoint:

@@ -59,6 +59,12 @@ EVENT_KINDS = frozenset(
         "fleet.staleness_drop",
         "fleet.round",
         "fleet.end",
+        "service.start",
+        "service.evaluate",
+        "service.decision",
+        "service.degraded",
+        "service.end",
+        "loadgen.pass",
         "chaos.schedule",
         "fault.injected",
         "fault.cleared",

@@ -46,6 +46,16 @@ CACHE_SCHEMA_VERSION = 3
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Sidecar filename for cumulative traffic counters.  Deliberately not
+#: ``*.json`` so the entry glob (and eviction) never sees it.
+STATS_SIDECAR = "stats.meta"
+
+#: Bump when the sidecar layout changes; older sidecars read as empty.
+STATS_SCHEMA_VERSION = 1
+
+#: The counters the sidecar accumulates across sessions.
+_STAT_FIELDS = ("hits", "misses", "writes", "evictions")
+
 #: The in-process campaign key: (device, task, controller, ratio, rounds,
 #: seed, BoFLConfig-or-None, FaultSchedule-or-None, RecoveryPolicy-or-None)
 #: — the same tuple the runner memoizes on.
@@ -103,7 +113,13 @@ def cache_key_hash(key: CampaignKey) -> str:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """A point-in-time snapshot of a persistent cache."""
+    """A point-in-time snapshot of a persistent cache.
+
+    ``hits``/``misses``/``writes``/``evictions`` are this instance's
+    session counters; the ``total_*`` fields are cumulative across every
+    session that touched the directory, read from the incrementally
+    persisted sidecar — accurate even after an interrupted campaign.
+    """
 
     directory: str
     entries: int
@@ -112,6 +128,10 @@ class CacheStats:
     misses: int
     writes: int
     evictions: int
+    total_hits: int = 0
+    total_misses: int = 0
+    total_writes: int = 0
+    total_evictions: int = 0
 
     def render(self) -> str:
         lines = [
@@ -122,6 +142,10 @@ class CacheStats:
             f"session misses  : {self.misses}",
             f"session writes  : {self.writes}",
             f"session evicted : {self.evictions}",
+            f"lifetime hits   : {self.total_hits}",
+            f"lifetime misses : {self.total_misses}",
+            f"lifetime writes : {self.total_writes}",
+            f"lifetime evicted: {self.total_evictions}",
         ]
         return "\n".join(lines)
 
@@ -161,6 +185,57 @@ class PersistentCampaignCache:
     def path_for(self, key: CampaignKey) -> pathlib.Path:
         return self.directory / f"{cache_key_hash(key)}.json"
 
+    @property
+    def _sidecar_path(self) -> pathlib.Path:
+        return self.directory / STATS_SIDECAR
+
+    # -- cumulative stats sidecar -------------------------------------------
+
+    def _read_sidecar(self) -> dict[str, int]:
+        """Cumulative counters from disk; zeros on any kind of damage."""
+        try:
+            payload = json.loads(self._sidecar_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return dict.fromkeys(_STAT_FIELDS, 0)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != STATS_SCHEMA_VERSION
+        ):
+            return dict.fromkeys(_STAT_FIELDS, 0)
+        return {
+            field: int(payload.get(field, 0))
+            for field in _STAT_FIELDS
+        }
+
+    def _bump(self, field: str, amount: int = 1) -> None:
+        """Count one cache operation, session-local and durably.
+
+        The sidecar is rewritten atomically on *every* operation — not on
+        shutdown — so ``repro cache stats`` stays accurate after an
+        interrupted campaign.  A directory that does not exist yet (pure
+        misses before the first write) is left untouched; the first
+        ``put`` creates it and persistence starts there.
+        """
+        setattr(self, field, getattr(self, field) + amount)
+        if not self.directory.is_dir():
+            return
+        totals = self._read_sidecar()
+        totals[field] += amount
+        payload = {"schema": STATS_SCHEMA_VERSION, **totals}
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.directory), prefix=".tmp-stats-", suffix=".meta"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self._sidecar_path)
+        except OSError:
+            # Stats persistence is best-effort; never fail the cache op.
+            try:
+                os.unlink(tmp_name)
+            except (OSError, UnboundLocalError):
+                pass
+
     def _entries(self) -> list[pathlib.Path]:
         if not self.directory.is_dir():
             return []
@@ -177,25 +252,25 @@ class PersistentCampaignCache:
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
-            self.misses += 1
+            self._bump("misses")
             return None
         if (
             not isinstance(payload, dict)
             or payload.get("schema") != CACHE_SCHEMA_VERSION
             or payload.get("key") != cache_token(key)
         ):
-            self.misses += 1
+            self._bump("misses")
             return None
         try:
             result = campaign_from_dict(payload["campaign"])
         except (ConfigurationError, KeyError, TypeError):
-            self.misses += 1
+            self._bump("misses")
             return None
         try:
             os.utime(path)  # LRU touch
         except OSError:
             pass
-        self.hits += 1
+        self._bump("hits")
         return result
 
     def put(self, key: CampaignKey, result: CampaignResult) -> pathlib.Path:
@@ -220,7 +295,7 @@ class PersistentCampaignCache:
             except OSError:
                 pass
             raise
-        self.writes += 1
+        self._bump("writes")
         self._evict()
         return path
 
@@ -239,12 +314,12 @@ class PersistentCampaignCache:
             except OSError:
                 continue
             total -= sizes[victim]
-            self.evictions += 1
+            self._bump("evictions")
 
     # -- maintenance ---------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
+        """Delete every entry (and the stats sidecar); returns files removed."""
         removed = 0
         for path in self._entries():
             try:
@@ -252,10 +327,15 @@ class PersistentCampaignCache:
                 removed += 1
             except OSError:
                 continue
+        try:
+            self._sidecar_path.unlink()
+        except OSError:
+            pass
         return removed
 
     def stats(self) -> CacheStats:
         entries = self._entries()
+        totals = self._read_sidecar()
         return CacheStats(
             directory=str(self.directory),
             entries=len(entries),
@@ -264,6 +344,10 @@ class PersistentCampaignCache:
             misses=self.misses,
             writes=self.writes,
             evictions=self.evictions,
+            total_hits=totals["hits"],
+            total_misses=totals["misses"],
+            total_writes=totals["writes"],
+            total_evictions=totals["evictions"],
         )
 
     def __len__(self) -> int:

@@ -17,7 +17,13 @@ REPO = pathlib.Path(__file__).resolve().parents[2]
 PYPROJECT = REPO / "pyproject.toml"
 
 #: The determinism-critical packages checked with the strict flag set.
-STRICT_PACKAGES = ("repro.core", "repro.ilp", "repro.sim", "repro.obs")
+STRICT_PACKAGES = (
+    "repro.core",
+    "repro.ilp",
+    "repro.sim",
+    "repro.obs",
+    "repro.service",
+)
 
 
 def pyproject_text() -> str:

@@ -1,0 +1,116 @@
+"""Property-based suite for the decision-cache key discipline.
+
+The contract (mirroring ``repro.sim.cache``): a request's cache identity
+is its *semantic* content.  Two requests that differ only in JSON field
+ordering, float formatting, or client identity must hash identically and
+hit the same cache entry; any semantic change — device, task, jobs,
+deadline, safety margin — must miss.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.api import DecisionPlan, DecisionRequest, PlanStep, request_key_hash
+from repro.service.cache import DecisionCache
+
+DEVICES = ("agx", "tx2", "nano", "xavier-nx")
+TASKS = ("vit", "resnet50", "lstm")
+
+requests = st.builds(
+    DecisionRequest,
+    device=st.sampled_from(DEVICES),
+    task=st.sampled_from(TASKS),
+    jobs=st.integers(min_value=1, max_value=100_000),
+    deadline=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+    safety_margin=st.floats(min_value=0.0, max_value=0.999, exclude_max=False),
+    client_id=st.text(max_size=12),
+)
+
+
+def _plan_for(request: DecisionRequest) -> DecisionPlan:
+    return DecisionPlan(
+        request_hash=request_key_hash(request),
+        steps=(PlanStep((1.0, 1.0, 1.0), request.jobs),),
+        expected_latency=1.0,
+        expected_energy=1.0,
+    )
+
+
+def _reordered_copy(request: DecisionRequest, order: list[int]) -> DecisionRequest:
+    """The same request rebuilt from a field-reordered JSON object."""
+    items = list(request.to_dict().items())
+    shuffled = {items[i][0]: items[i][1] for i in order}
+    return DecisionRequest.from_dict(json.loads(json.dumps(shuffled)))
+
+
+@given(requests, st.permutations(list(range(6))))
+@settings(max_examples=200)
+def test_field_ordering_never_changes_the_key(request, order):
+    assert request_key_hash(_reordered_copy(request, order)) == request_key_hash(
+        request
+    )
+
+
+@given(requests)
+@settings(max_examples=200)
+def test_float_formatting_never_changes_the_key(request):
+    # Integral floats serialized as JSON integers ("60" vs "60.0"), plus
+    # exponent notation, canonicalize to the same key.
+    raw = request.to_dict()
+    reformatted = dict(raw)
+    if float(raw["deadline"]).is_integer():
+        reformatted["deadline"] = int(raw["deadline"])
+    reformatted["safety_margin"] = float(
+        format(float(raw["safety_margin"]), ".17e")
+    )
+    again = DecisionRequest.from_dict(reformatted)
+    assert request_key_hash(again) == request_key_hash(request)
+
+
+@given(requests, st.text(max_size=12))
+@settings(max_examples=100)
+def test_client_identity_never_changes_the_key(request, other_client):
+    twin = DecisionRequest.from_dict({**request.to_dict(), "client_id": other_client})
+    assert request_key_hash(twin) == request_key_hash(request)
+
+
+@given(requests, st.permutations(list(range(6))))
+@settings(max_examples=100)
+def test_reordered_twin_hits_the_same_entry(request, order):
+    cache = DecisionCache(max_entries=8)
+    cache.put(request, _plan_for(request))
+    hit = cache.get(_reordered_copy(request, order))
+    assert hit is not None
+    assert hit.request_hash == request_key_hash(request)
+    assert cache.stats().hits == 1
+
+
+@given(
+    requests,
+    st.sampled_from(("device", "task", "jobs", "deadline", "safety_margin")),
+)
+@settings(max_examples=200)
+def test_any_semantic_change_misses(request, field):
+    raw = request.to_dict()
+    if field == "device":
+        raw["device"] = next(d for d in DEVICES if d != request.device)
+    elif field == "task":
+        raw["task"] = next(t for t in TASKS if t != request.task)
+    elif field == "jobs":
+        raw["jobs"] = request.jobs + 1
+    elif field == "deadline":
+        raw["deadline"] = request.deadline * 2.0 + 1.0
+    else:
+        raw["safety_margin"] = (request.safety_margin + 0.5) % 1.0
+    changed = DecisionRequest.from_dict(raw)
+    if field in ("deadline", "safety_margin") and getattr(
+        changed, field
+    ) == getattr(request, field):
+        return  # degenerate draw: the perturbation rounded away
+    assert request_key_hash(changed) != request_key_hash(request)
+    cache = DecisionCache(max_entries=8)
+    cache.put(request, _plan_for(request))
+    assert cache.get(changed) is None
+    assert cache.stats().misses == 1

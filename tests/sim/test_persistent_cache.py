@@ -14,7 +14,12 @@ from repro.sim import (
     install_persistent_cache,
     run_campaign,
 )
-from repro.sim.cache import CACHE_SCHEMA_VERSION, cache_key_hash, cache_token
+from repro.sim.cache import (
+    CACHE_SCHEMA_VERSION,
+    STATS_SIDECAR,
+    cache_key_hash,
+    cache_token,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -182,3 +187,69 @@ class TestRunnerIntegration:
         )
         stats = cache.stats()
         assert (stats.writes, stats.hits, stats.misses) == (0, 0, 0)
+
+
+class TestIncrementalStatsPersistence:
+    """Lifetime counters are persisted per operation, not on shutdown.
+
+    A campaign killed mid-flight never runs any shutdown hook, so the
+    sidecar must already hold every hit/miss/write/eviction the dead
+    session performed; `repro cache stats` then reports them as the
+    ``lifetime`` rows.
+    """
+
+    def test_totals_survive_an_interrupted_session(self, cache):
+        cache.put(_key(seed=0), _result(seed=0))
+        cache.get(_key(seed=0))
+        cache.get(_key(seed=9))
+        # Simulate the interruption: drop the instance without any
+        # cleanup and reopen the directory cold.
+        reopened = PersistentCampaignCache(cache.directory)
+        stats = reopened.stats()
+        assert (stats.writes, stats.hits, stats.misses) == (0, 0, 0)
+        assert (stats.total_writes, stats.total_hits, stats.total_misses) == (1, 1, 1)
+
+    def test_totals_accumulate_across_sessions(self, cache):
+        cache.put(_key(seed=0), _result(seed=0))
+        second = PersistentCampaignCache(cache.directory)
+        second.get(_key(seed=0))
+        second.get(_key(seed=0))
+        stats = PersistentCampaignCache(cache.directory).stats()
+        assert stats.total_writes == 1
+        assert stats.total_hits == 2
+
+    def test_evictions_are_persisted(self, tmp_path):
+        cache = PersistentCampaignCache(tmp_path / "campaigns", max_entries=1)
+        cache.put(_key(seed=0), _result(seed=0))
+        cache.put(_key(seed=1), _result(seed=1))
+        stats = PersistentCampaignCache(cache.directory).stats()
+        assert stats.total_evictions == 1
+        assert stats.total_writes == 2
+
+    def test_sidecar_never_reads_as_a_cache_entry(self, cache):
+        cache.put(_key(seed=0), _result(seed=0))
+        cache.get(_key(seed=0))
+        assert len(cache) == 1  # the sidecar is not in the entry glob
+        assert (cache.directory / STATS_SIDECAR).is_file()
+
+    def test_corrupt_sidecar_reads_as_zero(self, cache):
+        cache.put(_key(seed=0), _result(seed=0))
+        (cache.directory / STATS_SIDECAR).write_text("{not json")
+        stats = cache.stats()
+        assert stats.total_writes == 0
+        # The next operation restarts accumulation from zero.
+        cache.get(_key(seed=0))
+        assert cache.stats().total_hits == 1
+
+    def test_clear_resets_lifetime_counters(self, cache):
+        cache.put(_key(seed=0), _result(seed=0))
+        cache.get(_key(seed=0))
+        cache.clear()
+        stats = PersistentCampaignCache(cache.directory).stats()
+        assert (stats.total_writes, stats.total_hits, stats.total_misses) == (0, 0, 0)
+
+    def test_render_reports_lifetime_rows(self, cache):
+        cache.put(_key(seed=0), _result(seed=0))
+        rendered = PersistentCampaignCache(cache.directory).stats().render()
+        assert "lifetime writes : 1" in rendered
+        assert "session writes  : 0" in rendered

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -204,3 +206,83 @@ class TestFleetCommand:
         capsys.readouterr()
         assert main(["fleet", "report", str(path)]) == 1
         assert "no fleet events" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    def test_loadtest_parses_options(self):
+        args = build_parser().parse_args(
+            ["loadtest", "--clients", "24", "--passes", "3", "--rate", "100",
+             "--timeout", "0.1", "--max-queue", "32", "--cache-entries", "64"]
+        )
+        assert args.clients == 24
+        assert args.passes == 3
+        assert args.rate == 100.0
+        assert args.timeout == 0.1
+        assert args.max_queue == 32
+        assert args.cache_entries == 64
+
+    def test_loadtest_prints_summary_and_writes_outputs(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        log = tmp_path / "decisions.jsonl"
+        code = main(
+            ["loadtest", "--clients", "12", "--rounds", "2", "--passes", "2",
+             "--seed", "7", "--report", str(report), "--decision-log", str(log)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Loadtest summary" in out
+        assert "cache hit rate" in out
+        assert report.is_file() and log.is_file()
+        assert len(log.read_text().splitlines()) == 12 * 2 * 2
+
+    def test_loadtest_decision_log_is_byte_deterministic(self, tmp_path, capsys):
+        logs = []
+        for name in ("a.jsonl", "b.jsonl"):
+            path = tmp_path / name
+            assert main(
+                ["loadtest", "--clients", "12", "--rounds", "2", "--seed", "7",
+                 "--decision-log", str(path)]
+            ) == 0
+            logs.append(path.read_bytes())
+        capsys.readouterr()
+        assert logs[0] == logs[1]
+
+    def test_loadtest_trace_replays_through_from_trace(self, tmp_path, capsys):
+        trace = tmp_path / "service.jsonl"
+        assert main(
+            ["loadtest", "--clients", "12", "--rounds", "2", "--seed", "7",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["loadtest", "--from-trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Service trace summary" in out
+        assert "decisions        : 48" in out
+
+    def test_serve_answers_a_request_file(self, tmp_path, capsys):
+        stream = tmp_path / "requests.jsonl"
+        stream.write_text(
+            '{"device": "agx", "task": "vit", "jobs": 50, "deadline": 60.0, '
+            '"client_id": "c0"}\n'
+            '{"device": "agx", "task": "vit", "jobs": 50, "deadline": 60.0, '
+            '"client_id": "c1"}\n'
+        )
+        assert main(["serve", str(stream)]) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines() if line]
+        assert len(lines) == 2
+        assert lines[0]["source"] == "computed"
+        assert lines[0]["request_hash"] == lines[1]["request_hash"]
+        assert "served 2 decision(s)" in captured.err
+
+    def test_serve_rejects_an_empty_stream(self, tmp_path, capsys):
+        stream = tmp_path / "empty.jsonl"
+        stream.write_text("\n")
+        assert main(["serve", str(stream)]) == 1
+        assert "empty" in capsys.readouterr().err
+
+    def test_serve_rejects_malformed_lines(self, tmp_path, capsys):
+        stream = tmp_path / "bad.jsonl"
+        stream.write_text('{"device": "agx"}\n')
+        assert main(["serve", str(stream)]) == 1
+        assert "request line 1" in capsys.readouterr().err

@@ -32,6 +32,7 @@ class TestTopLevel:
             "repro.core",
             "repro.baselines",
             "repro.sim",
+            "repro.service",
             "repro.analysis",
             "repro.experiments",
         ],
