@@ -28,7 +28,11 @@ Eleven subcommands:
   Table 3 / Fig. 13 views;
 * ``lint`` — run the determinism-aware static-analysis rules over the
   source tree (``docs/static_analysis.md``); exits non-zero on
-  violations, ``--format json`` is the stable CI interface.
+  violations, ``--format json`` is the stable CI interface;
+* ``analyze`` — the whole-program companion to ``lint``: an
+  interprocedural call-graph pass proving cross-module determinism
+  contracts (taint, key completeness, registry closure, process-boundary
+  safety), with SARIF output and a committed-baseline ratchet.
 
 ``--workers N`` fans campaign grids out over worker processes through
 :class:`repro.sim.CampaignExecutor`; results are identical to the serial
@@ -314,6 +318,46 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule registry (id, scope, rationale) and exit",
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="whole-program determinism analysis: interprocedural taint, "
+        "key completeness, registry closure, process-boundary safety",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to analyze (default: the src/ tree)",
+    )
+    analyze.add_argument(
+        "--format", default="human", choices=("human", "json", "sarif"),
+        help="report format (json/sarif are the stable CI interfaces)",
+    )
+    analyze.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repo root anchoring relative paths (default: discovered from "
+        "the first path's ancestors via pyproject.toml)",
+    )
+    analyze.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="additionally write the SARIF report to FILE",
+    )
+    analyze.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file for --ratchet/--write-baseline "
+        "(default: <root>/analysis-baseline.json)",
+    )
+    analyze.add_argument(
+        "--ratchet", action="store_true",
+        help="fail only on findings absent from the committed baseline",
+    )
+    analyze.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the baseline from this run's findings and exit 0",
+    )
+    analyze.add_argument(
+        "--list-checkers", action="store_true",
+        help="print the checker registry (id, contract) and exit",
     )
     return parser
 
@@ -674,6 +718,58 @@ def _cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
     return rendered, 0 if report.ok else 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> tuple[str, int]:
+    """Returns (rendered report, exit code): 0 clean/ratcheted, 1 findings."""
+    from repro.devtools import analyze as devanalyze
+
+    if args.list_checkers:
+        lines = ["Registered repro analyze checkers:"]
+        for checker_id in devanalyze.CHECKER_IDS:
+            if checker_id == "parse-error":
+                continue
+            lines.append(f"  {checker_id:20s} {devanalyze.CHECKER_SUMMARIES[checker_id]}")
+        return "\n".join(lines), 0
+
+    root = pathlib.Path(args.root) if args.root else None
+    if args.paths:
+        paths = [pathlib.Path(p) for p in args.paths]
+        anchor = root if root is not None else _find_devtools_root(paths[0])
+    else:
+        anchor = root if root is not None else _find_devtools_root(
+            pathlib.Path.cwd()
+        )
+        paths = [anchor / "src"]
+    report = devanalyze.analyze_paths(paths, root=anchor)
+    if args.sarif:
+        pathlib.Path(args.sarif).write_text(
+            report.render_sarif() + "\n", encoding="utf-8"
+        )
+    baseline_path = (
+        pathlib.Path(args.baseline)
+        if args.baseline
+        else anchor / "analysis-baseline.json"
+    )
+    if args.write_baseline:
+        devanalyze.write_baseline(baseline_path, report)
+        return f"repro analyze: baseline written to {baseline_path}", 0
+    if args.ratchet:
+        baseline = devanalyze.load_baseline(baseline_path)
+        result = devanalyze.ratchet(report, baseline)
+        return result.render(), 0 if result.ok else 1
+    rendered = {
+        "json": report.render_json,
+        "sarif": report.render_sarif,
+        "human": report.render_human,
+    }[args.format]()
+    return rendered, 0 if report.ok else 1
+
+
+def _find_devtools_root(start: pathlib.Path) -> pathlib.Path:
+    from repro.devtools.lint import find_repo_root
+
+    return find_repo_root(start)
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -705,6 +801,10 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(_cmd_trace(args))
         elif args.command == "lint":
             rendered, code = _cmd_lint(args)
+            print(rendered)
+            return code
+        elif args.command == "analyze":
+            rendered, code = _cmd_analyze(args)
             print(rendered)
             return code
     except Exception as error:  # surface library errors as clean CLI errors

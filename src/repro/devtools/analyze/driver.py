@@ -1,0 +1,108 @@
+"""The ``repro analyze`` driver: index, graph, checkers, suppressions.
+
+One run = parse every ``.py`` under the given paths into a
+:class:`ProjectIndex`, build the :class:`CallGraph`, run the four
+contract checkers, drop findings covered by a justified same-line
+``# repro: allow[<checker-id>] -- <why>`` comment (the exact suppression
+syntax ``repro lint`` uses — misuse of the comment itself is lint's
+job), and return a sorted :class:`AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.devtools.analyze.boundaries import DEFAULT_WORKER_ROOTS, check_boundaries
+from repro.devtools.analyze.callgraph import CallGraph
+from repro.devtools.analyze.findings import (
+    AnalysisReport,
+    CHECKER_IDS,
+    Finding,
+)
+from repro.devtools.analyze.keys import DEFAULT_CONTRACTS, KeyContract, check_keys
+from repro.devtools.analyze.project import ProjectIndex
+from repro.devtools.analyze.registry import PLUMBING_EVENT_KINDS, check_registries
+from repro.devtools.analyze.taint import DEFAULT_TAINT_EXEMPT, check_taint
+from repro.devtools.lint.engine import find_repo_root
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AnalyzeConfig:
+    """Tunable contract surface; the defaults describe this repo."""
+
+    taint_exempt: tuple[str, ...] = DEFAULT_TAINT_EXEMPT
+    contracts: tuple[KeyContract, ...] = DEFAULT_CONTRACTS
+    worker_roots: tuple[str, ...] = DEFAULT_WORKER_ROOTS
+    plumbing_kinds: frozenset = PLUMBING_EVENT_KINDS
+
+
+DEFAULT_CONFIG = AnalyzeConfig()
+
+
+def analyze_paths(
+    paths: Sequence[pathlib.Path],
+    *,
+    root: Optional[pathlib.Path] = None,
+    config: AnalyzeConfig = DEFAULT_CONFIG,
+) -> AnalysisReport:
+    """Run every checker over the project rooted at ``root``."""
+    paths = [pathlib.Path(p) for p in paths]
+    if not paths:
+        raise ConfigurationError("analyze_paths needs at least one path")
+    resolved_root = root if root is not None else find_repo_root(paths[0])
+    project = ProjectIndex.load(paths, resolved_root)
+    graph = CallGraph.build(project)
+
+    findings: list[Finding] = []
+    for relpath, line, col, message in project.parse_failures:
+        findings.append(
+            Finding(
+                checker="parse-error",
+                path=relpath,
+                line=line,
+                col=col,
+                message=f"file does not parse: {message}",
+            )
+        )
+    findings.extend(check_taint(project, graph, config.taint_exempt))
+    findings.extend(check_keys(project, graph, config.contracts))
+    findings.extend(check_registries(project, graph, config.plumbing_kinds))
+    findings.extend(check_boundaries(project, graph, config.worker_roots))
+    findings = _apply_suppressions(project, findings)
+
+    report = AnalysisReport(
+        findings=findings,
+        checked_modules=len(project.modules) + len(project.parse_failures),
+        checker_ids=[cid for cid in CHECKER_IDS if cid != "parse-error"],
+    )
+    report.sort()
+    return report
+
+
+def _apply_suppressions(
+    project: ProjectIndex, findings: list[Finding]
+) -> list[Finding]:
+    """Drop findings with a justified same-line allow-comment.
+
+    Unjustified or unknown-id suppression comments are *lint's* findings
+    (rule ``suppression``), not duplicated here.
+    """
+    justified: dict[str, set[tuple[str, int]]] = {}
+    for info in project.modules.values():
+        pairs = {
+            (s.rule, s.line)
+            for s in info.source.suppressions()
+            if s.justification and s.rule in CHECKER_IDS
+        }
+        if pairs:
+            justified[info.source.relpath] = pairs
+    kept = []
+    for finding in findings:
+        if (finding.checker, finding.line) in justified.get(finding.path, set()):
+            continue
+        kept.append(finding)
+    return kept

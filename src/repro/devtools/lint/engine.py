@@ -46,9 +46,12 @@ SUPPRESSION_RULE_ID = "suppression"
 #: Rule id reserved for unparseable files (always enabled).
 PARSE_RULE_ID = "parse-error"
 
-#: The allow-comment marker, with an optional justification tail.
+#: The allow-comment marker, with an optional justification tail.  The
+#: bracket accepts a comma-separated id list ("allow[wall-clock,
+#: unseeded-random] -- why") so one line hit by several rules needs only
+#: one comment; the justification is shared by every listed id.
 _SUPPRESSION_RE = re.compile(
-    r"#\s*repro:\s*allow\[(?P<rule>[A-Za-z0-9_-]+)\]"
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)\]"
     r"(?:\s*--\s*(?P<why>.*\S))?"
 )
 
@@ -113,13 +116,14 @@ class SourceFile:
                 continue
             match = _SUPPRESSION_RE.search(token.string)
             if match is not None:
-                found.append(
-                    Suppression(
-                        rule=match.group("rule"),
-                        line=token.start[0],
-                        justification=match.group("why"),
+                for rule in match.group("rules").split(","):
+                    found.append(
+                        Suppression(
+                            rule=rule.strip(),
+                            line=token.start[0],
+                            justification=match.group("why"),
+                        )
                     )
-                )
         return found
 
 
@@ -195,6 +199,15 @@ def _ensure_builtin_rules() -> None:
     # The built-in checkers live in a sibling module that registers them
     # at import; imported lazily so engine <-> rules stay acyclic.
     from repro.devtools.lint import rules as _rules  # noqa: F401
+
+
+def _analyzer_checker_ids() -> frozenset[str]:
+    # ``repro analyze`` findings share the allow-comment syntax, so a
+    # suppression naming one of its checkers is not "unknown" to lint.
+    # Imported lazily to keep the lint <-> analyze layering acyclic.
+    from repro.devtools.analyze.findings import CHECKER_IDS
+
+    return frozenset(CHECKER_IDS)
 
 
 @dataclass
@@ -275,6 +288,7 @@ def _apply_suppressions(
             continue
         kept.append(violation)
     known_ids = set(enabled_ids) | {rule.id for rule in iter_rules()}
+    known_ids |= _analyzer_checker_ids()
     for suppression in suppressions:
         if not suppression.justification:
             kept.append(

@@ -9,6 +9,7 @@ the dynamic guarantee it protects.  Rules self-register on import via
 from __future__ import annotations
 
 import ast
+import pathlib
 from collections.abc import Iterator
 from typing import Optional
 
@@ -20,13 +21,56 @@ from repro.obs.events import EVENT_KINDS
 # --------------------------------------------------------------------------
 
 
-def _import_aliases(tree: ast.Module) -> dict[str, str]:
+def _module_package(relpath: str) -> str:
+    """The dotted package a repo-relative ``.py`` path belongs to.
+
+    ``src/repro/sim/runner.py`` -> ``repro.sim``;
+    ``src/repro/sim/__init__.py`` -> ``repro.sim`` (the package itself).
+    Paths outside a ``src/`` layout resolve the same way minus the
+    leading segment they do have; an unanchorable path yields ``""``
+    (relative imports in it stay unresolved).
+    """
+    parts = list(pathlib.PurePosixPath(relpath).parts)
+    if not parts or not parts[-1].endswith(".py"):
+        return ""
+    if parts[0] == "src":
+        parts = parts[1:]
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1]
+        if not parts:
+            return ""
+    return ".".join(parts)
+
+
+def _resolve_relative(package: str, level: int, module: Optional[str]) -> Optional[str]:
+    """The absolute module a ``from ...X import`` refers to, or None.
+
+    ``level`` counts leading dots; ``level=1`` is the current package.
+    Climbing past the top of ``package`` is unresolvable (and would be an
+    ImportError at runtime anyway).
+    """
+    if not package:
+        return None
+    parts = package.split(".")
+    if level - 1 > len(parts):
+        return None
+    base = parts[: len(parts) - (level - 1)]
+    if module:
+        base = [*base, *module.split(".")]
+    return ".".join(base) if base else None
+
+
+def _import_aliases(tree: ast.Module, package: str = "") -> dict[str, str]:
     """Map local names to canonical dotted origins for a module's imports.
 
     ``import numpy as np`` -> ``{"np": "numpy"}``; ``from time import
-    perf_counter as pc`` -> ``{"pc": "time.perf_counter"}``.  Only
-    absolute imports are tracked — this repo forbids relative imports of
-    stdlib-shadowing names anyway.
+    perf_counter as pc`` -> ``{"pc": "time.perf_counter"}``.  Relative
+    imports resolve against ``package`` (the importing module's dotted
+    package, from :func:`_module_package`): in ``repro.sim``, ``from
+    .timing import now as n`` -> ``{"n": "repro.sim.timing.now"}``.
+    Without a package, relative imports stay unresolved.
     """
     aliases: dict[str, str] = {}
     for node in ast.walk(tree):
@@ -35,10 +79,16 @@ def _import_aliases(tree: ast.Module) -> dict[str, str]:
                 local = item.asname or item.name.split(".", 1)[0]
                 canonical = item.name if item.asname else item.name.split(".", 1)[0]
                 aliases[local] = canonical
-        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                origin = node.module
+            else:
+                origin = _resolve_relative(package, node.level, node.module)
+            if origin is None:
+                continue
             for item in node.names:
                 local = item.asname or item.name
-                aliases[local] = f"{node.module}.{item.name}"
+                aliases[local] = f"{origin}.{item.name}"
     return aliases
 
 
@@ -70,6 +120,14 @@ def _canonical_call(
     if base not in aliases:
         return None
     return ".".join([aliases[base], *parts[1:]])
+
+
+#: Public aliases — the interprocedural analyzer reuses the import-aware
+#: resolver rather than growing a second, subtly different one.
+module_package = _module_package
+import_aliases = _import_aliases
+dotted_parts = _dotted
+canonical_call = _canonical_call
 
 
 def _violation(
@@ -105,9 +163,12 @@ _WALL_CLOCK_CALLS = frozenset(
     }
 )
 
+#: Public alias — the interprocedural analyzer shares the source list.
+WALL_CLOCK_CALLS = _WALL_CLOCK_CALLS
+
 
 def _check_wall_clock(source: SourceFile) -> Iterator[Violation]:
-    aliases = _import_aliases(source.tree)
+    aliases = _import_aliases(source.tree, _module_package(source.relpath))
     for node in ast.walk(source.tree):
         if not isinstance(node, ast.Call):
             continue
@@ -168,9 +229,12 @@ _ALLOWED_RANDOM_CALLS = frozenset(
     }
 )
 
+#: Public alias — the interprocedural analyzer shares the allowlist.
+ALLOWED_RANDOM_CALLS = _ALLOWED_RANDOM_CALLS
+
 
 def _check_unseeded_random(source: SourceFile) -> Iterator[Violation]:
-    aliases = _import_aliases(source.tree)
+    aliases = _import_aliases(source.tree, _module_package(source.relpath))
     for node in ast.walk(source.tree):
         if not isinstance(node, ast.Call):
             continue

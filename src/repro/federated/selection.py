@@ -106,7 +106,7 @@ class EnergyAwareSelector(ClientSelector):
         self.epsilon = epsilon
         self.smoothing = smoothing
         self.seed = seed
-        self._energy_ewma: dict = {}
+        self._energy_ewma: dict[str, float] = {}
 
     def observe(self, client_id: str, round_energy: float) -> None:
         """Update a client's energy estimate from a completed round."""

@@ -17,6 +17,52 @@ from typing import Protocol
 
 from repro.errors import ConfigurationError
 
+#: Every counter name the tree may record.  Entries ending in ``*`` are
+#: sanctioned dynamic families (f-string counters keyed by a small
+#: enum-like suffix).  ``repro analyze`` closes this registry in both
+#: directions — an unregistered count() call and a dead entry here are
+#: both findings — so keep it in lockstep with the emitting code.
+COUNTER_NAMES = frozenset(
+    {
+        "campaign.cache_*",
+        "controller.explorations",
+        "controller.rounds",
+        "executor.cells_*",
+        "faults.cleared",
+        "faults.injected",
+        "fleet.aggregations",
+        "fleet.enqueues",
+        "fleet.rounds",
+        "fleet.staleness_drops",
+        "guardian.checks",
+        "guardian.rejections",
+        "ilp.lp_warm_attempts",
+        "ilp.lp_warm_hits",
+        "ilp.nodes_expanded",
+        "ilp.solves",
+        "mbo.ehvi_evaluations",
+        "mbo.gp_fits",
+        "mbo.jitter_escalations",
+        "mbo.suggest_short_circuits",
+        "mbo.warm_fits",
+        "perfmodel.tensor_builds",
+        "recovery.checkpoints",
+        "recovery.escalations",
+        "recovery.restores",
+        "server.aggregation_fallbacks",
+        "server.dropouts",
+        "server.failed_rounds",
+        "server.rounds",
+        "service.cache_hits",
+        "service.cache_misses",
+        "service.coalesced",
+        "service.fallbacks",
+        "service.rejections",
+        "service.requests",
+        "service.timeouts",
+    }
+)
+
 
 class TimerSpan(Protocol):
     """Structural type of a timing span: Timer and the shared no-op."""

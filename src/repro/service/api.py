@@ -51,7 +51,7 @@ class DecisionRequest:
     jobs: int
     deadline: Seconds
     safety_margin: float = 0.02
-    client_id: str = ""
+    client_id: str = ""  # key_exempt: routing metadata — logged, never keyed
 
     def __post_init__(self) -> None:
         if not self.device:

@@ -236,7 +236,7 @@ def run_campaign(
         if _PERSISTENT_CACHE is not None:
             loaded = _PERSISTENT_CACHE.get(key)
             if loaded is not None:
-                _CAMPAIGN_CACHE[key] = loaded
+                _CAMPAIGN_CACHE[key] = loaded  # repro: allow[process-boundary] -- guarded by use_cache; pool workers call run(use_cache=False)
                 _emit_cache_event("disk", device_name, task_name, controller_name, seed)
                 return copy.deepcopy(loaded)
         _emit_cache_event("miss", device_name, task_name, controller_name, seed)
@@ -325,7 +325,7 @@ def run_campaign(
         explored_total=result.explored_total,
     )
     if use_cache:
-        _CAMPAIGN_CACHE[key] = copy.deepcopy(result)
+        _CAMPAIGN_CACHE[key] = copy.deepcopy(result)  # repro: allow[process-boundary] -- guarded by use_cache; pool workers call run(use_cache=False)
         if _PERSISTENT_CACHE is not None:
             _PERSISTENT_CACHE.put(key, result)
     return result

@@ -1,0 +1,132 @@
+"""Process-boundary checker: worker-reachable module-state writes."""
+
+
+def boundary_hits(report):
+    return [f for f in report.findings if f.checker == "process-boundary"]
+
+
+class TestWorkerReachableWrites:
+    def test_cross_module_write_two_hops_from_worker(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/executor.py": """\
+                from repro.sim import runner
+
+                def _compute_spec(spec):
+                    return runner.run(spec)
+            """,
+            "src/repro/sim/runner.py": """\
+                _MEMO = {}
+
+                def run(spec):
+                    return _finish(spec)
+
+                def _finish(spec):
+                    _MEMO[spec] = 1
+                    return 1
+            """,
+        })
+        hits = boundary_hits(report)
+        assert len(hits) == 1
+        assert hits[0].path == "src/repro/sim/runner.py"
+        assert "repro.sim.runner._MEMO" in hits[0].message
+        assert (
+            "repro.sim.executor._compute_spec -> repro.sim.runner.run "
+            "-> repro.sim.runner._finish" in hits[0].message
+        )
+
+    def test_mutating_method_call_flagged(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/executor.py": """\
+                _SEEN = []
+
+                def _compute_spec(spec):
+                    _SEEN.append(spec)
+                    return spec
+            """,
+        })
+        hits = boundary_hits(report)
+        assert len(hits) == 1
+        assert "_SEEN" in hits[0].message
+
+    def test_aliased_import_write_flagged(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/state.py": """\
+                _TABLE = {}
+            """,
+            "src/repro/sim/executor.py": """\
+                from repro.sim.state import _TABLE
+
+                def _compute_spec(spec):
+                    _TABLE[spec] = 1
+                    return spec
+            """,
+        })
+        hits = boundary_hits(report)
+        assert len(hits) == 1
+        assert "repro.sim.state._TABLE" in hits[0].message
+
+    def test_global_rebinding_flagged(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/executor.py": """\
+                _MEMO = {}
+
+                def _compute_spec(spec):
+                    global _MEMO
+                    _MEMO = {}
+                    return spec
+            """,
+        })
+        assert len(boundary_hits(report)) == 1
+
+
+class TestNonViolations:
+    def test_local_shadow_not_flagged(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/executor.py": """\
+                _MEMO = {}
+
+                def _compute_spec(spec):
+                    _MEMO = {}
+                    _MEMO[spec] = 1
+                    return _MEMO
+            """,
+        })
+        assert boundary_hits(report) == []
+
+    def test_unreachable_write_not_flagged(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/executor.py": """\
+                def _compute_spec(spec):
+                    return spec
+            """,
+            "src/repro/sim/runner.py": """\
+                _MEMO = {}
+
+                def prime(spec):
+                    _MEMO[spec] = 1
+            """,
+        })
+        assert boundary_hits(report) == []
+
+    def test_tree_without_roots_skips_checker(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/runner.py": """\
+                _MEMO = {}
+
+                def run(spec):
+                    _MEMO[spec] = 1
+            """,
+        })
+        assert boundary_hits(report) == []
+
+    def test_justified_suppression_drops_finding(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/executor.py": """\
+                _MEMO = {}
+
+                def _compute_spec(spec):
+                    _MEMO[spec] = 1  # repro: allow[process-boundary] -- primed before fork, read-only after
+                    return spec
+            """,
+        })
+        assert boundary_hits(report) == []

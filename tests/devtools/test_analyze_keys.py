@@ -1,0 +1,127 @@
+"""Key-completeness checker: every spec field reaches its cache key."""
+
+
+def key_hits(report):
+    return [f for f in report.findings if f.checker == "key-completeness"]
+
+
+class TestKeyCompleteness:
+    def test_dropped_field_is_flagged(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/executor.py": """\
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class CampaignSpec:
+                    device: str
+                    task: str
+                    debug_label: str = ""
+
+                    def key(self):
+                        return (self.device, self.task)
+            """,
+        })
+        hits = key_hits(report)
+        assert len(hits) == 1
+        assert "debug_label" in hits[0].message
+        assert "key_exempt" in hits[0].message
+        assert hits[0].line == 7  # the field definition line
+
+    def test_field_consumed_transitively_passes(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/executor.py": """\
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class CampaignSpec:
+                    device: str
+                    rounds: int = 100
+
+                    def key(self):
+                        return (self.device, self._tail())
+
+                    def _tail(self):
+                        return self.rounds
+            """,
+        })
+        assert key_hits(report) == []
+
+    def test_exempt_marker_with_reason_passes(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/executor.py": """\
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class CampaignSpec:
+                    device: str
+                    debug_label: str = ""  # key_exempt: display only, never affects results
+
+                    def key(self):
+                        return (self.device,)
+            """,
+        })
+        assert key_hits(report) == []
+
+    def test_bare_marker_needs_justification(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/executor.py": """\
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class CampaignSpec:
+                    device: str
+                    debug_label: str = ""  # key_exempt
+
+                    def key(self):
+                        return (self.device,)
+            """,
+        })
+        hits = key_hits(report)
+        assert len(hits) == 1
+        assert "needs a justification" in hits[0].message
+
+    def test_missing_key_function_is_flagged(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/executor.py": """\
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class CampaignSpec:
+                    device: str
+            """,
+        })
+        hits = key_hits(report)
+        assert len(hits) == 1
+        assert "missing function" in hits[0].message
+        assert "CampaignSpec.key" in hits[0].message
+
+    def test_absent_contract_dataclasses_are_skipped(self, analyze_tree):
+        # A tree with none of the contract dataclasses: nothing to check.
+        report = analyze_tree({
+            "src/repro/sim/other.py": """\
+                def f():
+                    return 1
+            """,
+        })
+        assert key_hits(report) == []
+
+    def test_request_token_contract(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/service/api.py": """\
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class DecisionRequest:
+                    device: str
+                    jobs: int
+                    client_id: str = ""  # key_exempt: routing metadata only
+                    priority: int = 0
+
+                    def token(self):
+                        return {"device": self.device, "jobs": self.jobs}
+            """,
+        })
+        hits = key_hits(report)
+        assert len(hits) == 1
+        assert "priority" in hits[0].message
+        assert "client_id" not in hits[0].message

@@ -1,0 +1,151 @@
+"""Registry-closure checker: events and counters, both directions."""
+
+
+EVENTS = """\
+    EVENT_KINDS = frozenset({
+        "campaign.start",
+        "campaign.end",
+        "trace.header",
+    })
+"""
+
+COUNTERS = """\
+    COUNTER_NAMES = frozenset({
+        "campaign.cache_*",
+        "guardian.checks",
+        "unused.counter",
+    })
+"""
+
+
+def registry_hits(report):
+    return [f for f in report.findings if f.checker == "registry-closure"]
+
+
+class TestEventClosure:
+    def test_unregistered_kind_flagged_registered_pass(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/obs/events.py": EVENTS,
+            "src/repro/core/loop.py": """\
+                from repro import obs
+
+                def tick():
+                    obs.emit("campaign.start", t=0.0)
+                    obs.emit("campaign.end", t=1.0)
+                    obs.emit("bogus.kind", t=2.0)
+            """,
+        })
+        hits = registry_hits(report)
+        assert len(hits) == 1
+        assert "'bogus.kind'" in hits[0].message
+        assert "not registered" in hits[0].message
+        assert hits[0].path == "src/repro/core/loop.py"
+
+    def test_orphan_registered_kind_flagged(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/obs/events.py": EVENTS,
+            "src/repro/core/loop.py": """\
+                from repro import obs
+
+                def tick():
+                    obs.emit("campaign.start", t=0.0)
+            """,
+        })
+        hits = registry_hits(report)
+        assert len(hits) == 1
+        assert "'campaign.end'" in hits[0].message
+        assert "never emitted" in hits[0].message
+        assert hits[0].path == "src/repro/obs/events.py"
+
+    def test_plumbing_kind_needs_no_emitter(self, analyze_tree):
+        # trace.header is written by the trace writer itself, not emit().
+        report = analyze_tree({
+            "src/repro/obs/events.py": EVENTS,
+            "src/repro/core/loop.py": """\
+                from repro import obs
+
+                def tick():
+                    obs.emit("campaign.start", t=0.0)
+                    obs.emit("campaign.end", t=1.0)
+            """,
+        })
+        assert registry_hits(report) == []
+
+
+class TestCounterClosure:
+    def test_wildcard_family_and_exact_names(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/obs/metrics.py": COUNTERS,
+            "src/repro/core/loop.py": """\
+                from repro.obs import runtime as obs
+
+                def tick(layer):
+                    obs.count(f"campaign.cache_{layer}")
+                    obs.count("guardian.checks")
+            """,
+            "src/repro/obs/runtime.py": """\
+                def count(name, value=1):
+                    return None
+            """,
+        })
+        hits = registry_hits(report)
+        assert len(hits) == 1
+        assert "'unused.counter'" in hits[0].message
+        assert "never emitted" in hits[0].message
+
+    def test_unregistered_counter_flagged(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/obs/metrics.py": """\
+                COUNTER_NAMES = frozenset({"guardian.checks"})
+            """,
+            "src/repro/core/loop.py": """\
+                from repro.obs import runtime as obs
+
+                def tick():
+                    obs.count("guardian.checks")
+                    obs.count("surprise.counter")
+            """,
+            "src/repro/obs/runtime.py": """\
+                def count(name, value=1):
+                    return None
+            """,
+        })
+        hits = registry_hits(report)
+        assert len(hits) == 1
+        assert "'surprise.counter'" in hits[0].message
+
+    def test_dynamic_counter_needs_identical_registered_pattern(
+        self, analyze_tree
+    ):
+        # An f-string family only passes when the registry opts in with
+        # the *same* pattern; a wildcard use never matches exact entries.
+        report = analyze_tree({
+            "src/repro/obs/metrics.py": """\
+                COUNTER_NAMES = frozenset({"guardian.checks"})
+            """,
+            "src/repro/core/loop.py": """\
+                from repro.obs import runtime as obs
+
+                def tick(kind):
+                    obs.count(f"guardian.{kind}")
+            """,
+            "src/repro/obs/runtime.py": """\
+                def count(name, value=1):
+                    return None
+            """,
+        })
+        hits = registry_hits(report)
+        assert any("'guardian.*'" in f.message for f in hits)
+
+
+class TestMissingRegistries:
+    def test_tree_without_registries_skips_checker(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/core/loop.py": """\
+                from repro import obs
+
+                def tick():
+                    obs.emit("anything.goes", t=0.0)
+            """,
+        })
+        assert registry_hits(report) == []

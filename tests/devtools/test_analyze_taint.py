@@ -1,0 +1,183 @@
+"""Determinism-taint checker: sources through call hops into sinks."""
+
+
+def taint_hits(report):
+    return [f for f in report.findings if f.checker == "determinism-taint"]
+
+
+class TestWallClockTaint:
+    def test_two_hop_taint_reaches_emission(self, analyze_tree):
+        # time.time() -> now() -> stamp() -> emit(...): two call hops,
+        # one of them through a *relative* import.
+        report = analyze_tree({
+            "src/repro/core/timing.py": """\
+                import time
+
+                def now():
+                    return time.time()
+            """,
+            "src/repro/core/mid.py": """\
+                from .timing import now
+
+                def stamp():
+                    return now() * 2.0
+            """,
+            "src/repro/core/loop.py": """\
+                from repro import obs
+                from .mid import stamp
+
+                def tick():
+                    obs.emit("campaign.start", t=stamp())
+            """,
+        })
+        hits = taint_hits(report)
+        assert len(hits) == 1
+        assert hits[0].path == "src/repro/core/loop.py"
+        assert "wall-clock" in hits[0].message
+        assert "trace emission" in hits[0].message
+        assert "stamp() -> now() -> time.time()" in hits[0].message
+
+    def test_taint_through_local_variable(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/core/loop.py": """\
+                import time
+                from repro import obs
+
+                def tick():
+                    started = time.perf_counter()
+                    elapsed = started - 1.0
+                    obs.emit("campaign.end", seconds=elapsed)
+            """,
+        })
+        hits = taint_hits(report)
+        assert len(hits) == 1
+        assert "time.perf_counter()" in hits[0].message
+
+    def test_clean_simulated_time_passes(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/core/loop.py": """\
+                from repro import obs
+
+                def tick(clock):
+                    obs.emit("campaign.end", t=clock.now)
+            """,
+        })
+        assert taint_hits(report) == []
+
+    def test_exempt_module_is_trusted(self, analyze_tree):
+        # sim/executor.py is structurally exempt: its wall-clock reads
+        # neither flag locally nor taint its callers.
+        report = analyze_tree({
+            "src/repro/sim/executor.py": """\
+                import time
+
+                def cell_seconds():
+                    return time.perf_counter()
+            """,
+            "src/repro/core/loop.py": """\
+                from repro.sim.executor import cell_seconds
+                from repro import obs
+
+                def tick():
+                    obs.emit("campaign.end", seconds=cell_seconds())
+            """,
+        })
+        assert taint_hits(report) == []
+
+
+class TestRngAndFsTaint:
+    def test_unseeded_rng_into_cache_key(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/jitterlib.py": """\
+                import random
+
+                def jitter():
+                    return random.random()
+            """,
+            "src/repro/sim/cachey.py": """\
+                from repro.sim.jitterlib import jitter
+
+                def cache_token(payload):
+                    return payload
+
+                def build(x):
+                    return cache_token({"x": x, "j": jitter()})
+            """,
+        })
+        hits = taint_hits(report)
+        assert len(hits) == 1
+        assert "unseeded-RNG" in hits[0].message
+        assert "cache-key construction" in hits[0].message
+
+    def test_seeded_generator_is_clean(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/sim/cachey.py": """\
+                import random
+
+                def cache_token(payload):
+                    return payload
+
+                def build(seed):
+                    rng = random.Random(seed)
+                    return cache_token({"j": rng.random()})
+            """,
+        })
+        assert taint_hits(report) == []
+
+    def test_fs_order_into_solver_and_sorted_neutralizes(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/ilp/sched.py": """\
+                import os
+
+                def solve_schedule(items):
+                    return items
+
+                def bad(d):
+                    return solve_schedule(os.listdir(d))
+
+                def good(d):
+                    return solve_schedule(sorted(os.listdir(d)))
+            """,
+        })
+        hits = taint_hits(report)
+        assert len(hits) == 1
+        assert "filesystem-ordering" in hits[0].message
+        assert "decision-plan solving" in hits[0].message
+
+    def test_sorted_does_not_launder_wall_clock(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/core/loop.py": """\
+                import time
+                from repro import obs
+
+                def tick():
+                    obs.emit("campaign.end", ts=sorted([time.time()]))
+            """,
+        })
+        assert len(taint_hits(report)) == 1
+
+
+class TestTaintSuppression:
+    def test_justified_suppression_drops_finding(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/core/loop.py": """\
+                import time
+                from repro import obs
+
+                def tick():
+                    obs.emit("campaign.end", s=time.time())  # repro: allow[determinism-taint] -- diagnostic-only payload key
+            """,
+        })
+        assert taint_hits(report) == []
+
+    def test_bare_suppression_does_not_suppress(self, analyze_tree):
+        report = analyze_tree({
+            "src/repro/core/loop.py": """\
+                import time
+                from repro import obs
+
+                def tick():
+                    obs.emit("campaign.end", s=time.time())  # repro: allow[determinism-taint]
+            """,
+        })
+        assert len(taint_hits(report)) == 1

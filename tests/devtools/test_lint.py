@@ -378,6 +378,78 @@ class TestSuppressions:
         assert len(hits) == 1
         assert "unknown rule" in hits[0].message
 
+    def test_multi_rule_suppression_on_one_line(self, tmp_path):
+        # One line hit by two rules; one comma-list comment covers both.
+        root = make_repo(tmp_path, {
+            "src/repro/sim/probe.py": """\
+                import random
+                import time
+
+                def probe():
+                    return time.time() + random.random()  # repro: allow[wall-clock, unseeded-random] -- paired machine probe, not simulation state
+            """,
+        })
+        report = run_lint(root, select=["wall-clock", "unseeded-random"])
+        assert report.ok, report.render_human()
+
+    def test_multi_rule_suppression_covers_only_listed_rules(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/sim/probe.py": """\
+                import random
+                import time
+
+                def probe():
+                    return time.time() + random.random()  # repro: allow[wall-clock] -- timing probe only
+            """,
+        })
+        report = run_lint(root, select=["wall-clock", "unseeded-random"])
+        assert len(rule_hits(report, "unseeded-random")) == 1
+        assert rule_hits(report, "wall-clock") == []
+
+    def test_bare_multi_rule_suppression_flags_each_id(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/sim/probe.py": """\
+                import random
+                import time
+
+                def probe():
+                    return time.time() + random.random()  # repro: allow[wall-clock, unseeded-random]
+            """,
+        })
+        report = run_lint(root, select=["wall-clock", "unseeded-random"])
+        assert len(rule_hits(report, "wall-clock")) == 1
+        assert len(rule_hits(report, "unseeded-random")) == 1
+        suppression_hits = rule_hits(report, "suppression")
+        assert len(suppression_hits) == 2
+        assert all("justification" in hit.message for hit in suppression_hits)
+
+    def test_unknown_rule_inside_multi_rule_list_is_flagged(self, tmp_path):
+        root = make_repo(tmp_path, {
+            "src/repro/ilp/check.py": """\
+                def validate(x):
+                    assert x  # repro: allow[assert-validation, no-such-rule] -- inner loop
+                    return x
+            """,
+        })
+        report = run_lint(root)
+        assert rule_hits(report, "assert-validation") == []
+        hits = rule_hits(report, "suppression")
+        assert len(hits) == 1
+        assert "unknown rule 'no-such-rule'" in hits[0].message
+
+    def test_analyzer_checker_ids_are_known_to_lint(self, tmp_path):
+        # `repro analyze` suppressions share the comment syntax; lint
+        # must not report them as unknown rules.
+        root = make_repo(tmp_path, {
+            "src/repro/sim/state.py": """\
+                _MEMO = {}
+
+                def prime(key):
+                    _MEMO[key] = 1  # repro: allow[process-boundary] -- primed before fork
+            """,
+        })
+        assert run_lint(root).ok
+
     def test_suppression_syntax_in_docstring_is_ignored(self, tmp_path):
         root = make_repo(tmp_path, {
             "src/repro/ilp/check.py": '''\

@@ -23,6 +23,8 @@ STRICT_PACKAGES = (
     "repro.sim",
     "repro.obs",
     "repro.service",
+    "repro.federated",
+    "repro.faults",
 )
 
 
@@ -87,15 +89,32 @@ class TestPreCommit:
         assert "ruff" in text
         assert "mypy" in text
         assert "repro lint" in text
+        assert "repro analyze --ratchet" in text
+
+    def test_mypy_hook_scopes_to_strict_packages(self):
+        text = (REPO / ".pre-commit-config.yaml").read_text()
+        for package in STRICT_PACKAGES:
+            assert package.split(".", 1)[1] in text
 
 
 class TestCiWorkflow:
-    def test_static_analysis_job_runs_all_three_gates(self):
+    def test_static_analysis_job_runs_all_four_gates(self):
         text = (REPO / ".github" / "workflows" / "ci.yml").read_text()
         assert "static-analysis" in text
         assert "ruff check" in text
         assert "mypy" in text
         assert "lint --format json" in text
+        assert "analyze --ratchet" in text
+
+    def test_mypy_step_covers_every_strict_package(self):
+        text = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        for package in STRICT_PACKAGES:
+            assert f"-p {package}" in text
+
+    def test_analyze_determinism_and_sarif_steps(self):
+        text = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "cmp analyze_a.json analyze_b.json" in text
+        assert "--sarif repro-analyze.sarif" in text
 
 
 class TestMypyStrictPackages:
