@@ -1,0 +1,87 @@
+"""Servertune PBT driver: determinism gate and cache-reuse throughput.
+
+The PBT driver's performance claim is structural: every member
+evaluation rides the campaign cache, so archetype traces are shared
+across the population and surviving members' campaigns are pure cache
+hits in later generations.  An "independent grid" evaluating the same
+member specs with a cold cache per evaluation pays the full trace
+preparation every time.  This module pins both halves:
+
+1. **determinism** — two identically-seeded PBT runs produce identical
+   frontier artifacts (the same property the CI ``servertune-smoke``
+   job checks byte-for-byte through the CLI);
+2. **throughput** — the PBT run completes the same evaluations in less
+   wall-clock time than the cache-less independent grid (a loose gate:
+   real timing, so only the ordering is asserted).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.servertune.pbt import PBTSpec, run_pbt
+from repro.sim import clear_campaign_cache
+from repro.sim.fleet import FleetSpec, compose_fleet, prepare_fleet
+
+#: Small but not trivial: 8 clients over 2 archetypes means every
+#: member evaluation collapses eight clients onto two campaign traces.
+BENCH_FLEET = FleetSpec(n_clients=8, rounds=3, archetypes=2, seed=7)
+BENCH_PBT = PBTSpec(population=4, generations=2, seed=7)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def test_pbt_is_deterministic():
+    clear_campaign_cache()
+    first = run_pbt(BENCH_PBT, BENCH_FLEET)
+    again = run_pbt(BENCH_PBT, BENCH_FLEET)
+    assert first.to_dict() == again.to_dict()
+    assert first.population == again.population
+    assert first.baseline.score == 1.0
+    assert first.frontier
+
+
+def test_pbt_beats_independent_grid_throughput(publish):
+    clear_campaign_cache()
+    result, pbt_seconds = _timed(lambda: run_pbt(BENCH_PBT, BENCH_FLEET))
+
+    # The exact member specs PBT evaluated, plus the static baseline.
+    specs = [None] + [r.spec for r in result.history]
+
+    def independent_grid():
+        for spec in specs:
+            clear_campaign_cache()  # no sharing: every evaluation is cold
+            candidate = dataclasses.replace(BENCH_FLEET, servertune=spec)
+            clients = prepare_fleet(candidate)
+            compose_fleet(candidate, clients)
+
+    _, grid_seconds = _timed(independent_grid)
+
+    assert pbt_seconds < grid_seconds, (
+        f"PBT {pbt_seconds:.2f}s should undercut the cache-less grid "
+        f"{grid_seconds:.2f}s over {len(specs)} evaluations"
+    )
+
+    evaluations = len(specs)
+    publish(
+        "servertune",
+        "\n".join(
+            [
+                "Servertune PBT vs independent grid — "
+                f"{BENCH_FLEET.n_clients} clients / {BENCH_FLEET.rounds} rounds, "
+                f"{BENCH_PBT.population} members x {BENCH_PBT.generations} generations",
+                f"PBT (shared campaign cache): {pbt_seconds:8.2f}s "
+                f"({evaluations / pbt_seconds:.1f} eval/s)",
+                f"independent grid (cold)    : {grid_seconds:8.2f}s "
+                f"({evaluations / grid_seconds:.1f} eval/s)",
+                f"speedup                    : {grid_seconds / pbt_seconds:8.2f}x",
+                f"best member: {result.best.controller} "
+                f"score {result.best.score:.4f} vs static 1.0",
+            ]
+        ),
+    )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eleven subcommands:
+Twelve subcommands:
 
 * ``list`` — enumerate the reproducible paper artifacts;
 * ``run <experiment>`` — regenerate one table/figure and print its rows
@@ -16,6 +16,10 @@ Eleven subcommands:
   client population (traces shard over ``--workers``) and compose it
   under sync / semi-sync / async aggregation, or summarize a recorded
   fleet trace (``docs/async_federation.md``);
+* ``servertune run|report`` — server-side co-optimization: run a
+  population-based search over adaptive global-knob controllers against
+  a fleet workload and print the (energy, latency) frontier, or render a
+  recorded frontier artifact (``docs/server_cooptimization.md``);
 * ``serve`` — answer a JSONL stream of pace-decision requests through
   the long-running decision service and print the canonical decision log
   (``docs/pace_decision_service.md``);
@@ -284,6 +288,70 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="summarize the fleet activity of a recorded trace"
     )
     fleet_report.add_argument("file", help="trace written by fleet run --trace")
+
+    servertune = commands.add_parser(
+        "servertune",
+        help="server co-optimization: PBT over adaptive global-knob "
+        "controllers (see docs/server_cooptimization.md)",
+    )
+    servertune_commands = servertune.add_subparsers(
+        dest="servertune_command", required=True
+    )
+    servertune_run = servertune_commands.add_parser(
+        "run", help="run a PBT campaign over one fleet workload"
+    )
+    servertune_run.add_argument("--clients", type=int, default=24, metavar="N")
+    servertune_run.add_argument("--rounds", type=int, default=6)
+    servertune_run.add_argument("--mode", default="sync", choices=FLEET_MODES)
+    servertune_run.add_argument("--ratio", type=float, default=2.0)
+    servertune_run.add_argument("--seed", type=int, default=0)
+    servertune_run.add_argument(
+        "--archetypes", type=int, default=8, metavar="K",
+        help="pool clients onto K shared trace seeds (0 = all distinct)",
+    )
+    servertune_run.add_argument(
+        "--participants", type=int, default=None, metavar="N",
+        help="aggregation target per round (default: everyone)",
+    )
+    servertune_run.add_argument(
+        "--population", type=int, default=8, metavar="P",
+        help="PBT population size",
+    )
+    servertune_run.add_argument(
+        "--generations", type=int, default=3, metavar="G",
+        help="PBT generations",
+    )
+    servertune_run.add_argument(
+        "--pbt-seed", type=int, default=0,
+        help="seed addressing every PBT init/exploit/explore draw",
+    )
+    servertune_run.add_argument(
+        "--controllers", default=None, metavar="A,B",
+        help="comma-separated adaptive controller mix (default: fedgpo,fedtune)",
+    )
+    servertune_run.add_argument("--alpha-energy", type=float, default=0.5)
+    servertune_run.add_argument("--alpha-time", type=float, default=0.5)
+    servertune_run.add_argument(
+        "--state", default=None, metavar="PATH",
+        help="resume-state JSON: read before the run when it exists, "
+        "rewritten after (deterministic resume)",
+    )
+    servertune_run.add_argument(
+        "--frontier", default=None, metavar="PATH",
+        help="write the frontier artifact (JSON) to PATH",
+    )
+    servertune_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a deterministic obs trace of the PBT run to PATH "
+        "(JSONL); the trace is byte-identical for any --workers value",
+    )
+    _add_parallel_options(servertune_run)
+    servertune_report = servertune_commands.add_parser(
+        "report", help="summarize a frontier artifact JSON"
+    )
+    servertune_report.add_argument(
+        "file", help="artifact written by servertune run --frontier"
+    )
 
     trace = commands.add_parser(
         "trace", help="replay a recorded observability trace (JSONL)"
@@ -685,6 +753,90 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
     return render_fleet_summary(fleet_summary(spec, result))
 
 
+def _cmd_servertune(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.servertune.pbt import (
+        PBTSpec,
+        PBTState,
+        render_frontier_artifact,
+        run_pbt,
+    )
+
+    if args.servertune_command == "report":
+        try:
+            payload = json.loads(pathlib.Path(args.file).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigurationError(
+                f"cannot read frontier artifact {args.file}: {error}"
+            ) from error
+        return render_frontier_artifact(payload)
+
+    fleet = FleetSpec(
+        n_clients=args.clients,
+        rounds=args.rounds,
+        mode=args.mode,
+        deadline_ratio=args.ratio,
+        seed=args.seed,
+        archetypes=args.archetypes if args.archetypes else None,
+        participants=args.participants,
+    )
+    pbt_kwargs: dict = {}
+    if args.controllers:
+        pbt_kwargs["controllers"] = tuple(args.controllers.split(","))
+    pbt = PBTSpec(
+        population=args.population,
+        generations=args.generations,
+        seed=args.pbt_seed,
+        alpha_energy=args.alpha_energy,
+        alpha_time=args.alpha_time,
+        **pbt_kwargs,
+    )
+    state = None
+    if args.state and pathlib.Path(args.state).exists():
+        try:
+            state = PBTState.from_dict(
+                json.loads(pathlib.Path(args.state).read_text())
+            )
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigurationError(
+                f"cannot read PBT state {args.state}: {error}"
+            ) from error
+        print(
+            f"resuming from {args.state} at generation {state.next_generation}",
+            file=sys.stderr,
+        )
+    run_kwargs = dict(
+        workers=_normalize_workers(args.workers),
+        progress=_progress_printer(args.progress),
+        state=state,
+    )
+    # Trace gathering inside the driver suspends obs (executor events
+    # depend on worker count); everything this session captures is the
+    # pure composition + PBT decision stream, byte-stable per seed.
+    if args.trace:
+        with obs.session(deterministic=True) as session:
+            result = run_pbt(pbt, fleet, **run_kwargs)
+        trace_path = session.log.dump_jsonl(args.trace)
+        print(f"trace: {session.log.emitted} events -> {trace_path}", file=sys.stderr)
+    else:
+        result = run_pbt(pbt, fleet, **run_kwargs)
+    if args.state:
+        path = pathlib.Path(args.state)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(result.state.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+    if args.frontier:
+        path = pathlib.Path(args.frontier)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"frontier artifact -> {path}", file=sys.stderr)
+    return result.render()
+
+
 def _cmd_trace(args: argparse.Namespace) -> str:
     events = obs.read_jsonl(args.file)
     return obs.render_view(events, args.view)
@@ -791,6 +943,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         elif args.command == "fleet":
             _setup_persistence(args)
             print(_cmd_fleet(args))
+        elif args.command == "servertune":
+            _setup_persistence(args)
+            print(_cmd_servertune(args))
         elif args.command == "serve":
             print(_cmd_serve(args))
         elif args.command == "loadtest":

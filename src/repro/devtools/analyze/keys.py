@@ -34,7 +34,8 @@ class KeyContract:
     description: str
 
 
-#: The four keyed spec types this repo caches on (ISSUE 8 contract set).
+#: The keyed spec types this repo caches on (ISSUE 8 contract set, plus
+#: the servertune specs whose tokens join campaign and PBT cache keys).
 DEFAULT_CONTRACTS: tuple[KeyContract, ...] = (
     KeyContract(
         dataclass="repro.sim.executor.CampaignSpec",
@@ -59,6 +60,16 @@ DEFAULT_CONTRACTS: tuple[KeyContract, ...] = (
         dataclass="repro.service.api.DecisionRequest",
         key_functions=("repro.service.api.DecisionRequest.token",),
         description="the decision-cache token",
+    ),
+    KeyContract(
+        dataclass="repro.servertune.controllers.ServerTuneSpec",
+        key_functions=("repro.servertune.controllers.ServerTuneSpec.to_dict",),
+        description="the servertune campaign-key token",
+    ),
+    KeyContract(
+        dataclass="repro.servertune.pbt.PBTSpec",
+        key_functions=("repro.servertune.pbt.PBTSpec.to_dict",),
+        description="the PBT campaign token",
     ),
 )
 

@@ -111,6 +111,29 @@ def ext_async_fleet_grid(
     return specs
 
 
+def ext_servertune_grid(
+    ratio: float = 2.0, rounds: int = 6, seed: int = 0, clients: int = 24
+) -> list[CampaignSpec]:
+    """Server co-optimization extension: every configuration's trace set.
+
+    Static variants share campaign keys across deadline ratios they have
+    in common; adaptive variants key separately (the servertune spec
+    rides on each client's campaign).  The dedup mirrors the executor's.
+    """
+    from repro.experiments.ext_servertune import base_spec, variant_specs
+    from repro.sim.fleet import build_fleet_clients, campaign_spec_for
+
+    base = base_spec(clients=clients, rounds=rounds, ratio=ratio, seed=seed)
+    seen, specs = set(), []
+    for variant in variant_specs(base).values():
+        for client in build_fleet_clients(variant):
+            spec = campaign_spec_for(client, variant)
+            if spec.key() not in seen:
+                seen.add(spec.key())
+                specs.append(spec)
+    return specs
+
+
 def ext_resilience_grid(
     ratio: float = 2.0, rounds: int = 30, seed: int = 0, preset: str = "mixed"
 ) -> list[CampaignSpec]:

@@ -22,6 +22,7 @@ from repro.experiments import (
     ext_controllers,
     ext_fleet,
     ext_resilience,
+    ext_servertune,
     fig2_spread,
     fig3_gpu_sweep,
     fig4_cpu_sweep,
@@ -206,6 +207,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             ext_resilience.run,
             ext_resilience.render,
             grid=grids.ext_resilience_grid,
+        ),
+        Experiment(
+            "ext_servertune",
+            "Extension: adaptive server co-optimization vs static knobs",
+            ext_servertune.run,
+            ext_servertune.render,
+            grid=grids.ext_servertune_grid,
         ),
     )
 }

@@ -64,6 +64,11 @@ from repro.federated.selection import ClientSelector
 from repro.federated.transport import LinkModel
 from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.obs import runtime as obs
+from repro.servertune.controllers import (
+    RoundFeedback,
+    ServerController,
+    ServerKnobs,
+)
 from repro.types import Seconds
 
 #: Aggregation disciplines the engine understands.
@@ -316,6 +321,15 @@ class AsyncFederationEngine:
     buffer_size, staleness_exponent, max_staleness:
         ``async`` only: the FedBuff buffer length, the staleness-discount
         exponent, and the optional hard staleness bound.
+    controller:
+        Optional :class:`~repro.servertune.controllers.ServerController`
+        adapting the global knobs between aggregations: ``participation``
+        rescales the selector's cohort (sync/semisync), ``deadline_scale``
+        caps how long past the nominal deadline budget the server waits
+        before cutting a round (sync/semisync), ``buffer_scale`` rescales
+        the FedBuff commit threshold (async), and ``halt`` ends the run.
+        ``None`` (and a controller pinned at the default knobs) composes
+        byte-identically to the pre-controller engine.
     """
 
     def __init__(
@@ -330,6 +344,7 @@ class AsyncFederationEngine:
         buffer_size: int = 16,
         staleness_exponent: float = 0.5,
         max_staleness: Optional[int] = None,
+        controller: Optional[ServerController] = None,
     ) -> None:
         if not clients:
             raise ConfigurationError("a fleet needs at least one client")
@@ -360,6 +375,13 @@ class AsyncFederationEngine:
         self.buffer_size = buffer_size
         self.staleness_exponent = staleness_exponent
         self.max_staleness = max_staleness
+        self.controller = controller
+        #: The selector's configured cohort size before any participation
+        #: knob touched it; the knob always rescales from this base, never
+        #: from its own previous output (no compounding).
+        self._base_selection: Optional[int] = getattr(
+            selector, "participants_per_round", None
+        )
         self._by_id = {c.client_id: c for c in self.clients}
         if len(self._by_id) != len(self.clients):
             raise ConfigurationError("fleet client ids must be unique")
@@ -537,10 +559,64 @@ class AsyncFederationEngine:
             )
         return result
 
-    def _select_ids(self, round_index: int) -> list[str]:
+    def _round_knobs(self, round_index: int) -> Optional[ServerKnobs]:
+        """The controller's knobs for this round (None when uncontrolled)."""
+        if self.controller is None:
+            return None
+        knobs = self.controller.knobs_for(round_index)
+        if obs.enabled():
+            obs.emit(
+                "servertune.knobs",
+                round=round_index,
+                controller=self.controller.name,
+                deadline_scale=knobs.deadline_scale,
+                participation=knobs.participation,
+                buffer_scale=knobs.buffer_scale,
+                halt=knobs.halt,
+            )
+            obs.count("servertune.rounds")
+        return knobs
+
+    def _feed_controller(
+        self, round_record: FleetRound, result: FleetResult
+    ) -> None:
+        """Report one committed round back to the server controller."""
+        if self.controller is None:
+            return
+        self.controller.observe(
+            RoundFeedback(
+                round_index=round_record.round_index,
+                participants=len(round_record.participants),
+                buffered=len(round_record.buffered),
+                stragglers=len(round_record.stragglers),
+                energy=round_record.total_energy,
+                latency=round_record.latency,
+                total_energy=result.total_energy,
+                makespan=round_record.completed_at,
+            )
+        )
+
+    def _emit_halt(self, round_index: int, t: Seconds) -> None:
+        if self.controller is None:
+            return
+        obs.emit(
+            "servertune.halt",
+            t=t,
+            round=round_index,
+            controller=self.controller.name,
+        )
+        obs.count("servertune.halts")
+
+    def _select_ids(
+        self, round_index: int, knobs: Optional[ServerKnobs] = None
+    ) -> list[str]:
         ids = [c.client_id for c in self.clients]
         if self.selector is None:
             return ids
+        if knobs is not None and self._base_selection is not None:
+            self.selector.participants_per_round = max(  # type: ignore[attr-defined]
+                1, round(self._base_selection * knobs.participation)
+            )
         return list(self.selector.select(ids, round_index))
 
     def _run_rounds(self, rounds: int) -> FleetResult:
@@ -549,7 +625,11 @@ class AsyncFederationEngine:
         version = 0
         now: Seconds = 0.0
         for round_index in range(rounds):
-            selected = self._select_ids(round_index)
+            knobs = self._round_knobs(round_index)
+            if knobs is not None and knobs.halt:
+                self._emit_halt(round_index, now)
+                break
+            selected = self._select_ids(round_index, knobs)
             round_record = FleetRound(
                 round_index=round_index,
                 started_at=now,
@@ -580,7 +660,12 @@ class AsyncFederationEngine:
                     continue
                 arrivals.append(arrival)
             arrivals.sort(key=lambda a: (a.at, a.order))
-            cutoff_at = self._cutoff(arrivals)
+            cutoff_at = self._cutoff(arrivals, knobs)
+            patience_at = self._patience(now, arrivals, knobs)
+            if patience_at is not None and (
+                cutoff_at is None or patience_at < cutoff_at
+            ):
+                cutoff_at = patience_at
             for arrival in arrivals:
                 missed = arrival.record.missed
                 if missed:
@@ -613,17 +698,44 @@ class AsyncFederationEngine:
             version = self._commit(round_record, version)
             result.rounds.append(round_record)
             self._emit_round(round_record)
+            self._feed_controller(round_record, result)
             now = round_record.completed_at
         return result
 
-    def _cutoff(self, arrivals: list[_Arrival]) -> Optional[Seconds]:
+    def _cutoff(
+        self, arrivals: list[_Arrival], knobs: Optional[ServerKnobs] = None
+    ) -> Optional[Seconds]:
         """The semi-sync straggler cutoff time, or None (wait for all)."""
         if self.mode != "semisync" or self.target_reports is None:
             return None
+        target = self.target_reports
+        if knobs is not None and knobs.participation != 1.0:
+            # Shrinking the cohort shrinks the commit quorum with it, so
+            # a low-participation round is not doomed to wait on everyone.
+            target = max(1, round(target * knobs.participation))
         aggregatable = [a for a in arrivals if not a.record.missed]
-        if len(aggregatable) <= self.target_reports:
+        if len(aggregatable) <= target:
             return None
-        return aggregatable[self.target_reports - 1].at
+        return aggregatable[target - 1].at
+
+    def _patience(
+        self,
+        started_at: Seconds,
+        arrivals: list[_Arrival],
+        knobs: Optional[ServerKnobs],
+    ) -> Optional[Seconds]:
+        """The controller's straggler-patience cap on the round close.
+
+        ``deadline_scale`` bounds how long past the round's largest
+        training deadline the server keeps waiting: reports later than
+        ``started_at + scale x max(deadline)`` are cut.  The default
+        scale of 1.0 means "no cap" (classic wait-for-all sync), keeping
+        uncontrolled composition byte-identical.
+        """
+        if knobs is None or knobs.deadline_scale == 1.0 or not arrivals:
+            return None
+        budget = max(a.record.deadline for a in arrivals)
+        return started_at + knobs.deadline_scale * budget
 
     def _round_close(
         self,
@@ -633,6 +745,10 @@ class AsyncFederationEngine:
     ) -> Seconds:
         """When the server closes the round and commits."""
         if cutoff_at is not None:
+            if arrivals:
+                # A patience cap later than every arrival never extends
+                # the round (semisync cutoffs are arrival times already).
+                return min(cutoff_at, max(a.at for a in arrivals))
             return cutoff_at
         if arrivals:
             return max(a.at for a in arrivals)
@@ -659,10 +775,22 @@ class AsyncFederationEngine:
         buffer: list[FleetReport] = []
         pending_energy = 0.0
         pending_dropped: list[str] = []
+        knobs = self._round_knobs(0)
         while heap:
             _, _, arrival = heapq.heappop(heap)
             client = arrival.client
             round_index = len(result.rounds)
+            if knobs is not None and knobs.halt:
+                # The server stops committing: the in-flight report (and
+                # everything still on the heap) burned energy no window
+                # will ever claim.
+                self._emit_halt(round_index, arrival.at)
+                pending_energy += arrival.record.energy
+                pending_energy += sum(
+                    entry[2].record.energy for entry in heap
+                )
+                heap.clear()
+                break
             flush = False
             if arrival.dropped:
                 pending_dropped.append(client.client_id)
@@ -697,9 +825,12 @@ class AsyncFederationEngine:
                 )
                 self._emit_enqueue(report, round_index)
                 buffer.append(report)
+                threshold = self.buffer_size
+                if knobs is not None and knobs.buffer_scale != 1.0:
+                    threshold = max(1, round(threshold * knobs.buffer_scale))
                 flush = (
                     sum(1 for r in buffer if r.status == "buffered")
-                    >= self.buffer_size
+                    >= threshold
                 )
             if flush:
                 round_record = FleetRound(
@@ -713,6 +844,10 @@ class AsyncFederationEngine:
                 version = self._commit(round_record, version)
                 result.rounds.append(round_record)
                 self._emit_round(round_record)
+                self._feed_controller(round_record, result)
+                # Async knobs advance per commit, not per arrival: the
+                # controller sees one feedback per aggregation window.
+                knobs = self._round_knobs(len(result.rounds))
                 flushed_at = arrival.at
                 buffer = []
                 pending_dropped = []

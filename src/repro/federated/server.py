@@ -28,6 +28,7 @@ from repro.ml.data import Dataset
 from repro.ml.models import MLPClassifier
 from repro.ml.training import accuracy
 from repro.obs import runtime as obs
+from repro.servertune.controllers import RoundFeedback, ServerController
 
 
 @dataclass
@@ -44,6 +45,9 @@ class ServerRound:
     #: aggregator and the server degraded to FedAvg for this round.
     aggregation_fallback: bool = False
     global_accuracy: Optional[float] = None
+    #: The server controller's deadline multiplier this round (1.0 when
+    #: uncontrolled): the audit trail tying a tuned round to its knobs.
+    deadline_scale: float = 1.0
 
     @property
     def total_energy(self) -> float:
@@ -68,6 +72,7 @@ class FederatedServer:
         eval_data: Optional[Dataset] = None,
         dropout_rate: float = 0.0,
         seed: int = 0,
+        server_controller: Optional[ServerController] = None,
     ) -> None:
         if not clients:
             raise ConfigurationError("a federation needs at least one client")
@@ -102,25 +107,55 @@ class FederatedServer:
             client.client_id: client.measure_t_min() for client in self.clients
         }
         self._deadline_ratios: Optional[np.ndarray] = None
+        #: Optional servertune controller adapting deadlines/participation.
+        self.server_controller = server_controller
+        #: The knobs governing the round currently executing (set by
+        #: :meth:`run_round`, consumed by :meth:`_deadline_for`).
+        self._round_scale: float = 1.0
 
     def _deadline_for(self, client: FederatedClient, round_index: int, total_rounds: int) -> float:
         """Per-client deadline: the round's slack ratio times its T_min.
 
         Ratios are drawn once for the whole campaign so every client of a
         round shares the same relative slack (the server's round pacing),
-        while absolute deadlines reflect each device's capability.
+        while absolute deadlines reflect each device's capability.  An
+        active server controller multiplies the round's ratio by its
+        ``deadline_scale`` knob; every override lands on the trace.
         """
         if self._deadline_ratios is None or self._deadline_ratios.size < total_rounds:
             unit = self.deadline_schedule.generate(1.0, total_rounds, seed=self._seed)
             self._deadline_ratios = np.asarray(unit)
-        return float(self._deadline_ratios[round_index] * self._t_min[client.client_id])
+        base = float(self._deadline_ratios[round_index] * self._t_min[client.client_id])
+        if self._round_scale == 1.0:
+            return base
+        scaled = base * self._round_scale
+        if obs.enabled():
+            obs.emit(
+                "servertune.override",
+                context="server",
+                round=round_index,
+                client=client.client_id,
+                base_deadline=base,
+                deadline=scaled,
+                scale=self._round_scale,
+            )
+            obs.count("servertune.overrides")
+        return scaled
 
     def run_round(self, round_index: int, total_rounds: int) -> ServerRound:
         """Execute one global round and aggregate the results."""
-        participants = self.selector.select(self.clients, round_index)
+        participants = list(self.selector.select(self.clients, round_index))
+        self._round_scale = 1.0
+        if self.server_controller is not None:
+            knobs = self.server_controller.knobs_for(round_index)
+            self._round_scale = knobs.deadline_scale
+            if knobs.participation < 1.0 and len(participants) > 1:
+                keep = max(1, round(len(participants) * knobs.participation))
+                participants = participants[:keep]
         round_record = ServerRound(
             round_index=round_index,
             participants=[c.client_id for c in participants],
+            deadline_scale=self._round_scale,
         )
         global_weights: Optional[Weights] = (
             self.global_model.get_weights() if self.global_model is not None else None
@@ -186,6 +221,22 @@ class FederatedServer:
             )
             obs.count("server.rounds")
             obs.count("server.dropouts", len(round_record.dropped))
+        if self.server_controller is not None:
+            latency = max(
+                (r.record.elapsed for r in round_record.reports), default=0.0
+            )
+            self.server_controller.observe(
+                RoundFeedback(
+                    round_index=round_index,
+                    participants=len(round_record.participants),
+                    buffered=sum(1 for r in round_record.reports if r.succeeded),
+                    stragglers=len(round_record.stragglers),
+                    energy=round_record.total_energy,
+                    latency=latency,
+                    total_energy=self.total_energy,
+                    makespan=0.0,
+                )
+            )
         return round_record
 
     def _notify_selector(self, round_record: ServerRound) -> None:

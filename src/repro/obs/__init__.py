@@ -43,6 +43,7 @@ from repro.obs.runtime import (
     gauge,
     observe,
     session,
+    suspended,
     timer,
 )
 from repro.obs.trace import (
@@ -88,6 +89,7 @@ __all__ = [
     "render_view",
     "replay_campaigns",
     "session",
+    "suspended",
     "tab3_payload_from_trace",
     "timer",
 ]

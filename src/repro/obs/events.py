@@ -65,6 +65,13 @@ EVENT_KINDS = frozenset(
         "service.degraded",
         "service.end",
         "loadgen.pass",
+        "servertune.knobs",
+        "servertune.override",
+        "servertune.halt",
+        "servertune.member",
+        "servertune.mutation",
+        "servertune.generation",
+        "servertune.frontier",
         "chaos.schedule",
         "fault.injected",
         "fault.cleared",

@@ -53,6 +53,13 @@ COUNTER_NAMES = frozenset(
         "server.dropouts",
         "server.failed_rounds",
         "server.rounds",
+        "servertune.exploits",
+        "servertune.explores",
+        "servertune.generations",
+        "servertune.halts",
+        "servertune.members",
+        "servertune.overrides",
+        "servertune.rounds",
         "service.cache_hits",
         "service.cache_misses",
         "service.coalesced",

@@ -75,6 +75,26 @@ def disable() -> None:
 
 
 @contextlib.contextmanager
+def suspended() -> Iterator[None]:
+    """Context manager: deactivate observability, restore it after.
+
+    The inverse of :func:`session` for mixed-phase drivers: code that
+    interleaves executor-sharded trace gathering (whose cache/cell
+    events depend on worker count and cache warmth) with pure
+    composition runs the gathering under ``suspended()`` so a
+    deterministic trace captures only the composition.  The PBT driver
+    relies on this for its serial==sharded byte-identity gate.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    try:
+        yield
+    finally:
+        _ACTIVE = previous
+
+
+@contextlib.contextmanager
 def session(
     capacity: Optional[int] = None, deterministic: bool = False
 ) -> Iterator[ObsSession]:

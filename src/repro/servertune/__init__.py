@@ -1,0 +1,73 @@
+"""``repro.servertune`` — server-side co-optimization of global FL knobs.
+
+BoFL tunes each client's local pace; this subsystem tunes the knobs the
+*server* owns — round deadline slack, participation, async buffer
+length, and the rounds budget — and searches their controller
+hyperparameters with population-based training:
+
+* :mod:`repro.servertune.controllers` — the :class:`ServerController`
+  protocol plus the ``static`` / ``fedgpo`` / ``fedtune`` policies and
+  the key-bearing :class:`ServerTuneSpec`;
+* :mod:`repro.servertune.pbt` — the exploit/explore population driver
+  on top of the campaign executor, with deterministic resume.
+
+See ``docs/server_cooptimization.md`` for the controller API, the PBT
+driver, and the determinism contract.
+
+Import layering: ``controllers`` depends only on the error types, so the
+federation engine and fleet layers may import it freely.  ``pbt`` sits
+*above* the fleet layer; it is exposed lazily (PEP 562) to keep
+``repro.sim.fleet -> repro.servertune.controllers`` acyclic.
+"""
+
+from repro.servertune.controllers import (
+    DEFAULT_KNOBS,
+    SERVERTUNE_CONTROLLERS,
+    FedGPOController,
+    FedTuneController,
+    RoundFeedback,
+    ServerController,
+    ServerKnobs,
+    ServerTuneSpec,
+    StaticKnobs,
+    make_server_controller,
+    normalize_servertune,
+)
+
+#: Names served lazily from :mod:`repro.servertune.pbt` (PEP 562).
+_PBT_EXPORTS = (
+    "MemberRecord",
+    "PBTResult",
+    "PBTSpec",
+    "PBTState",
+    "PBT_CONTROLLERS",
+    "SEARCH_SPACE",
+    "evolve",
+    "init_population",
+    "pareto_front",
+    "render_frontier_artifact",
+    "run_pbt",
+)
+
+__all__ = [
+    "DEFAULT_KNOBS",
+    "SERVERTUNE_CONTROLLERS",
+    "FedGPOController",
+    "FedTuneController",
+    "RoundFeedback",
+    "ServerController",
+    "ServerKnobs",
+    "ServerTuneSpec",
+    "StaticKnobs",
+    "make_server_controller",
+    "normalize_servertune",
+    *_PBT_EXPORTS,
+]
+
+
+def __getattr__(name: str) -> object:
+    if name in _PBT_EXPORTS:
+        from repro.servertune import pbt
+
+        return getattr(pbt, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

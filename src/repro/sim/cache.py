@@ -35,13 +35,17 @@ from repro.core.records import CampaignResult
 from repro.errors import ConfigurationError
 from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
+from repro.servertune.controllers import ServerTuneSpec
 
 #: Bump whenever the campaign key layout or the serialized result format
 #: changes; older entries then read as misses and are rewritten.
 #: v2: fault schedule + recovery policy joined the key (chaos campaigns).
 #: v3: tokens grew a ``kind`` discriminator — fleet-layer artifacts share
 #: the store's namespace with plain campaigns and must never collide.
-CACHE_SCHEMA_VERSION = 3
+#: v4: the optional servertune spec joined the key — an adaptive server
+#: controller reshapes a campaign's per-round deadlines, so controller
+#: state is part of what "the same campaign" means.
+CACHE_SCHEMA_VERSION = 4
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -57,8 +61,8 @@ STATS_SCHEMA_VERSION = 1
 _STAT_FIELDS = ("hits", "misses", "writes", "evictions")
 
 #: The in-process campaign key: (device, task, controller, ratio, rounds,
-#: seed, BoFLConfig-or-None, FaultSchedule-or-None, RecoveryPolicy-or-None)
-#: — the same tuple the runner memoizes on.
+#: seed, BoFLConfig-or-None, FaultSchedule-or-None, RecoveryPolicy-or-None,
+#: ServerTuneSpec-or-None) — the same tuple the runner memoizes on.
 CampaignKey = tuple[
     str,
     str,
@@ -69,6 +73,7 @@ CampaignKey = tuple[
     Optional[BoFLConfig],
     Optional[FaultSchedule],
     Optional[RecoveryPolicy],
+    Optional[ServerTuneSpec],
 ]
 
 
@@ -88,8 +93,14 @@ def cache_token(key: CampaignKey) -> dict[str, object]:
     must never conflate configs that the in-memory key distinguishes.  The
     fault schedule and recovery policy expand the same way, so a faulted
     campaign can never be served its fault-free twin (or vice versa).
+    The servertune spec expands likewise: an adaptive server controller
+    reshapes the per-round deadlines, so a tuned campaign must never
+    collide with its static twin.
     """
-    device, task, controller, ratio, rounds, seed, config, schedule, policy = key
+    (
+        device, task, controller, ratio, rounds, seed,
+        config, schedule, policy, servertune,
+    ) = key
     return {
         "schema": CACHE_SCHEMA_VERSION,
         "kind": "campaign",
@@ -102,6 +113,7 @@ def cache_token(key: CampaignKey) -> dict[str, object]:
         "bofl_config": None if config is None else dataclasses.asdict(config),
         "fault_schedule": None if schedule is None else schedule.to_dict(),
         "recovery_policy": None if policy is None else policy.to_dict(),
+        "servertune": None if servertune is None else servertune.to_dict(),
     }
 
 

@@ -38,6 +38,7 @@ from repro.errors import ConfigurationError
 from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.obs import runtime as obs
+from repro.servertune.controllers import ServerTuneSpec
 from repro.sim import runner as _runner
 from repro.sim.cache import PersistentCampaignCache
 from repro.sim.runner import (
@@ -81,12 +82,15 @@ class CampaignSpec:
     #: chaos engine; both participate in the cache key.
     fault_schedule: Optional[FaultSchedule] = None
     recovery_policy: Optional[RecoveryPolicy] = None
+    #: Optional adaptive server controller above the round loop; part of
+    #: the cache key (it reshapes the per-round deadlines).
+    servertune: Optional[ServerTuneSpec] = None
 
     def key(self) -> CampaignKey:
         return campaign_key(
             self.device, self.task, self.controller, self.deadline_ratio,
             self.rounds, self.seed, self.bofl_config,
-            self.fault_schedule, self.recovery_policy,
+            self.fault_schedule, self.recovery_policy, self.servertune,
         )
 
     def label(self) -> str:
@@ -96,6 +100,8 @@ class CampaignSpec:
         )
         if self.fault_schedule is not None and not self.fault_schedule.is_empty:
             base += f"/chaos{len(self.fault_schedule)}"
+        if self.servertune is not None and not self.servertune.is_static:
+            base += f"/tune-{self.servertune.controller}"
         return base
 
     def run(self, *, use_cache: bool = True) -> CampaignResult:
@@ -111,6 +117,7 @@ class CampaignSpec:
             use_cache=use_cache,
             fault_schedule=self.fault_schedule,
             recovery_policy=self.recovery_policy,
+            servertune=self.servertune,
         )
 
 

@@ -54,6 +54,11 @@ from repro.federated.selection import (
 )
 from repro.federated.transport import MODEL_SIZES_MBIT, LinkModel
 from repro.faults.schedule import FaultSchedule, FaultSpec
+from repro.servertune.controllers import (
+    ServerTuneSpec,
+    make_server_controller,
+    normalize_servertune,
+)
 from repro.sim.cache import PersistentCampaignCache
 from repro.sim.executor import CampaignExecutor, CampaignSpec, ProgressCallback
 
@@ -105,6 +110,11 @@ class FleetSpec:
     #: Fraction of clients running under a derived chaos schedule.
     chaos_fraction: float = 0.0
     chaos_seed: int = 0
+    #: Optional adaptive server controller: reshapes per-archetype trace
+    #: deadlines (it joins every client's campaign key) and adapts the
+    #: composition's participation/patience/buffer knobs per round.
+    #: Static specs normalize to None, preserving pre-subsystem behaviour.
+    servertune: Optional[ServerTuneSpec] = None
 
     def __post_init__(self) -> None:
         if self.n_clients < 1:
@@ -248,7 +258,13 @@ def build_fleet_clients(spec: FleetSpec) -> list[FleetClient]:
 
 
 def campaign_spec_for(client: FleetClient, spec: FleetSpec) -> CampaignSpec:
-    """The campaign producing this client's local-round trace."""
+    """The campaign producing this client's local-round trace.
+
+    An adaptive ``spec.servertune`` rides onto every client's campaign
+    key: the server controller reshapes each archetype's per-round
+    deadline budget, so a tuned fleet must never reuse a static fleet's
+    traces (or vice versa).
+    """
     return CampaignSpec(
         device=client.device,
         task=client.task,
@@ -257,6 +273,7 @@ def campaign_spec_for(client: FleetClient, spec: FleetSpec) -> CampaignSpec:
         rounds=spec.rounds,
         seed=client.trace_seed,
         fault_schedule=client.fault_schedule,
+        servertune=normalize_servertune(spec.servertune),
     )
 
 
@@ -319,10 +336,15 @@ def compose_fleet(spec: FleetSpec, clients: list[FleetClient]) -> FleetResult:
         )
     else:
         selection_size = target
+    tune = normalize_servertune(spec.servertune)
+    # An adaptive controller's participation knob needs a sized selector
+    # to act on, so a tuned fleet always builds one — even when the
+    # static sizing would have selected everyone.
+    sized = selection_size < spec.n_clients or tune is not None
     selector: Optional[ClientSelector] = None
-    if spec.selector == "random" and selection_size < spec.n_clients:
+    if spec.selector == "random" and sized:
         selector = RandomSelector(selection_size, seed=spec.seed)
-    elif spec.selector == "energy" and selection_size < spec.n_clients:
+    elif spec.selector == "energy" and sized:
         selector = EnergyAwareSelector(selection_size, seed=spec.seed)
     engine = AsyncFederationEngine(
         [
@@ -337,6 +359,7 @@ def compose_fleet(spec: FleetSpec, clients: list[FleetClient]) -> FleetResult:
         buffer_size=spec.buffer_size,
         staleness_exponent=spec.staleness_exponent,
         max_staleness=spec.max_staleness,
+        controller=None if tune is None else make_server_controller(tune),
     )
     return engine.run(spec.rounds)
 
@@ -358,7 +381,7 @@ def run_fleet(
 
 def fleet_summary(spec: FleetSpec, result: FleetResult) -> dict[str, object]:
     """The JSON-stable scorecard of one fleet run (CLI report, goldens)."""
-    return {
+    summary: dict[str, object] = {
         "mode": result.mode,
         "clients": result.n_clients,
         "rounds": len(result.rounds),
@@ -374,6 +397,11 @@ def fleet_summary(spec: FleetSpec, result: FleetResult) -> dict[str, object]:
         "deadline_ratio": spec.deadline_ratio,
         "seed": spec.seed,
     }
+    if spec.servertune is not None:
+        # Only tuned fleets grow the key: static scorecards (and their
+        # golden files) stay byte-identical to the pre-subsystem layout.
+        summary["servertune"] = spec.servertune.controller
+    return summary
 
 
 def render_fleet_summary(summary: dict[str, object]) -> str:

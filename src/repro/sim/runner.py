@@ -31,6 +31,12 @@ from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.federated.deadlines import UniformDeadlines
 from repro.obs import runtime as obs
+from repro.servertune.controllers import (
+    RoundFeedback,
+    ServerTuneSpec,
+    make_server_controller,
+    normalize_servertune,
+)
 from repro.federated.task import FLTaskSpec, cifar10_vit, imagenet_resnet50, imdb_lstm
 from repro.hardware.device import SimulatedDevice
 from repro.hardware.devices import get_device
@@ -89,6 +95,7 @@ def campaign_key(
     bofl_config: Optional[BoFLConfig] = None,
     fault_schedule: Optional[FaultSchedule] = None,
     recovery_policy: Optional[RecoveryPolicy] = None,
+    servertune: Optional[ServerTuneSpec] = None,
 ) -> CampaignKey:
     """The canonical cache key for one campaign.
 
@@ -100,7 +107,10 @@ def campaign_key(
     normalized the same way :func:`run_campaign` executes them — an empty
     schedule keys as fault-free, and a missing policy keys as the default
     :class:`~repro.faults.recovery.RecoveryPolicy` — so every caller maps
-    equivalent runs to the same key.
+    equivalent runs to the same key.  A servertune spec joins the key
+    only when adaptive (an adaptive server controller reshapes the
+    per-round deadlines); static specs normalize to ``None`` so they
+    share keys with pre-subsystem campaigns.
     """
     if fault_schedule is not None and fault_schedule.is_empty:
         fault_schedule = None
@@ -118,6 +128,7 @@ def campaign_key(
         bofl_config,
         fault_schedule,
         recovery_policy,
+        normalize_servertune(servertune),
     )
 
 
@@ -203,6 +214,7 @@ def run_campaign(
     use_cache: bool = True,
     fault_schedule: Optional[FaultSchedule] = None,
     recovery_policy: Optional[RecoveryPolicy] = None,
+    servertune: Optional[ServerTuneSpec] = None,
 ) -> CampaignResult:
     """Run (or fetch from cache) one full campaign.
 
@@ -217,6 +229,14 @@ def run_campaign(
     :class:`~repro.core.records.ChaosSummary`.  The deadline sequence and
     the device noise stream stay identical to the fault-free twin, so the
     two runs are directly comparable round by round.
+
+    An adaptive ``servertune`` spec puts a server-side controller above
+    the round loop (:mod:`repro.servertune`): each round's deadline is
+    scaled by the controller's current ``deadline_scale`` knob, updated
+    from the previous rounds' miss/energy feedback, and the controller's
+    ``halt`` knob can end the campaign early.  Static specs are
+    normalized away, keeping those runs byte-identical to pre-subsystem
+    campaigns.
     """
     chaos = fault_schedule is not None and not fault_schedule.is_empty
     if not chaos:
@@ -224,9 +244,10 @@ def run_campaign(
         recovery_policy = None
     elif recovery_policy is None:
         recovery_policy = RecoveryPolicy()
+    servertune = normalize_servertune(servertune)
     key = campaign_key(
         device_name, task_name, controller_name, deadline_ratio, rounds, seed,
-        bofl_config, fault_schedule, recovery_policy,
+        bofl_config, fault_schedule, recovery_policy, servertune,
     )
     if use_cache:
         cached = _CAMPAIGN_CACHE.get(key)
@@ -286,6 +307,7 @@ def run_campaign(
         seed=int(seed),
         jobs_per_round=jobs,
     )
+    engine: Optional[ChaosRoundEngine] = None
     if fault_schedule is not None and recovery_policy is not None:
         obs.emit(
             "chaos.schedule",
@@ -296,8 +318,58 @@ def run_campaign(
         engine = ChaosRoundEngine(
             device, controller, fault_schedule, recovery_policy
         )
-        for index, deadline in enumerate(deadlines):
-            result.records.append(engine.run_round(index, jobs, deadline))
+    tuner = make_server_controller(servertune) if servertune is not None else None
+    cumulative_energy = 0.0
+    cumulative_elapsed = 0.0
+    for index, deadline in enumerate(deadlines):
+        if tuner is not None:
+            knobs = tuner.knobs_for(index)
+            if knobs.halt:
+                # The rounds-budget knob: the server stops paying for
+                # rounds that no longer improve its objective.
+                obs.emit(
+                    "servertune.halt",
+                    t=device.clock.now,
+                    round=index,
+                    controller=tuner.name,
+                )
+                obs.count("servertune.halts")
+                break
+            if knobs.deadline_scale != 1.0:
+                scaled = deadline * knobs.deadline_scale
+                obs.emit(
+                    "servertune.override",
+                    t=device.clock.now,
+                    context="campaign",
+                    round=index,
+                    controller=tuner.name,
+                    base_deadline=deadline,
+                    deadline=scaled,
+                    scale=knobs.deadline_scale,
+                )
+                obs.count("servertune.overrides")
+                deadline = scaled
+        if engine is not None:
+            record = engine.run_round(index, jobs, deadline)
+        else:
+            record = controller.run_round(jobs, deadline)
+        result.records.append(record)
+        if tuner is not None:
+            cumulative_energy += record.energy
+            cumulative_elapsed += record.elapsed
+            tuner.observe(
+                RoundFeedback(
+                    round_index=index,
+                    participants=1,
+                    buffered=0 if record.missed else 1,
+                    stragglers=1 if record.missed else 0,
+                    energy=record.energy,
+                    latency=record.elapsed,
+                    total_energy=cumulative_energy,
+                    makespan=cumulative_elapsed,
+                )
+            )
+    if engine is not None:
         engine.finish()
         result.chaos = ChaosSummary(
             injected=tuple(engine.log.injected),
@@ -307,9 +379,6 @@ def run_campaign(
             dropped_rounds=engine.log.dropped_rounds,
             lost_reports=engine.log.lost_reports,
         )
-    else:
-        for deadline in deadlines:
-            result.records.append(controller.run_round(jobs, deadline))
 
     _annotate(result, controller)
     obs.emit(

@@ -25,6 +25,7 @@ STRICT_PACKAGES = (
     "repro.service",
     "repro.federated",
     "repro.faults",
+    "repro.servertune",
 )
 
 

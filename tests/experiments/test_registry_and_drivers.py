@@ -29,7 +29,7 @@ EXPECTED_IDS = {
     "fig9", "fig10", "fig11", "tab3", "fig12", "fig13",
     "abl_guardian", "abl_acquisition", "abl_tau", "abl_exploit", "abl_parego",
     "abl_thermal", "ext_accuracy", "ext_fleet", "ext_async_fleet",
-    "ext_controllers", "ext_resilience",
+    "ext_controllers", "ext_resilience", "ext_servertune",
 }
 
 
@@ -190,6 +190,19 @@ class TestCampaignDrivers:
         # identical jobs -> identical learning, lower (or equal) energy
         assert bofl["accuracy"] == performant["accuracy"]
         assert "parity" in ext_accuracy.render(payload)
+
+    def test_ext_servertune_small(self):
+        from repro.experiments import ext_servertune
+
+        payload = ext_servertune.run(clients=8, rounds=2, seed=0)
+        for workload in ("sync", "semisync"):
+            assert set(payload["workloads"][workload]) == {
+                "static r=2", "static r=3", "static r=4", "fedgpo", "fedtune",
+            }
+            for point in payload["workloads"][workload].values():
+                assert point["energy_per_aggregation"] > 0.0
+        assert set(payload["dominant"]) == {"sync", "semisync"}
+        assert "server co-optimization" in ext_servertune.render(payload)
 
     def test_ablation_parego_small(self):
         payload = ablations.run_parego(n_initial=10, batches=1, batch_size=4, seed=0)

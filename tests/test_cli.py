@@ -286,3 +286,71 @@ class TestServiceCommands:
         stream.write_text('{"device": "agx"}\n')
         assert main(["serve", str(stream)]) == 1
         assert "request line 1" in capsys.readouterr().err
+
+
+class TestServertuneCommand:
+    #: Two archetypes, two members, one generation: three fast evaluations.
+    FAST = [
+        "--clients", "6", "--rounds", "2", "--archetypes", "2",
+        "--population", "2", "--generations", "1", "--workers", "1",
+    ]
+
+    def test_run_parses_options(self):
+        args = build_parser().parse_args(
+            ["servertune", "run", "--population", "6", "--generations", "4",
+             "--pbt-seed", "3", "--controllers", "fedgpo",
+             "--alpha-energy", "0.7", "--alpha-time", "0.3"]
+        )
+        assert args.servertune_command == "run"
+        assert args.population == 6
+        assert args.generations == 4
+        assert args.pbt_seed == 3
+        assert args.controllers == "fedgpo"
+        assert args.alpha_energy == 0.7
+
+    def test_report_requires_a_file(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["servertune", "report"])
+
+    def test_run_prints_population_and_frontier(self, capsys):
+        assert main(["servertune", "run", *self.FAST]) == 0
+        out = capsys.readouterr().out
+        for key in ("PBT", "baseline (static)", "frontier (energy/agg"):
+            assert key in out
+
+    def test_frontier_round_trips_through_report(self, tmp_path, capsys):
+        frontier = tmp_path / "frontier.json"
+        assert main(
+            ["servertune", "run", *self.FAST, "--frontier", str(frontier)]
+        ) == 0
+        run_out = capsys.readouterr().out
+        assert main(["servertune", "report", str(frontier)]) == 0
+        assert capsys.readouterr().out == run_out
+
+    def test_trace_is_seed_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(["servertune", "run", *self.FAST, "--trace", str(a)]) == 0
+        assert main(["servertune", "run", *self.FAST, "--trace", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_state_file_resumes(self, tmp_path, capsys):
+        state = tmp_path / "state.json"
+        assert main(
+            ["servertune", "run", *self.FAST, "--state", str(state)]
+        ) == 0
+        assert state.is_file()
+        capsys.readouterr()
+        assert main(
+            ["servertune", "run", *self.FAST[:-4], "--generations", "2",
+             "--workers", "1", "--state", str(state)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "resuming from" in captured.err
+        assert json.loads(state.read_text())["next_generation"] == 2
+
+    def test_report_rejects_a_non_frontier_file(self, tmp_path, capsys):
+        path = tmp_path / "not_frontier.json"
+        path.write_text('{"kind": "something_else"}\n')
+        assert main(["servertune", "report", str(path)]) == 1
+        assert capsys.readouterr().err
