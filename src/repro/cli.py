@@ -56,7 +56,11 @@ from repro._version import __version__
 from repro.analysis.tables import render_kv
 from repro.errors import ConfigurationError
 from repro.experiments import EXPERIMENTS, get_experiment, warm_experiment_cache
-from repro.federated.async_engine import FLEET_MODES
+from repro.federated.async_engine import (
+    FLEET_DETAILS,
+    FLEET_ENGINES,
+    FLEET_MODES,
+)
 from repro.sim import (
     CHAOS_PRESETS,
     FLEET_SELECTORS,
@@ -279,9 +283,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of clients under dropout/stall chaos schedules",
     )
     fleet_run.add_argument(
+        "--engine", default="vectorized", choices=FLEET_ENGINES,
+        help="composition implementation: the vectorized structured-array "
+        "engine (default) or the retained legacy per-event loop",
+    )
+    fleet_run.add_argument(
+        "--detail", default="reports", choices=FLEET_DETAILS,
+        help="result granularity: per-report objects (default) or "
+        "O(rounds)-memory per-round stats for 100k+ fleets",
+    )
+    fleet_run.add_argument(
+        "--edges", type=int, default=None, metavar="E",
+        help="hierarchical aggregation through E edge aggregators "
+        "(server folds E partials instead of every client)",
+    )
+    fleet_run.add_argument(
+        "--compose-shards", type=int, default=None, metavar="K",
+        help="shard the composition's trace-column build over K threads "
+        "(byte-identical to serial)",
+    )
+    fleet_run.add_argument(
         "--trace", default=None, metavar="PATH",
-        help="record a deterministic obs trace of the composition to PATH "
-        "(JSONL); the trace is byte-identical for any --workers value",
+        help="record a deterministic obs trace of the composition to PATH; "
+        "a .jsonl suffix writes row-per-event JSON Lines (byte-identical "
+        "for any --workers value), anything else streams the bounded-"
+        "memory columnar format",
     )
     _add_parallel_options(fleet_run)
     fleet_report = fleet_commands.add_parser(
@@ -733,7 +759,11 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         max_staleness=args.max_staleness,
         selector=args.selector,
         chaos_fraction=args.chaos,
+        edges=args.edges,
         **extra,
+    )
+    compose_kwargs = dict(
+        engine=args.engine, detail=args.detail, shards=args.compose_shards
     )
     # Trace gathering may shard over workers and hit caches; the
     # composition below is serial and pure, so the deterministic trace
@@ -743,13 +773,29 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
         workers=_normalize_workers(args.workers),
         progress=_progress_printer(args.progress),
     )
-    if args.trace:
+    if args.trace and not args.trace.endswith(".jsonl"):
+        # Columnar capture streams chunks to disk at emit time; a tiny
+        # ring keeps session memory O(1) however many events the fleet
+        # emits.
+        from repro.obs.columnar import ColumnarTraceWriter
+
+        with ColumnarTraceWriter(args.trace) as writer:
+            with obs.session(
+                capacity=1, deterministic=True,
+                event_sink=writer.write_event,
+            ) as session:
+                result = compose_fleet(spec, clients, **compose_kwargs)
+        print(
+            f"trace: {session.log.emitted} events -> {writer.path}",
+            file=sys.stderr,
+        )
+    elif args.trace:
         with obs.session(deterministic=True) as session:
-            result = compose_fleet(spec, clients)
+            result = compose_fleet(spec, clients, **compose_kwargs)
         trace_path = session.log.dump_jsonl(args.trace)
         print(f"trace: {session.log.emitted} events -> {trace_path}", file=sys.stderr)
     else:
-        result = compose_fleet(spec, clients)
+        result = compose_fleet(spec, clients, **compose_kwargs)
     return render_fleet_summary(fleet_summary(spec, result))
 
 
@@ -838,7 +884,9 @@ def _cmd_servertune(args: argparse.Namespace) -> str:
 
 
 def _cmd_trace(args: argparse.Namespace) -> str:
-    events = obs.read_jsonl(args.file)
+    # Sniffs the container: legacy JSONL and columnar traces of the same
+    # event stream render identical views.
+    events = obs.read_trace_events(args.file)
     return obs.render_view(events, args.view)
 
 

@@ -60,6 +60,7 @@ import numpy as np
 from repro.core.records import RoundRecord
 from repro.errors import ConfigurationError
 from repro.federated.aggregation import Aggregator, FedAvg
+from repro.federated.hierarchy import HierarchySpec, combine_hierarchical
 from repro.federated.selection import ClientSelector
 from repro.federated.transport import LinkModel
 from repro.faults.schedule import FaultSchedule, FaultSpec
@@ -73,6 +74,18 @@ from repro.types import Seconds
 
 #: Aggregation disciplines the engine understands.
 FLEET_MODES: tuple[str, ...] = ("sync", "semisync", "async")
+
+#: Composition implementations: the vectorized structured-array engine
+#: (default) and the retained per-event object loop it is differentially
+#: tested against.
+FLEET_ENGINES: tuple[str, ...] = ("vectorized", "legacy")
+
+#: Result granularities: ``reports`` materializes one
+#: :class:`FleetReport` per client report (full legacy fidelity);
+#: ``stats`` keeps only per-round aggregate counters
+#: (:class:`RoundStats`), the O(rounds)-memory shape that makes
+#: 100k–1M-client compositions fit in bounded RSS.
+FLEET_DETAILS: tuple[str, ...] = ("reports", "stats")
 
 
 def staleness_weight(staleness: int, exponent: float) -> float:
@@ -149,9 +162,54 @@ class FleetReport:
     status: str = "buffered"
 
 
+@dataclass(frozen=True)
+class RoundStats:
+    """Aggregate round counters for ``detail="stats"`` compositions.
+
+    Holds exactly what the :class:`FleetResult` scorecard and the per-round
+    observability events consume, so a stats-mode round carries O(1) memory
+    instead of one :class:`FleetReport` per client.  ``energy`` is summed
+    in legacy report order (dropped reports first, then arrivals), keeping
+    the float total bit-identical to the reports-mode accumulation.
+    """
+
+    n_participants: int
+    n_reports: int
+    n_dropped: int
+    n_buffered: int
+    #: Reports by terminal status (``n_straggler`` counts deadline misses
+    #: and dropout idles, matching ``status == "straggler"``).
+    n_straggler: int
+    n_cutoff: int
+    n_stale: int
+    energy: float
+    #: Sum of buffered reports' staleness (exact: integers).
+    staleness_sum: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "n_participants": self.n_participants,
+            "n_reports": self.n_reports,
+            "n_dropped": self.n_dropped,
+            "n_buffered": self.n_buffered,
+            "n_straggler": self.n_straggler,
+            "n_cutoff": self.n_cutoff,
+            "n_stale": self.n_stale,
+            "energy": self.energy,
+            "staleness_sum": self.staleness_sum,
+        }
+
+
 @dataclass
 class FleetRound:
-    """Server-side record of one aggregation (ServerRound-equivalent)."""
+    """Server-side record of one aggregation (ServerRound-equivalent).
+
+    In ``detail="reports"`` compositions every client report is kept in
+    :attr:`reports`; in ``detail="stats"`` mode the per-report lists stay
+    empty and :attr:`stats` carries the aggregate counters.  All derived
+    quantities go through the ``*_count`` accessors, which read whichever
+    representation is present.
+    """
 
     round_index: int
     started_at: Seconds
@@ -165,6 +223,8 @@ class FleetRound:
     model_version: int = 0
     #: The staleness-weighted aggregation probe (see module docstring).
     model_probe: Optional[float] = None
+    #: Aggregate counters when composed with ``detail="stats"``.
+    stats: Optional[RoundStats] = None
 
     @property
     def latency(self) -> Seconds:
@@ -172,6 +232,8 @@ class FleetRound:
 
     @property
     def total_energy(self) -> float:
+        if self.stats is not None:
+            return self.stats.energy
         return sum(r.energy for r in self.reports)
 
     @property
@@ -183,8 +245,52 @@ class FleetRound:
     def buffered(self) -> list[FleetReport]:
         return [r for r in self.reports if r.status == "buffered"]
 
+    def participant_count(self) -> int:
+        if self.stats is not None:
+            return self.stats.n_participants
+        return len(self.participants)
+
+    def report_count(self) -> int:
+        if self.stats is not None:
+            return self.stats.n_reports
+        return len(self.reports)
+
+    def dropped_count(self) -> int:
+        if self.stats is not None:
+            return self.stats.n_dropped
+        return len(self.dropped)
+
+    def buffered_count(self) -> int:
+        if self.stats is not None:
+            return self.stats.n_buffered
+        return len(self.buffered)
+
+    def straggler_count(self) -> int:
+        """Reports that could not be aggregated (any non-buffered status)."""
+        if self.stats is not None:
+            return (
+                self.stats.n_straggler + self.stats.n_cutoff + self.stats.n_stale
+            )
+        return len(self.stragglers)
+
+    def status_count(self, status: str) -> int:
+        if self.stats is not None:
+            return {
+                "buffered": self.stats.n_buffered,
+                "straggler": self.stats.n_straggler,
+                "cutoff": self.stats.n_cutoff,
+                "stale": self.stats.n_stale,
+            }.get(status, 0)
+        return sum(1 for r in self.reports if r.status == status)
+
+    def staleness_total(self) -> int:
+        """Summed staleness over buffered reports (exact integer)."""
+        if self.stats is not None:
+            return self.stats.staleness_sum
+        return sum(r.staleness for r in self.buffered)
+
     def to_dict(self) -> dict[str, object]:
-        return {
+        result: dict[str, object] = {
             "round_index": self.round_index,
             "started_at": self.started_at,
             "completed_at": self.completed_at,
@@ -209,6 +315,9 @@ class FleetRound:
                 for r in self.reports
             ],
         }
+        if self.stats is not None:
+            result["stats"] = self.stats.to_dict()
+        return result
 
 
 @dataclass
@@ -245,34 +354,26 @@ class FleetResult:
 
     @property
     def straggler_reports(self) -> int:
-        return sum(
-            1 for rnd in self.rounds for r in rnd.reports if r.status == "straggler"
-        )
+        return sum(rnd.status_count("straggler") for rnd in self.rounds)
 
     @property
     def cutoff_reports(self) -> int:
-        return sum(
-            1 for rnd in self.rounds for r in rnd.reports if r.status == "cutoff"
-        )
+        return sum(rnd.status_count("cutoff") for rnd in self.rounds)
 
     @property
     def staleness_drops(self) -> int:
-        return sum(
-            1 for rnd in self.rounds for r in rnd.reports if r.status == "stale"
-        )
+        return sum(rnd.status_count("stale") for rnd in self.rounds)
 
     @property
     def dropout_rounds(self) -> int:
-        return sum(len(r.dropped) for r in self.rounds)
+        return sum(rnd.dropped_count() for rnd in self.rounds)
 
     @property
     def mean_staleness(self) -> float:
-        buffered = [
-            r.staleness for rnd in self.rounds for r in rnd.buffered
-        ]
-        if not buffered:
+        count = sum(rnd.buffered_count() for rnd in self.rounds)
+        if count == 0:
             return 0.0
-        return sum(buffered) / len(buffered)
+        return sum(rnd.staleness_total() for rnd in self.rounds) / count
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -330,6 +431,28 @@ class AsyncFederationEngine:
         the FedBuff commit threshold (async), and ``halt`` ends the run.
         ``None`` (and a controller pinned at the default knobs) composes
         byte-identically to the pre-controller engine.
+    engine:
+        ``"vectorized"`` (default) composes on the structured-array event
+        queues of :mod:`repro.federated.eventqueue`;
+        ``"legacy"`` retains the per-event object loop.  The two are
+        byte-identical (results, obs traces) — the differential suite in
+        ``tests/federated/test_vectorized_equivalence.py`` holds the line.
+    detail:
+        ``"reports"`` keeps one :class:`FleetReport` per client report;
+        ``"stats"`` keeps per-round :class:`RoundStats` aggregates only
+        (O(rounds) memory — the 100k–1M-client shape).  Stats mode needs
+        the vectorized engine, and for ``async`` additionally the
+        controller-free, unbounded-staleness fast drain.
+    hierarchy:
+        Optional :class:`~repro.federated.hierarchy.HierarchySpec`: commit
+        through edge aggregators (O(edges) server work) instead of the
+        flat fold.  A *different discipline*, not an optimization — but
+        one shared implementation, so the two engines still match bit for
+        bit under it.
+    shards:
+        Thread-shard the upload-stream precompute across this many
+        contiguous client ranges (vectorized engine only); byte-identical
+        to the serial build for any value.
     """
 
     def __init__(
@@ -345,12 +468,28 @@ class AsyncFederationEngine:
         staleness_exponent: float = 0.5,
         max_staleness: Optional[int] = None,
         controller: Optional[ServerController] = None,
+        engine: str = "vectorized",
+        detail: str = "reports",
+        hierarchy: Optional[HierarchySpec] = None,
+        shards: Optional[int] = None,
     ) -> None:
         if not clients:
             raise ConfigurationError("a fleet needs at least one client")
         if mode not in FLEET_MODES:
             raise ConfigurationError(
                 f"unknown fleet mode {mode!r}; available: {', '.join(FLEET_MODES)}"
+            )
+        if engine not in FLEET_ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; available: {', '.join(FLEET_ENGINES)}"
+            )
+        if detail not in FLEET_DETAILS:
+            raise ConfigurationError(
+                f"unknown detail {detail!r}; available: {', '.join(FLEET_DETAILS)}"
+            )
+        if detail == "stats" and engine == "legacy":
+            raise ConfigurationError(
+                "detail='stats' requires the vectorized engine"
             )
         if buffer_size < 1:
             raise ConfigurationError(f"buffer_size must be >= 1, got {buffer_size}")
@@ -366,6 +505,8 @@ class AsyncFederationEngine:
             raise ConfigurationError(
                 f"target_reports must be >= 1, got {target_reports}"
             )
+        if shards is not None and shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
         self.clients = list(clients)
         self.mode = mode
         self.link = link if link is not None else LinkModel()
@@ -376,6 +517,10 @@ class AsyncFederationEngine:
         self.staleness_exponent = staleness_exponent
         self.max_staleness = max_staleness
         self.controller = controller
+        self.engine = engine
+        self.detail = detail
+        self.hierarchy = hierarchy
+        self.shards = shards
         #: The selector's configured cohort size before any participation
         #: knob touched it; the knob always rescales from this base, never
         #: from its own previous output (no compounding).
@@ -385,9 +530,13 @@ class AsyncFederationEngine:
         self._by_id = {c.client_id: c for c in self.clients}
         if len(self._by_id) != len(self.clients):
             raise ConfigurationError("fleet client ids must be unique")
-        self._upload_rngs = {
-            c.client_id: np.random.default_rng(c.upload_seed) for c in self.clients
-        }
+        #: Per-client upload RNG streams, built lazily: only the legacy
+        #: object loop draws them one launch at a time — the vectorized
+        #: engine precomputes whole streams in
+        #: :func:`repro.federated.eventqueue.build_trace_arrays`, and a
+        #: 100k-client fleet should not pay for 100k Generator objects
+        #: it never uses.
+        self._upload_rngs: Optional[dict[str, np.random.Generator]] = None
         #: Next unconsumed local round per client.
         self._cursor = {c.client_id: 0 for c in self.clients}
 
@@ -404,6 +553,11 @@ class AsyncFederationEngine:
         self, client: FleetClient, local_round: int, record: RoundRecord
     ) -> Seconds:
         """Transfer time for one report, including transport-stall delay."""
+        if self._upload_rngs is None:
+            self._upload_rngs = {
+                c.client_id: np.random.default_rng(c.upload_seed)
+                for c in self.clients
+            }
         rng = self._upload_rngs[client.client_id]
         upload = self.link.transfer_time(client.model_size_mbit, rng)
         stall = client.stalled_in(local_round)
@@ -448,16 +602,31 @@ class AsyncFederationEngine:
         if not buffered:
             round_record.model_version = version
             return version
-        updates = []
-        weights = []
+        progresses: list[float] = []
+        weights: list[float] = []
+        edges: list[int] = []
         for report in buffered:
             client = self._by_id[report.client_id]
             trace_rounds = max(len(client.records), 1)
-            progress = (report.local_round + 1) / trace_rounds
-            updates.append([np.asarray([progress], dtype=float)])
+            progresses.append((report.local_round + 1) / trace_rounds)
             weights.append(report.weight)
-        combined = self.aggregator.aggregate(updates, weights)
-        round_record.model_probe = float(combined[0][0])
+            if self.hierarchy is not None:
+                edges.append(self.hierarchy.edge_of(client.index))
+        if self.hierarchy is not None:
+            round_record.model_probe = combine_hierarchical(
+                self.aggregator,
+                self.hierarchy,
+                progresses,
+                weights,
+                edges,
+                t=round_record.completed_at,
+                round_index=round_record.round_index,
+                version=version + 1,
+            )
+        else:
+            updates = [[np.asarray([p], dtype=float)] for p in progresses]
+            combined = self.aggregator.aggregate(updates, weights)
+            round_record.model_probe = float(combined[0][0])
         round_record.aggregated = True
         version += 1
         round_record.model_version = version
@@ -505,10 +674,10 @@ class AsyncFederationEngine:
             t=round_record.completed_at,
             round=round_record.round_index,
             mode=self.mode,
-            participants=len(round_record.participants),
-            buffered=len(round_record.buffered),
-            stragglers=len(round_record.stragglers),
-            dropped=len(round_record.dropped),
+            participants=round_record.participant_count(),
+            buffered=round_record.buffered_count(),
+            stragglers=round_record.straggler_count(),
+            dropped=round_record.dropped_count(),
             latency=round_record.latency,
             energy=round_record.total_energy,
             version=round_record.model_version,
@@ -539,7 +708,11 @@ class AsyncFederationEngine:
                     self.staleness_exponent if self.mode == "async" else None
                 ),
             )
-        if self.mode == "async":
+        if self.engine == "vectorized":
+            from repro.federated.vector_engine import run_vectorized
+
+            result = run_vectorized(self, rounds)
+        elif self.mode == "async":
             result = self._run_async(rounds)
         else:
             result = self._run_rounds(rounds)
@@ -586,9 +759,9 @@ class AsyncFederationEngine:
         self.controller.observe(
             RoundFeedback(
                 round_index=round_record.round_index,
-                participants=len(round_record.participants),
-                buffered=len(round_record.buffered),
-                stragglers=len(round_record.stragglers),
+                participants=round_record.participant_count(),
+                buffered=round_record.buffered_count(),
+                stragglers=round_record.straggler_count(),
                 energy=round_record.total_energy,
                 latency=round_record.latency,
                 total_energy=result.total_energy,

@@ -1,0 +1,638 @@
+"""Vectorized fleet composition over structured-array event queues.
+
+The drop-in replacement for the legacy per-event object loop in
+:class:`~repro.federated.async_engine.AsyncFederationEngine` — same
+modes, same knobs, same obs trace, byte-identical results — built on the
+flattened trace columns of :mod:`repro.federated.eventqueue`:
+
+* **sync / semisync** (:func:`_run_rounds`): one launch is a fancy-index
+  gather, one round's arrival sort is a single ``lexsort`` on
+  ``(arrival, selection order)``, and the cutoff/patience/status logic is
+  boolean masks.  Per-report Python work survives only where it is
+  observable — building :class:`FleetReport` objects, emitting
+  ``fleet.enqueue`` events, feeding an energy-aware selector — and is
+  skipped entirely under ``detail="stats"`` with observability off.
+* **async fast drain** (:func:`_run_async_fast`): with no server
+  controller and no staleness bound, the whole FedBuff drain is static —
+  arrival times are per-client chained sums, the drain order is
+  :func:`~repro.federated.eventqueue.resolve_pop_order`, flush positions
+  are a cumulative-sum-modulo mask, and every report's staleness falls
+  out of two ``cumsum`` lookups (committed versions before its pop minus
+  committed versions at its parent's pop).
+* **async array walk** (:func:`_run_async_walk`): an adaptive controller
+  or a ``max_staleness`` bound makes flush positions sequentially
+  dependent, so this path keeps the legacy drain loop — but over the
+  precomputed columns and a plain ``(at, counter, flat)`` heap, with no
+  per-launch RNG draws and no intermediate arrival objects.  It mirrors
+  the legacy control flow statement for statement (including the halt
+  path's raw-heap-layout energy accounting), which is what keeps it
+  byte-identical.
+
+Float discipline, everywhere: sums that the legacy engine accumulates
+left-to-right stay left-to-right (``sum(column.tolist())``, never
+``np.sum``'s pairwise reduction), arrival times keep the legacy
+``(start + elapsed) + upload`` association, and staleness discounts are
+computed once per distinct staleness with the exact scalar ``**`` the
+legacy helper uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.federated.async_engine import (
+    AsyncFederationEngine,
+    FleetReport,
+    FleetResult,
+    FleetRound,
+    RoundStats,
+    staleness_weight,
+)
+from repro.federated.eventqueue import (
+    FleetTraceArrays,
+    async_arrival_times,
+    build_trace_arrays,
+    resolve_pop_order,
+)
+from repro.federated.hierarchy import aggregate_probe, combine_hierarchical
+from repro.obs import runtime as obs
+from repro.types import Seconds
+
+
+def run_vectorized(engine: AsyncFederationEngine, rounds: int) -> FleetResult:
+    """Compose ``rounds`` of fleet activity on the structured-array path."""
+    if engine.mode == "async":
+        if engine.controller is None and engine.max_staleness is None:
+            return _run_async_fast(engine, rounds)
+        if engine.detail == "stats":
+            raise ConfigurationError(
+                "detail='stats' async composition requires the static fast "
+                "drain (no server controller, no max_staleness)"
+            )
+        return _run_async_walk(engine, rounds)
+    return _run_rounds(engine, rounds)
+
+
+def _client_indices(engine: AsyncFederationEngine) -> np.ndarray:
+    """Each client's :attr:`FleetClient.index` (the hierarchy edge basis)."""
+    return np.fromiter(
+        (c.index for c in engine.clients), dtype=np.int64, count=len(engine.clients)
+    )
+
+
+def _commit_arrays(
+    engine: AsyncFederationEngine,
+    round_record: FleetRound,
+    version: int,
+    progresses: np.ndarray,
+    weights: np.ndarray,
+    client_index_values: np.ndarray,
+) -> int:
+    """The vectorized commit: bit-identical to the legacy ``_commit``.
+
+    ``aggregate_probe`` replicates FedAvg's array arithmetic on scalars;
+    other aggregators get the genuine array call with identically built
+    inputs.  Emission payloads match the legacy commit field for field.
+    """
+    if progresses.shape[0] == 0:
+        round_record.model_version = version
+        return version
+    progress_list = progresses.tolist()
+    weight_list = weights.tolist()
+    if engine.hierarchy is not None:
+        edges = [engine.hierarchy.edge_of(int(i)) for i in client_index_values.tolist()]
+        probe = combine_hierarchical(
+            engine.aggregator,
+            engine.hierarchy,
+            progress_list,
+            weight_list,
+            edges,
+            t=round_record.completed_at,
+            round_index=round_record.round_index,
+            version=version + 1,
+        )
+    else:
+        probe = aggregate_probe(engine.aggregator, progress_list, weight_list)
+    round_record.model_probe = probe
+    round_record.aggregated = True
+    version += 1
+    round_record.model_version = version
+    if obs.enabled():
+        obs.emit(
+            "fleet.aggregate",
+            t=round_record.completed_at,
+            round=round_record.round_index,
+            contributors=len(progress_list),
+            weight_total=float(sum(weight_list)),
+            probe=probe,
+            version=version,
+        )
+        obs.count("fleet.aggregations")
+    return version
+
+
+def _emit_enqueue_scalar(
+    arrival: float,
+    round_index: int,
+    client_id: str,
+    local_round: int,
+    staleness: int,
+    status: str,
+) -> None:
+    """``fleet.enqueue`` (and the stale-drop follow-up) from plain scalars."""
+    obs.emit(
+        "fleet.enqueue",
+        t=arrival,
+        round=round_index,
+        client=client_id,
+        local_round=local_round,
+        staleness=staleness,
+        status=status,
+    )
+    obs.count("fleet.enqueues")
+    if status == "stale":
+        obs.emit(
+            "fleet.staleness_drop",
+            t=arrival,
+            round=round_index,
+            client=client_id,
+            staleness=staleness,
+        )
+        obs.count("fleet.staleness_drops")
+
+
+# -- sync / semisync ---------------------------------------------------------
+
+
+def _run_rounds(engine: AsyncFederationEngine, rounds: int) -> FleetResult:
+    """Vectorized synchronous and semi-synchronous composition."""
+    arrays = build_trace_arrays(
+        engine.clients, engine.link, rounds_cap=rounds, shards=engine.shards
+    )
+    n = arrays.n_clients
+    ids = arrays.client_ids
+    offsets = arrays.offsets
+    lengths = arrays.lengths
+    # Sync progress divides by the client's *full* trace length — the
+    # legacy engine never trims records outside async mode.
+    full_div = np.maximum(arrays.full_lengths, 1)
+    index_arr = _client_indices(engine)
+    n_samples = arrays.n_samples
+    cursor = np.zeros(n, dtype=np.int64)
+    id_to_pos = (
+        {cid: i for i, cid in enumerate(ids)} if engine.selector is not None else {}
+    )
+    observe = getattr(engine.selector, "observe", None)
+    stats_mode = engine.detail == "stats"
+    result = FleetResult(mode=engine.mode, n_clients=n)
+    version = 0
+    now: Seconds = 0.0
+    for round_index in range(rounds):
+        knobs = engine._round_knobs(round_index)
+        if knobs is not None and knobs.halt:
+            engine._emit_halt(round_index, now)
+            break
+        if engine.selector is None:
+            sel_idx = np.arange(n, dtype=np.int64)
+            selected: Optional[list[str]] = None if stats_mode else list(ids)
+            n_selected = n
+        else:
+            chosen = engine._select_ids(round_index, knobs)
+            sel_idx = np.fromiter(
+                (id_to_pos[cid] for cid in chosen),
+                dtype=np.int64,
+                count=len(chosen),
+            )
+            selected = list(chosen)
+            n_selected = len(chosen)
+        has = cursor[sel_idx] < lengths[sel_idx]
+        launch_idx = sel_idx[has]
+        launch_pos = np.flatnonzero(has)  # the legacy enumerate order
+        local = cursor[launch_idx].copy()
+        flat = offsets[launch_idx] + local
+        cursor[launch_idx] += 1
+        dropped_mask = arrays.dropped[flat]
+        at_all = (now + arrays.elapsed[flat]) + arrays.upload[flat]
+        d_idx = launch_idx[dropped_mask]
+        d_flat = flat[dropped_mask]
+        d_at = at_all[dropped_mask]
+        d_local = local[dropped_mask]
+        live = ~dropped_mask
+        order = np.lexsort((launch_pos[live], at_all[live]))
+        l_idx = launch_idx[live][order]
+        l_flat = flat[live][order]
+        l_at = at_all[live][order]
+        l_local = local[live][order]
+        l_missed = arrays.missed[l_flat]
+        cutoff_at: Optional[float] = None
+        if engine.mode == "semisync" and engine.target_reports is not None:
+            target = engine.target_reports
+            if knobs is not None and knobs.participation != 1.0:
+                target = max(1, round(target * knobs.participation))
+            agg_at = l_at[~l_missed]
+            if agg_at.shape[0] > target:
+                cutoff_at = float(agg_at[target - 1])
+        if knobs is not None and knobs.deadline_scale != 1.0 and l_at.shape[0]:
+            budget = float(np.max(arrays.deadline[l_flat]))
+            patience = now + knobs.deadline_scale * budget
+            if cutoff_at is None or patience < cutoff_at:
+                cutoff_at = float(patience)
+        if cutoff_at is None:
+            cut_mask = np.zeros(l_at.shape[0], dtype=bool)
+        else:
+            cut_mask = (~l_missed) & (l_at > cutoff_at)
+        buffered_mask = (~l_missed) & (~cut_mask)
+        if cutoff_at is not None:
+            completed = (
+                min(cutoff_at, float(np.max(l_at))) if l_at.shape[0] else cutoff_at
+            )
+        elif l_at.shape[0]:
+            completed = float(np.max(l_at))
+        else:
+            completed = float(np.max(d_at)) if d_at.shape[0] else now
+        round_record = FleetRound(
+            round_index=round_index,
+            started_at=now,
+            completed_at=float(max(completed, now)),
+            participants=[] if selected is None else selected,
+        )
+        emitting = obs.enabled()
+        if not stats_mode:
+            for pos in range(d_idx.shape[0]):
+                cid = ids[int(d_idx[pos])]
+                round_record.dropped.append(cid)
+                round_record.reports.append(
+                    FleetReport(
+                        client_id=cid,
+                        local_round=int(d_local[pos]),
+                        arrival=float(d_at[pos]),
+                        train_elapsed=float(arrays.elapsed[d_flat[pos]]),
+                        upload=0.0,
+                        energy=float(arrays.energy[d_flat[pos]]),
+                        missed=True,
+                        status="straggler",
+                    )
+                )
+        if not stats_mode or emitting or observe is not None:
+            for pos in range(l_at.shape[0]):
+                cid = ids[int(l_idx[pos])]
+                if l_missed[pos]:
+                    status = "straggler"
+                elif cut_mask[pos]:
+                    status = "cutoff"
+                else:
+                    status = "buffered"
+                energy = float(arrays.energy[l_flat[pos]])
+                arrival = float(l_at[pos])
+                local_round = int(l_local[pos])
+                if not stats_mode:
+                    round_record.reports.append(
+                        FleetReport(
+                            client_id=cid,
+                            local_round=local_round,
+                            arrival=arrival,
+                            train_elapsed=float(arrays.elapsed[l_flat[pos]]),
+                            upload=float(arrays.upload[l_flat[pos]]),
+                            energy=energy,
+                            missed=bool(l_missed[pos]),
+                            staleness=0,
+                            weight=(
+                                float(n_samples[l_idx[pos]])
+                                if status == "buffered"
+                                else 0.0
+                            ),
+                            status=status,
+                        )
+                    )
+                if emitting:
+                    _emit_enqueue_scalar(
+                        arrival, round_index, cid, local_round, 0, status
+                    )
+                if observe is not None:
+                    observe(cid, energy)
+        if stats_mode:
+            energy_total = float(
+                sum(
+                    arrays.energy[d_flat].tolist()
+                    + arrays.energy[l_flat].tolist()
+                )
+            )
+            round_record.stats = RoundStats(
+                n_participants=n_selected,
+                n_reports=int(d_flat.shape[0] + l_flat.shape[0]),
+                n_dropped=int(d_flat.shape[0]),
+                n_buffered=int(np.count_nonzero(buffered_mask)),
+                n_straggler=int(
+                    d_flat.shape[0] + np.count_nonzero(l_missed)
+                ),
+                n_cutoff=int(np.count_nonzero(cut_mask)),
+                n_stale=0,
+                energy=energy_total,
+                staleness_sum=0,
+            )
+        version = _commit_arrays(
+            engine,
+            round_record,
+            version,
+            progresses=(l_local[buffered_mask] + 1) / full_div[l_idx[buffered_mask]],
+            weights=n_samples[l_idx[buffered_mask]],
+            client_index_values=index_arr[l_idx[buffered_mask]],
+        )
+        result.rounds.append(round_record)
+        engine._emit_round(round_record)
+        engine._feed_controller(round_record, result)
+        now = round_record.completed_at
+    return result
+
+
+# -- async: static fast drain ------------------------------------------------
+
+
+def _staleness_discounts(
+    staleness: np.ndarray, exponent: float
+) -> np.ndarray:
+    """Per-event discount via the exact legacy scalar power, one per distinct value."""
+    if staleness.shape[0] == 0:
+        return np.zeros(0)
+    uniq, inverse = np.unique(staleness, return_inverse=True)
+    table = np.fromiter(
+        (staleness_weight(int(s), exponent) for s in uniq.tolist()),
+        dtype=float,
+        count=uniq.shape[0],
+    )
+    return table[inverse]
+
+
+def _run_async_fast(engine: AsyncFederationEngine, rounds: int) -> FleetResult:
+    """FedBuff drain with static flush schedule (no controller/staleness bound)."""
+    arrays = build_trace_arrays(
+        engine.clients, engine.link, rounds_cap=rounds, shards=engine.shards
+    )
+    for client in engine.clients:
+        # Object-level parity with the legacy drain, which trims its own
+        # copy of every trace to ``rounds`` before streaming.
+        del client.records[rounds:]
+    n = arrays.n_clients
+    result = FleetResult(mode="async", n_clients=n)
+    n_events = arrays.n_events
+    if n_events == 0:
+        result.unclaimed_energy = 0.0
+        return result
+    ids = arrays.client_ids
+    offsets = arrays.offsets
+    lengths = arrays.lengths
+    at = async_arrival_times(arrays)
+    pop = resolve_pop_order(at, offsets)
+    client_of = np.repeat(np.arange(n, dtype=np.int64), lengths)
+    starts = np.repeat(offsets[:-1], lengths)
+    local_of = np.arange(n_events, dtype=np.int64) - starts
+    p_client = client_of[pop]
+    p_local = local_of[pop]
+    p_at = at[pop]
+    p_dropped = arrays.dropped[pop]
+    p_missed = arrays.missed[pop]
+    live = ~p_dropped
+    buffered_flag = live & ~p_missed
+    cum = np.cumsum(buffered_flag)
+    threshold = engine.buffer_size
+    flush_flag = buffered_flag & (cum % threshold == 0)
+    flushes = np.cumsum(flush_flag)
+    version_before = flushes - flush_flag
+    pos_of = np.empty(n_events, dtype=np.int64)
+    pos_of[pop] = np.arange(n_events)
+    parent_pos = pos_of[np.maximum(pop - 1, 0)]
+    version_started = np.where(p_local > 0, flushes[parent_pos], 0)
+    staleness = version_before - version_started
+    weights = np.zeros(n_events)
+    weights[buffered_flag] = arrays.n_samples[p_client[buffered_flag]] * (
+        _staleness_discounts(
+            staleness[buffered_flag], engine.staleness_exponent
+        )
+    )
+    progress = (p_local + 1) / np.maximum(lengths, 1)[p_client]
+    index_arr = _client_indices(engine)
+    stats_mode = engine.detail == "stats"
+    emitting = obs.enabled()
+    flush_positions = np.flatnonzero(flush_flag)
+    version = 0
+    window_start = 0  # first pop position of the open window
+    flushed_at: Seconds = 0.0
+
+    def _window_reports(
+        lo: int, hi: int, round_index: int, build: bool
+    ) -> list[FleetReport]:
+        """Emit (and optionally materialize) the live reports in pop span [lo, hi)."""
+        reports: list[FleetReport] = []
+        for j in range(lo, hi):
+            if not live[j]:
+                continue
+            cid = ids[int(p_client[j])]
+            status = "straggler" if p_missed[j] else "buffered"
+            stale = int(staleness[j])
+            arrival = float(p_at[j])
+            local_round = int(p_local[j])
+            if emitting:
+                _emit_enqueue_scalar(
+                    arrival, round_index, cid, local_round, stale, status
+                )
+            if build:
+                flat = int(pop[j])
+                reports.append(
+                    FleetReport(
+                        client_id=cid,
+                        local_round=local_round,
+                        arrival=arrival,
+                        train_elapsed=float(arrays.elapsed[flat]),
+                        upload=float(arrays.upload[flat]),
+                        energy=float(arrays.energy[flat]),
+                        missed=bool(p_missed[j]),
+                        staleness=stale,
+                        weight=float(weights[j]),
+                        status=status,
+                    )
+                )
+        return reports
+
+    for w, j in enumerate(flush_positions.tolist()):
+        hi = j + 1
+        span = slice(window_start, hi)
+        live_span = live[span]
+        buf_span = buffered_flag[span]
+        window_clients = p_client[span][live_span]
+        participants = sorted({ids[int(c)] for c in np.unique(window_clients)})
+        dropped_ids = [
+            ids[int(c)] for c in p_client[span][~live_span]
+        ]
+        round_record = FleetRound(
+            round_index=w,
+            started_at=float(flushed_at),
+            completed_at=float(p_at[j]),
+            participants=participants,
+            dropped=dropped_ids if not stats_mode else [],
+        )
+        reports = _window_reports(window_start, hi, w, build=not stats_mode)
+        if stats_mode:
+            pop_span = pop[span]
+            energy_total = float(
+                sum(arrays.energy[pop_span[live_span]].tolist())
+            )
+            round_record.stats = RoundStats(
+                n_participants=len(participants),
+                n_reports=int(np.count_nonzero(live_span)),
+                n_dropped=int(np.count_nonzero(~live_span)),
+                n_buffered=int(np.count_nonzero(buf_span)),
+                n_straggler=int(
+                    np.count_nonzero(live_span) - np.count_nonzero(buf_span)
+                ),
+                n_cutoff=0,
+                n_stale=0,
+                energy=energy_total,
+                staleness_sum=int(staleness[span][buf_span].sum()),
+            )
+        else:
+            round_record.reports = reports
+        sel = np.flatnonzero(buf_span) + window_start
+        version = _commit_arrays(
+            engine,
+            round_record,
+            version,
+            progresses=progress[sel],
+            weights=weights[sel],
+            client_index_values=index_arr[p_client[sel]],
+        )
+        result.rounds.append(round_record)
+        engine._emit_round(round_record)
+        engine._feed_controller(round_record, result)
+        flushed_at = float(p_at[j])
+        window_start = hi
+    # Trailing partial buffer: processed (and enqueue-emitted) but never
+    # flushed; its energy joins the dropouts' as unclaimed.
+    trailing_round = len(result.rounds)
+    if window_start < n_events and emitting:
+        _window_reports(window_start, n_events, trailing_round, build=False)
+    pending = sum(arrays.energy[pop[~live]].tolist())
+    trailing_live = pop[window_start:][live[window_start:]]
+    trailing = sum(arrays.energy[trailing_live].tolist())
+    result.unclaimed_energy = float(pending + trailing)
+    return result
+
+
+# -- async: sequential array walk -------------------------------------------
+
+
+def _run_async_walk(engine: AsyncFederationEngine, rounds: int) -> FleetResult:
+    """The legacy FedBuff drain over precomputed columns (controller-aware).
+
+    Flush positions depend on adaptive knobs (buffer rescale, halt) or a
+    staleness bound, so this path walks events sequentially like the
+    legacy loop — same heap keys, same push/pop sequence, hence the same
+    internal heap layout the halt path's energy sweep depends on.
+    """
+    arrays = build_trace_arrays(
+        engine.clients, engine.link, rounds_cap=rounds, shards=engine.shards
+    )
+    for client in engine.clients:
+        del client.records[rounds:]
+    n = arrays.n_clients
+    ids = arrays.client_ids
+    offsets = arrays.offsets
+    at = async_arrival_times(arrays)
+    result = FleetResult(mode="async", n_clients=n)
+    # Heap entries: (arrival, push counter, flat event, version at launch).
+    heap: list[tuple[float, int, int, int]] = []
+    counter = 0
+    for i in range(n):
+        start = int(offsets[i])
+        if start == int(offsets[i + 1]):
+            continue
+        heapq.heappush(heap, (float(at[start]), counter, start, 0))
+        counter += 1
+    buffer: list[FleetReport] = []
+    pending_energy = 0.0
+    pending_dropped: list[str] = []
+    version = 0
+    flushed_at: Seconds = 0.0
+    knobs = engine._round_knobs(0)
+    while heap:
+        arrival_at, _, flat, version_started = heapq.heappop(heap)
+        client_pos = int(np.searchsorted(offsets, flat, side="right")) - 1
+        cid = ids[client_pos]
+        round_index = len(result.rounds)
+        if knobs is not None and knobs.halt:
+            engine._emit_halt(round_index, arrival_at)
+            pending_energy += float(arrays.energy[flat])
+            pending_energy += sum(
+                float(arrays.energy[entry[2]]) for entry in heap
+            )
+            heap.clear()
+            break
+        flush = False
+        if arrays.dropped[flat]:
+            pending_dropped.append(cid)
+            pending_energy += float(arrays.energy[flat])
+        else:
+            staleness = version - version_started
+            missed = bool(arrays.missed[flat])
+            if missed:
+                status = "straggler"
+            elif (
+                engine.max_staleness is not None
+                and staleness > engine.max_staleness
+            ):
+                status = "stale"
+            else:
+                status = "buffered"
+            discount = staleness_weight(staleness, engine.staleness_exponent)
+            report = FleetReport(
+                client_id=cid,
+                local_round=int(flat - offsets[client_pos]),
+                arrival=float(arrival_at),
+                train_elapsed=float(arrays.elapsed[flat]),
+                upload=float(arrays.upload[flat]),
+                energy=float(arrays.energy[flat]),
+                missed=missed,
+                staleness=staleness,
+                weight=(
+                    float(arrays.n_samples[client_pos]) * discount
+                    if status == "buffered"
+                    else 0.0
+                ),
+                status=status,
+            )
+            engine._emit_enqueue(report, round_index)
+            buffer.append(report)
+            threshold = engine.buffer_size
+            if knobs is not None and knobs.buffer_scale != 1.0:
+                threshold = max(1, round(threshold * knobs.buffer_scale))
+            flush = (
+                sum(1 for r in buffer if r.status == "buffered") >= threshold
+            )
+        if flush:
+            round_record = FleetRound(
+                round_index=round_index,
+                started_at=flushed_at,
+                completed_at=float(arrival_at),
+                participants=sorted({r.client_id for r in buffer}),
+                reports=buffer,
+                dropped=pending_dropped,
+            )
+            version = engine._commit(round_record, version)
+            result.rounds.append(round_record)
+            engine._emit_round(round_record)
+            engine._feed_controller(round_record, result)
+            knobs = engine._round_knobs(len(result.rounds))
+            flushed_at = float(arrival_at)
+            buffer = []
+            pending_dropped = []
+        next_flat = flat + 1
+        if next_flat < int(offsets[client_pos + 1]):
+            heapq.heappush(
+                heap, (float(at[next_flat]), counter, next_flat, version)
+            )
+            counter += 1
+    result.unclaimed_energy = pending_energy + sum(r.energy for r in buffer)
+    return result

@@ -24,6 +24,16 @@ Typical use::
 Event kinds and metric names are documented in ``docs/observability.md``.
 """
 
+from repro.obs.columnar import (
+    COLUMNAR_FORMAT,
+    COLUMNAR_VERSION,
+    ColumnarTraceWriter,
+    iter_columnar,
+    iter_trace_events,
+    read_trace_events,
+    sniff_format,
+    write_columnar,
+)
 from repro.obs.events import (
     TRACE_FORMAT_VERSION,
     Event,
@@ -61,8 +71,11 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "COLUMNAR_FORMAT",
+    "COLUMNAR_VERSION",
     "TRACE_FORMAT_VERSION",
     "CampaignTrace",
+    "ColumnarTraceWriter",
     "Event",
     "EventLog",
     "Histogram",
@@ -83,8 +96,13 @@ __all__ = [
     "fig13_payload_from_trace",
     "find_campaign",
     "gauge",
+    "iter_columnar",
+    "iter_trace_events",
     "observe",
     "read_jsonl",
+    "read_trace_events",
+    "sniff_format",
+    "write_columnar",
     "render_summary",
     "render_view",
     "replay_campaigns",

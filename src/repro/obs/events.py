@@ -17,7 +17,7 @@ import json
 import pathlib
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from typing import IO, Optional, Union
 
 from repro.errors import ConfigurationError
@@ -54,11 +54,14 @@ EVENT_KINDS = frozenset(
         "server.round_failed",
         "server.aggregation_fallback",
         "fleet.start",
+        "fleet.topology",
         "fleet.enqueue",
         "fleet.aggregate",
         "fleet.staleness_drop",
         "fleet.round",
         "fleet.end",
+        "hierarchy.edge_aggregate",
+        "hierarchy.aggregate",
         "service.start",
         "service.evaluate",
         "service.decision",
@@ -141,6 +144,10 @@ class EventLog:
     sink:
         An optional open text stream; every event is additionally written
         to it as one JSON line at emit time (streaming trace capture).
+    event_sink:
+        An optional callable receiving every :class:`Event` at emit time
+        (after deterministic stripping) — the hook structured writers
+        like :class:`repro.obs.columnar.ColumnarTraceWriter` attach to.
     deterministic:
         When True, strip :data:`WALL_CLOCK_PAYLOAD_KEYS` from every
         payload at emit time so the captured trace is a pure function of
@@ -152,11 +159,13 @@ class EventLog:
         capacity: Optional[int] = None,
         sink: Optional[IO[str]] = None,
         deterministic: bool = False,
+        event_sink: Optional[Callable[["Event"], None]] = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.sink = sink
+        self.event_sink = event_sink
         self.deterministic = deterministic
         self._events: deque[Event] = deque(maxlen=capacity)
         #: Total events ever emitted (survives ring eviction).
@@ -176,6 +185,8 @@ class EventLog:
         self.emitted += 1
         if self.sink is not None:
             self.sink.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        if self.event_sink is not None:
+            self.event_sink(event)
         return event
 
     # -- reading -----------------------------------------------------------

@@ -31,9 +31,12 @@ COUNTER_NAMES = frozenset(
         "faults.cleared",
         "faults.injected",
         "fleet.aggregations",
+        "fleet.compose_shards",
         "fleet.enqueues",
         "fleet.rounds",
         "fleet.staleness_drops",
+        "hierarchy.aggregations",
+        "hierarchy.edge_aggregations",
         "guardian.checks",
         "guardian.rejections",
         "ilp.lp_warm_attempts",

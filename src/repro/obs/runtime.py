@@ -23,10 +23,10 @@ are byte-identical with or without an active session in the parent.
 from __future__ import annotations
 
 import contextlib
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from typing import Optional
 
-from repro.obs.events import EventLog
+from repro.obs.events import Event, EventLog
 from repro.obs.metrics import NULL_TIMER, Metrics, TimerSpan
 
 
@@ -39,9 +39,14 @@ class ObsSession:
     """
 
     def __init__(
-        self, capacity: Optional[int] = None, deterministic: bool = False
+        self,
+        capacity: Optional[int] = None,
+        deterministic: bool = False,
+        event_sink: Optional[Callable[[Event], None]] = None,
     ) -> None:
-        self.log = EventLog(capacity=capacity, deterministic=deterministic)
+        self.log = EventLog(
+            capacity=capacity, deterministic=deterministic, event_sink=event_sink
+        )
         self.metrics = Metrics()
 
 
@@ -60,11 +65,15 @@ def current() -> Optional[ObsSession]:
 
 
 def enable(
-    capacity: Optional[int] = None, deterministic: bool = False
+    capacity: Optional[int] = None,
+    deterministic: bool = False,
+    event_sink: Optional[Callable[[Event], None]] = None,
 ) -> ObsSession:
     """Activate a fresh session (replacing any active one) and return it."""
     global _ACTIVE
-    _ACTIVE = ObsSession(capacity=capacity, deterministic=deterministic)
+    _ACTIVE = ObsSession(
+        capacity=capacity, deterministic=deterministic, event_sink=event_sink
+    )
     return _ACTIVE
 
 
@@ -96,16 +105,22 @@ def suspended() -> Iterator[None]:
 
 @contextlib.contextmanager
 def session(
-    capacity: Optional[int] = None, deterministic: bool = False
+    capacity: Optional[int] = None,
+    deterministic: bool = False,
+    event_sink: Optional[Callable[[Event], None]] = None,
 ) -> Iterator[ObsSession]:
     """Context manager: activate a session, restore the previous state after.
 
     Nested sessions are allowed; the inner one simply shadows the outer
-    for its duration (tests rely on this for isolation).
+    for its duration (tests rely on this for isolation).  ``event_sink``
+    streams every event to a callable at emit time — pair it with a small
+    ``capacity`` for bounded-memory trace capture at fleet scale.
     """
     global _ACTIVE
     previous = _ACTIVE
-    _ACTIVE = ObsSession(capacity=capacity, deterministic=deterministic)
+    _ACTIVE = ObsSession(
+        capacity=capacity, deterministic=deterministic, event_sink=event_sink
+    )
     try:
         yield _ACTIVE
     finally:

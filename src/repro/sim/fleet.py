@@ -52,8 +52,10 @@ from repro.federated.selection import (
     EnergyAwareSelector,
     RandomSelector,
 )
+from repro.federated.hierarchy import HierarchySpec
 from repro.federated.transport import MODEL_SIZES_MBIT, LinkModel
 from repro.faults.schedule import FaultSchedule, FaultSpec
+from repro.obs import runtime as obs
 from repro.servertune.controllers import (
     ServerTuneSpec,
     make_server_controller,
@@ -115,6 +117,11 @@ class FleetSpec:
     #: composition's participation/patience/buffer knobs per round.
     #: Static specs normalize to None, preserving pre-subsystem behaviour.
     servertune: Optional[ServerTuneSpec] = None
+    #: Hierarchical aggregation: fold client updates through this many
+    #: edge aggregators before the server (None: flat, the default).
+    #: Changes the aggregation arithmetic (a reweighted two-stage mean),
+    #: so it is part of the spec, not a composition tuning knob.
+    edges: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_clients < 1:
@@ -175,6 +182,10 @@ class FleetSpec:
         if not 0.0 <= self.chaos_fraction <= 1.0:
             raise ConfigurationError(
                 f"chaos_fraction must lie in [0, 1], got {self.chaos_fraction}"
+            )
+        if self.edges is not None and self.edges < 1:
+            raise ConfigurationError(
+                f"edges must be >= 1 or None, got {self.edges}"
             )
 
     def effective_participants(self) -> int:
@@ -322,12 +333,28 @@ def prepare_fleet(
     return clients
 
 
-def compose_fleet(spec: FleetSpec, clients: list[FleetClient]) -> FleetResult:
+def compose_fleet(
+    spec: FleetSpec,
+    clients: list[FleetClient],
+    *,
+    engine: str = "vectorized",
+    detail: str = "reports",
+    shards: Optional[int] = None,
+) -> FleetResult:
     """Run the federation engine over prepared traces (pure, serial).
 
     Clients are cloned first, so the same prepared population can be
     composed repeatedly — e.g. once per mode for a sync/semisync/async
     comparison — without one composition consuming another's traces.
+
+    ``engine``/``detail``/``shards`` tune *how* the composition executes,
+    never *what* it computes: ``engine="legacy"`` selects the retained
+    per-event loop (differential testing), ``detail="stats"`` keeps
+    per-round counters instead of per-report objects (O(rounds) memory at
+    100k+ clients), and ``shards`` parallelizes the trace-column build —
+    all byte-identical to the serial vectorized default.  ``spec.edges``,
+    by contrast, changes the aggregation arithmetic, which is why it
+    lives on the spec.
     """
     target = spec.effective_participants()
     if spec.mode == "semisync":
@@ -346,7 +373,17 @@ def compose_fleet(spec: FleetSpec, clients: list[FleetClient]) -> FleetResult:
         selector = RandomSelector(selection_size, seed=spec.seed)
     elif spec.selector == "energy" and sized:
         selector = EnergyAwareSelector(selection_size, seed=spec.seed)
-    engine = AsyncFederationEngine(
+    hierarchy = None if spec.edges is None else HierarchySpec(n_edges=spec.edges)
+    if obs.enabled():
+        if hierarchy is not None:
+            obs.emit(
+                "fleet.topology",
+                edges=hierarchy.n_edges,
+                clients=len(clients),
+            )
+        if shards is not None:
+            obs.count("fleet.compose_shards", shards)
+    fed_engine = AsyncFederationEngine(
         [
             dataclasses.replace(client, records=list(client.records))
             for client in clients
@@ -360,8 +397,12 @@ def compose_fleet(spec: FleetSpec, clients: list[FleetClient]) -> FleetResult:
         staleness_exponent=spec.staleness_exponent,
         max_staleness=spec.max_staleness,
         controller=None if tune is None else make_server_controller(tune),
+        engine=engine,
+        detail=detail,
+        hierarchy=hierarchy,
+        shards=shards,
     )
-    return engine.run(spec.rounds)
+    return fed_engine.run(spec.rounds)
 
 
 def run_fleet(
@@ -371,12 +412,17 @@ def run_fleet(
     cache: Optional[PersistentCampaignCache] = None,
     progress: Optional[ProgressCallback] = None,
     use_cache: bool = True,
+    engine: str = "vectorized",
+    detail: str = "reports",
+    shards: Optional[int] = None,
 ) -> FleetResult:
     """Prepare and compose one fleet in a single call."""
     clients = prepare_fleet(
         spec, workers=workers, cache=cache, progress=progress, use_cache=use_cache
     )
-    return compose_fleet(spec, clients)
+    return compose_fleet(
+        spec, clients, engine=engine, detail=detail, shards=shards
+    )
 
 
 def fleet_summary(spec: FleetSpec, result: FleetResult) -> dict[str, object]:
@@ -401,6 +447,9 @@ def fleet_summary(spec: FleetSpec, result: FleetResult) -> dict[str, object]:
         # Only tuned fleets grow the key: static scorecards (and their
         # golden files) stay byte-identical to the pre-subsystem layout.
         summary["servertune"] = spec.servertune.controller
+    if spec.edges is not None:
+        # Same rule for hierarchy: flat scorecards keep the legacy layout.
+        summary["edges"] = spec.edges
     return summary
 
 
@@ -411,24 +460,36 @@ def render_fleet_summary(summary: dict[str, object]) -> str:
 
 
 def fleet_report_from_trace(path: Union[str, pathlib.Path]) -> str:
-    """Summarize the ``fleet.*`` activity of a recorded obs trace.
+    """Summarize the ``fleet.*``/``hierarchy.*`` activity of a recorded trace.
 
     The replay half of ``repro fleet run --trace``: event counts by kind,
     the run's configuration from ``fleet.start``, and the closing
-    scorecard from ``fleet.end``.
+    scorecard from ``fleet.end``.  Streams the trace — JSONL or columnar
+    (:func:`repro.obs.columnar.iter_trace_events`) — keeping memory
+    bounded by one chunk, not the file: a 100k-client trace carries
+    millions of enqueue events and must never be materialized whole.
     """
     from collections import Counter
 
-    from repro.obs.events import read_jsonl
+    from repro.obs.columnar import iter_trace_events
+    from repro.obs.events import Event
 
-    events = [e for e in read_jsonl(path) if e.layer == "fleet"]
-    if not events:
+    counts: Counter[str] = Counter()
+    start: Optional[Event] = None
+    end: Optional[Event] = None
+    for event in iter_trace_events(path):
+        if event.layer not in ("fleet", "hierarchy"):
+            continue
+        counts[event.kind] += 1
+        if event.kind == "fleet.start" and start is None:
+            start = event
+        elif event.kind == "fleet.end":
+            end = event
+    if not counts:
         raise ConfigurationError(f"no fleet events found in {path}")
-    counts = Counter(e.kind for e in events)
     lines = [f"Fleet trace: {path}", ""]
     for kind in sorted(counts):
         lines.append(f"  {kind:22s} {counts[kind]}")
-    start = next((e for e in events if e.kind == "fleet.start"), None)
     if start is not None:
         lines.append("")
         lines.append(
@@ -438,7 +499,6 @@ def fleet_report_from_trace(path: Union[str, pathlib.Path]) -> str:
                 rounds=start.payload.get("rounds"),
             )
         )
-    end = next((e for e in reversed(events) if e.kind == "fleet.end"), None)
     if end is not None:
         for key in (
             "aggregations", "total_energy", "makespan", "mean_latency",
